@@ -1,0 +1,41 @@
+// Command validate re-checks every qualitative claim of the paper
+// against fresh simulations and prints PASS/FAIL per claim — the
+// reproduction validating itself. Exit status 1 if any claim fails.
+//
+//	go run ./cmd/validate          # full scale (tens of seconds)
+//	go run ./cmd/validate -quick   # reduced problems (a few seconds)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cwnsim/internal/experiments"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "reduced problem sizes")
+		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	results := experiments.RunClaims(*quick, *workers)
+	failed := 0
+	for _, r := range results {
+		status := "PASS"
+		if !r.Pass {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("[%s] %-22s %s\n", status, r.ID, r.Statement)
+		fmt.Printf("       %s\n", r.Detail)
+	}
+	fmt.Printf("\n%d/%d claims hold (%v)\n", len(results)-failed, len(results), time.Since(start).Round(time.Millisecond))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

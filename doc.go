@@ -1,0 +1,26 @@
+// Package cwnsim is a from-scratch Go reproduction of L.V. Kale,
+// "Comparing the Performance of Two Dynamic Load Distribution Methods"
+// (ICPP 1988 / UIUCDCS-R-87-1387): a discrete-event simulation study of
+// two distributed load-balancing schemes — Contracting Within a
+// Neighborhood (CWN) and Lin & Keller's Gradient Model (GM) — for
+// medium-grain, tree-structured symbolic computations on message-passing
+// multiprocessors.
+//
+// The library layers, bottom-up:
+//
+//	internal/sim         deterministic discrete-event engine (ORACLE's kernel)
+//	internal/topology    grids, tori, double-lattice-meshes, hypercubes, ...
+//	internal/workload    fib/dc/random task trees (the simulated programs)
+//	internal/machine     PEs, channels with contention, message routing
+//	internal/core        CWN, GM, ACWN, and baseline strategies
+//	internal/metrics     histograms, summaries, time series
+//	internal/report      text tables, ASCII charts, heat maps, CSV
+//	internal/experiments the paper's experiment suites (Tables 1-3, all plots)
+//
+// Executables: cmd/lbsim (single runs), cmd/paper (regenerate every
+// table and figure), cmd/optimize (the Table 1 parameter sweeps).
+// See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmarks in bench_test.go regenerate each table/figure
+// at reduced scale and report achieved speedup/utilization as custom
+// benchmark metrics.
+package cwnsim

@@ -1,0 +1,45 @@
+// Quickstart: simulate one tree-structured computation on a
+// message-passing multiprocessor under the CWN load-distribution scheme
+// and print the statistics the simulator collects.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"cwnsim/internal/core"
+	"cwnsim/internal/machine"
+	"cwnsim/internal/topology"
+	"cwnsim/internal/workload"
+)
+
+func main() {
+	// A 10x10 nearest-neighbor grid of processing elements.
+	topo := topology.NewGrid(10, 10)
+
+	// The naive doubly-recursive Fibonacci computation: 1973 goals for
+	// fib(15), each goal a medium-grain task that either completes or
+	// spawns two children and waits for their responses.
+	tree := workload.NewFib(15)
+
+	// Contracting Within a Neighborhood with the paper's grid
+	// parameters: every new goal walks the steepest load gradient to a
+	// local minimum, at least 2 and at most 9 hops from its source.
+	strat := core.NewCWN(9, 2)
+
+	// Default machine: grain 10 units, response integration 5, hop 2,
+	// load broadcasts every 20 units with piggybacking.
+	cfg := machine.DefaultConfig()
+
+	stats := machine.New(topo, tree, strat, cfg).Run()
+
+	fmt.Println(stats) // one-paragraph summary
+	fmt.Println()
+	fmt.Printf("the simulation computed fib(15) = %d (expected %d)\n",
+		stats.Result, workload.FibValue(15))
+	fmt.Printf("speedup %.1f on %d PEs (%.0f%% average utilization)\n",
+		stats.Speedup(), stats.P, stats.UtilizationPercent())
+	fmt.Printf("goals travelled %.2f hops on average; the farthest went %d\n",
+		stats.AvgGoalHops(), stats.GoalHops.Max())
+}

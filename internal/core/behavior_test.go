@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"cwnsim/internal/machine"
+	"cwnsim/internal/topology"
+	"cwnsim/internal/workload"
+)
+
+// TestWorkStealNackPath forces refusals: a 2-PE machine where the
+// victim rarely has queued goals. The thief must recover via nacks and
+// still finish (outstanding flag must not deadlock).
+func TestWorkStealNackPath(t *testing.T) {
+	// A caterpillar tree keeps the victim's queue hovering around 0-2:
+	// steal requests fire but often find nothing, exercising the nack
+	// recovery path.
+	tree := workload.NewSkewed(60)
+	st := mustRun(t, topology.NewGrid(1, 2), tree, NewWorkSteal(10, 2))
+	if st.GoalsExecuted != int64(tree.Count()) {
+		t.Fatalf("executed %d, want %d", st.GoalsExecuted, tree.Count())
+	}
+	if st.MsgCounts[machine.MsgControl] == 0 {
+		t.Error("no steal requests were ever sent")
+	}
+}
+
+// TestGradientRequireTargetReducesTraffic compares goal traffic with
+// and without the export gate on a machine that saturates (everyone
+// abundant, nobody idle): the gated variant must ship fewer goals.
+func TestGradientRequireTargetReducesTraffic(t *testing.T) {
+	tree := workload.NewFib(13)
+	topo := topology.NewGrid(2, 2)
+	ungated := mustRun(t, topo, tree, NewGradient(1, 1, 20))
+	g := NewGradient(1, 1, 20)
+	g.RequireTarget = true
+	gated := mustRun(t, topo, tree, g)
+	if gated.MsgCounts[machine.MsgGoal] >= ungated.MsgCounts[machine.MsgGoal] {
+		t.Errorf("gated GM sent %d goal msgs >= ungated %d",
+			gated.MsgCounts[machine.MsgGoal], ungated.MsgCounts[machine.MsgGoal])
+	}
+}
+
+// TestGMExportNewestVariant completes and underperforms the default
+// oldest-export on a machine large enough for spread to matter.
+func TestGMExportNewestVariant(t *testing.T) {
+	tree := workload.NewFib(13)
+	topo := topology.NewGrid(5, 5)
+	oldest := mustRun(t, topo, tree, NewGradient(1, 2, 20))
+	g := NewGradient(1, 2, 20)
+	g.ExportNewest = true
+	newest := mustRun(t, topo, tree, g)
+	if newest.Speedup() >= oldest.Speedup() {
+		t.Errorf("newest-export %.2f >= oldest-export %.2f — expected big-subtree export to win",
+			newest.Speedup(), oldest.Speedup())
+	}
+}
+
+// TestCWNStrictVariantWalksFarther confirms the documented behavior
+// difference between the two local-minimum readings.
+func TestCWNStrictVariantWalksFarther(t *testing.T) {
+	tree := workload.NewFib(12)
+	topo := topology.NewGrid(5, 5)
+	nonstrict := mustRun(t, topo, tree, NewCWN(6, 1))
+	s := NewCWN(6, 1)
+	s.StrictMinimum = true
+	strict := mustRun(t, topo, tree, s)
+	if strict.AvgGoalHops() <= nonstrict.AvgGoalHops() {
+		t.Errorf("strict avg hops %.2f <= nonstrict %.2f — strict should walk farther",
+			strict.AvgGoalHops(), nonstrict.AvgGoalHops())
+	}
+}
+
+// TestCWNCommitmentAwareLoadChangesAdvertisement checks the pending
+// component is actually reflected in what neighbors learn: under
+// LoadQueuePlusPending a PE with many blocked tasks advertises a higher
+// load (behavioral check: the run differs from the queue-only run).
+func TestCWNCommitmentAwareLoadChangesAdvertisement(t *testing.T) {
+	tree := workload.NewFib(12)
+	topo := topology.NewGrid(4, 4)
+	base := machine.DefaultConfig()
+	queueOnly := machine.New(topo, tree, NewCWN(4, 1), base).Run()
+	cfg := machine.DefaultConfig()
+	cfg.LoadMetric = machine.LoadQueuePlusPending
+	pending := machine.New(topo, tree, NewCWN(4, 1), cfg).Run()
+	if !queueOnly.Completed || !pending.Completed {
+		t.Fatal("incomplete")
+	}
+	if queueOnly.Makespan == pending.Makespan && queueOnly.TotalMessages() == pending.TotalMessages() {
+		t.Error("commitment-aware load produced a byte-identical run — metric not plumbed through")
+	}
+}
+
+// TestStrategiesOnChordalAndTorus3D exercises the extension topologies
+// end to end.
+func TestStrategiesOnChordalAndTorus3D(t *testing.T) {
+	tree := workload.NewFib(10)
+	for _, topo := range []*topology.Topology{
+		topology.NewChordalRing(12, 3),
+		topology.NewTorus3D(3, 3, 3),
+	} {
+		for _, strat := range []machine.Strategy{NewCWN(4, 1), NewGradient(1, 2, 20), NewDiffusion(20)} {
+			st := mustRun(t, topo, tree, strat)
+			if st.GoalsExecuted != int64(tree.Count()) {
+				t.Fatalf("%s on %s: executed %d, want %d", strat.Name(), topo.Name(), st.GoalsExecuted, tree.Count())
+			}
+		}
+	}
+}
+
+// TestRootPlacementInvariance: CWN's performance shouldn't depend
+// wildly on where the root lands in a symmetric torus (every PE is
+// equivalent); this is a sanity check rather than an exact invariance
+// (random tie-breaks differ by seed path).
+func TestRootPlacementInvariance(t *testing.T) {
+	tree := workload.NewFib(12)
+	topo := topology.NewTorus(4, 4)
+	var speedups []float64
+	for _, root := range []int{0, 5, 10, 15} {
+		cfg := machine.DefaultConfig()
+		cfg.RootPE = root
+		st := machine.New(topo, tree, NewCWN(4, 1), cfg).Run()
+		if !st.Completed {
+			t.Fatal("incomplete")
+		}
+		speedups = append(speedups, st.Speedup())
+	}
+	min, max := speedups[0], speedups[0]
+	for _, s := range speedups {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max/min > 1.5 {
+		t.Errorf("speedup varies %0.2f-%0.2f across equivalent roots", min, max)
+	}
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cwnsim/internal/machine"
+	"cwnsim/internal/topology"
+	"cwnsim/internal/workload"
+)
+
+func mustRun(t *testing.T, topo *topology.Topology, tree *workload.Tree, strat machine.Strategy) *machine.Stats {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	st := machine.New(topo, tree, strat, cfg).Run()
+	if !st.Completed {
+		t.Fatalf("%s did not complete on %s", strat.Name(), topo.Name())
+	}
+	if st.Result != tree.Eval() {
+		t.Fatalf("%s computed %d, want %d", strat.Name(), st.Result, tree.Eval())
+	}
+	return st
+}
+
+func TestConstructorValidation(t *testing.T) {
+	bad := []func(){
+		func() { NewCWN(0, 0) },
+		func() { NewCWN(3, -1) },
+		func() { NewCWN(3, 4) },
+		func() { NewGradient(-1, 2, 20) },
+		func() { NewGradient(2, 1, 20) },
+		func() { NewGradient(1, 2, 0) },
+		func() { NewACWN(0, 0, 0, 20) },
+		func() { NewACWN(3, 1, -1, 20) },
+		func() { NewACWN(3, 1, 2, 0) },
+		func() { NewRandomWalk(0) },
+		func() { NewWorkSteal(0, 1) },
+		func() { NewWorkSteal(20, 0) },
+	}
+	for i, f := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNames(t *testing.T) {
+	cases := []struct {
+		s    machine.Strategy
+		want string
+	}{
+		{NewCWN(9, 2), "CWN(r=9,h=2)"},
+		{NewGradient(1, 2, 20), "GM(l=1,h=2,i=20)"},
+		{NewLocal(), "Local"},
+		{NewRoundRobin(), "RoundRobin"},
+		{NewRandomWalk(3), "RandomWalk(3)"},
+		{NewWorkSteal(20, 1), "WorkSteal(i=20,t=1)"},
+	}
+	for _, c := range cases {
+		if got := c.s.Name(); got != c.want {
+			t.Errorf("Name = %q, want %q", got, c.want)
+		}
+	}
+	if !strings.HasPrefix(NewACWN(5, 1, 3, 20).Name(), "ACWN(") {
+		t.Error("ACWN name prefix wrong")
+	}
+}
+
+func TestPaperParameters(t *testing.T) {
+	// Table 1 of the paper.
+	g := PaperCWNGrid()
+	if g.Radius != 9 || g.Horizon != 2 {
+		t.Errorf("grid CWN = r%d h%d, want r9 h2", g.Radius, g.Horizon)
+	}
+	d := PaperCWNDLM()
+	if d.Radius != 5 || d.Horizon != 1 {
+		t.Errorf("DLM CWN = r%d h%d, want r5 h1", d.Radius, d.Horizon)
+	}
+	gg := PaperGMGrid()
+	if gg.LowWater != 1 || gg.HighWater != 2 || gg.Interval != 20 {
+		t.Errorf("grid GM = %+v, want low1 high2 i20", gg)
+	}
+	gd := PaperGMDLM()
+	if gd.LowWater != 1 || gd.HighWater != 1 || gd.Interval != 20 {
+		t.Errorf("DLM GM = %+v, want low1 high1 i20", gd)
+	}
+}
+
+func TestGradientClassify(t *testing.T) {
+	s := NewGradient(1, 2, 20)
+	cases := []struct {
+		load int
+		want peState
+	}{
+		{0, stateIdle},     // below low-water-mark
+		{1, stateNeutral},  // between the marks
+		{2, stateNeutral},  // at high-water-mark
+		{3, stateAbundant}, // above high-water-mark
+		{100, stateAbundant},
+	}
+	for _, c := range cases {
+		if got := s.classify(c.load); got != c.want {
+			t.Errorf("classify(%d) = %d, want %d", c.load, got, c.want)
+		}
+	}
+	// DLM parameters: low 1, high 1 — neutral band is exactly load 1.
+	s2 := NewGradient(1, 1, 20)
+	if s2.classify(0) != stateIdle || s2.classify(1) != stateNeutral || s2.classify(2) != stateAbundant {
+		t.Error("DLM watermark classification wrong")
+	}
+}
+
+func TestCWNRadiusOneAcceptsFirstHop(t *testing.T) {
+	tree := workload.NewFib(9)
+	st := mustRun(t, topology.NewGrid(4, 4), tree, NewCWN(1, 0))
+	goals := int64(tree.Count())
+	if st.GoalHops.Count(0) != 1 {
+		t.Errorf("%d goals at hop 0, want 1 (root)", st.GoalHops.Count(0))
+	}
+	if st.GoalHops.Count(1) != goals-1 {
+		t.Errorf("%d goals at hop 1, want %d (radius 1 forces immediate stop)", st.GoalHops.Count(1), goals-1)
+	}
+}
+
+func TestCWNHorizonForbidsEarlyStops(t *testing.T) {
+	tree := workload.NewFib(11)
+	st := mustRun(t, topology.NewGrid(5, 5), tree, NewCWN(6, 3))
+	for h := 1; h < 3; h++ {
+		if n := st.GoalHops.Count(h); n != 0 {
+			t.Errorf("%d goals stopped at %d hops despite horizon 3", n, h)
+		}
+	}
+	if st.GoalHops.Max() > 6 {
+		t.Errorf("max hops %d > radius 6", st.GoalHops.Max())
+	}
+}
+
+func TestCWNSpikesAtRadius(t *testing.T) {
+	// The paper's Table 3 shows a spike at the radius ("A message that
+	// has gone that far must stop at that distance"). With a generous
+	// radius on a heavily loaded small machine, some goals must exhaust
+	// their radius.
+	tree := workload.NewFib(13)
+	st := mustRun(t, topology.NewGrid(3, 3), tree, NewCWN(5, 1))
+	if st.GoalHops.Count(5) == 0 {
+		t.Error("no goals stopped at the radius — expected a spike under saturation")
+	}
+}
+
+func TestRandomWalkExactSteps(t *testing.T) {
+	tree := workload.NewFib(9)
+	st := mustRun(t, topology.NewGrid(4, 4), tree, NewRandomWalk(3))
+	goals := int64(tree.Count())
+	if st.GoalHops.Count(0) != 1 || st.GoalHops.Count(3) != goals-1 {
+		t.Errorf("random walk hops: %s, want all %d goals at exactly 3", st.GoalHops.String(), goals-1)
+	}
+}
+
+func TestRoundRobinOneHop(t *testing.T) {
+	tree := workload.NewFib(9)
+	st := mustRun(t, topology.NewGrid(4, 4), tree, NewRoundRobin())
+	goals := int64(tree.Count())
+	if st.GoalHops.Count(1) != goals-1 {
+		t.Errorf("round robin: %d goals at 1 hop, want %d", st.GoalHops.Count(1), goals-1)
+	}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	// On a torus every PE has 4 neighbors; a root spawning 4+ goals must
+	// hit at least 3 distinct neighbors early on.
+	tree := workload.NewFullBinary(6)
+	st := mustRun(t, topology.NewTorus(4, 4), tree, NewRoundRobin())
+	busy := 0
+	for i := range st.BusyPerPE {
+		if st.BusyPerPE[i] > 0 {
+			busy++
+		}
+	}
+	if busy < 5 {
+		t.Errorf("round robin reached only %d PEs", busy)
+	}
+}
+
+func TestWorkStealMovesWork(t *testing.T) {
+	tree := workload.NewFib(11)
+	st := mustRun(t, topology.NewGrid(3, 3), tree, NewWorkSteal(20, 1))
+	busy := 0
+	for i := range st.BusyPerPE {
+		if st.BusyPerPE[i] > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Error("work stealing never moved any work")
+	}
+	if st.Speedup() <= 1.0 {
+		t.Errorf("work stealing speedup %.2f, want > 1", st.Speedup())
+	}
+}
+
+func TestACWNSaturationReducesGoalTraffic(t *testing.T) {
+	// On a small saturated machine, saturation control must cut goal
+	// messages versus plain CWN with the same radius/horizon.
+	tree := workload.NewFib(13)
+	topo := topology.NewGrid(2, 2)
+	cwn := mustRun(t, topo, tree, NewCWN(3, 1))
+	acwn := NewACWN(3, 1, 2, 40)
+	acwn.Redistribute = false // isolate saturation control
+	ast := mustRun(t, topo, tree, acwn)
+	if ast.MsgCounts[machine.MsgGoal] >= cwn.MsgCounts[machine.MsgGoal] {
+		t.Errorf("ACWN goal messages %d >= CWN %d — saturation control ineffective",
+			ast.MsgCounts[machine.MsgGoal], cwn.MsgCounts[machine.MsgGoal])
+	}
+}
+
+func TestACWNRedistributeCompletes(t *testing.T) {
+	tree := workload.NewFib(11)
+	st := mustRun(t, topology.NewGrid(4, 4), tree, NewACWN(4, 1, 3, 40))
+	if st.Speedup() <= 1.0 {
+		t.Errorf("ACWN speedup %.2f, want > 1", st.Speedup())
+	}
+}
+
+func TestGradientProximityBoundedByDiameter(t *testing.T) {
+	// Run GM and inspect every node's proximity estimates at the end:
+	// all must lie in [0, diameter+1].
+	tree := workload.NewFib(10)
+	topo := topology.NewGrid(4, 4)
+	cfg := machine.DefaultConfig()
+	s := NewGradient(1, 2, 20)
+	m := machine.New(topo, tree, s, cfg)
+	nodes := gmNodesOf(m)
+	st := m.Run()
+	if !st.Completed {
+		t.Fatal("incomplete")
+	}
+	max := int32(topo.Diameter() + 1)
+	for _, n := range nodes {
+		if n.myProx < 0 || n.myProx > max {
+			t.Fatalf("PE %d proximity %d out of [0,%d]", n.pe.ID(), n.myProx, max)
+		}
+		for i, p := range n.nbrProx {
+			if p < 0 || p > max {
+				t.Fatalf("PE %d sees neighbor %d proximity %d out of range", n.pe.ID(), i, p)
+			}
+		}
+	}
+}
+
+// gmNodesOf exposes the per-PE gradient nodes for white-box inspection.
+func gmNodesOf(m *machine.Machine) []*gmNode {
+	var out []*gmNode
+	for i := 0; i < m.NumPEs(); i++ {
+		if n, ok := nodeOf(m.PE(i)).(*gmNode); ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// nodeOf returns a PE's strategy node.
+func nodeOf(pe *machine.PE) machine.NodeStrategy { return pe.Node() }
+
+func TestGradientAbundantExports(t *testing.T) {
+	// Two PEs, fat workload: the root PE becomes abundant and must ship
+	// goals to its neighbor.
+	tree := workload.NewFib(11)
+	st := mustRun(t, topology.NewGrid(1, 2), tree, NewGradient(1, 2, 20))
+	if st.BusyPerPE[1] == 0 {
+		t.Fatal("GM never exported work to the idle neighbor")
+	}
+	if st.MsgCounts[machine.MsgGoal] == 0 {
+		t.Fatal("GM sent no goal messages")
+	}
+}
+
+func TestGradientIgnoresForeignControl(t *testing.T) {
+	// A gmNode must ignore payloads it does not understand.
+	tree := workload.NewFib(8)
+	topo := topology.NewGrid(1, 2)
+	m := machine.New(topo, tree, NewGradient(1, 2, 20), machine.DefaultConfig())
+	n, ok := nodeOf(m.PE(0)).(*gmNode)
+	if !ok {
+		t.Fatal("node is not a gmNode")
+	}
+	n.Control(1, "garbage") // must not panic
+	st := m.Run()
+	if !st.Completed {
+		t.Fatal("incomplete")
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"cwnsim/internal/machine"
+	"cwnsim/internal/sim"
+)
+
+// Diffusion is the classic nearest-neighbor diffusion balancer
+// (contemporary with the paper; analyzed by Cybenko 1989): a periodic
+// per-PE process compares its load with each neighbor's last known load
+// and, for every neighbor lighter by at least MinGap, transfers half
+// the difference in queued goals. Like GM it is receiver-agnostic and
+// periodic; unlike GM it uses no global demand signal (no proximity),
+// so it measures what GM's gradient information is actually worth.
+type Diffusion struct {
+	// Interval is the diffusion process period.
+	Interval sim.Time
+	// MinGap is the minimum load difference that triggers a transfer
+	// (>= 2; transferring on a difference of 1 just swaps the imbalance).
+	MinGap int
+	// MaxPerCycle caps how many goals move to one neighbor per wakeup.
+	MaxPerCycle int
+}
+
+// NewDiffusion returns a diffusion balancer with sensible caps.
+func NewDiffusion(interval sim.Time) *Diffusion {
+	if interval <= 0 {
+		panic("core: Diffusion interval must be positive")
+	}
+	return &Diffusion{Interval: interval, MinGap: 2, MaxPerCycle: 4}
+}
+
+// Name implements machine.Strategy.
+func (s *Diffusion) Name() string { return fmt.Sprintf("Diffusion(i=%d)", s.Interval) }
+
+// Setup implements machine.Strategy.
+func (s *Diffusion) Setup(m *machine.Machine) {
+	if s.MinGap < 2 {
+		s.MinGap = 2
+	}
+	if s.MaxPerCycle < 1 {
+		s.MaxPerCycle = 1
+	}
+}
+
+// NewNode implements machine.Strategy.
+func (s *Diffusion) NewNode(pe *machine.PE) machine.NodeStrategy {
+	n := &diffusionNode{s: s, pe: pe}
+	pe.Machine().NewTicker(pe, s.Interval, n.tick)
+	return n
+}
+
+type diffusionNode struct {
+	s  *Diffusion
+	pe *machine.PE
+}
+
+// PlaceNewGoal keeps new goals local, like GM.
+func (n *diffusionNode) PlaceNewGoal(g *machine.Goal) { n.pe.Accept(g) }
+
+// GoalArrived enqueues unconditionally.
+func (n *diffusionNode) GoalArrived(g *machine.Goal, from int) { n.pe.Accept(g) }
+
+// Control implements machine.NodeStrategy; diffusion needs no control
+// traffic beyond the machine's load words.
+func (n *diffusionNode) Control(from int, payload any) {}
+
+// tick equalizes with every lighter neighbor.
+func (n *diffusionNode) tick() {
+	for _, nb := range n.pe.Neighbors() {
+		load := n.pe.Load()
+		nbLoad, seen := n.pe.KnownLoad(nb)
+		if seen < 0 {
+			continue
+		}
+		diff := load - nbLoad
+		if diff < n.s.MinGap {
+			continue
+		}
+		move := diff / 2
+		if move > n.s.MaxPerCycle {
+			move = n.s.MaxPerCycle
+		}
+		for i := 0; i < move; i++ {
+			g := n.pe.TakeOldestQueuedGoal()
+			if g == nil {
+				return
+			}
+			n.pe.SendGoal(nb, g)
+		}
+	}
+}

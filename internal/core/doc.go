@@ -1,0 +1,11 @@
+// Package core implements the load-distribution strategies the paper
+// compares — Contracting Within a Neighborhood (CWN) and the Gradient
+// Model (GM) — plus the improvements the paper's conclusions propose
+// (ACWN: saturation control, re-distribution, commitment-aware load) and
+// reference baselines (local-only, random walk, round-robin, and
+// receiver-initiated work stealing) used by the extended ablations.
+//
+// Each strategy is a stateless template implementing machine.Strategy;
+// per-PE state lives in the NodeStrategy values created for each run, so
+// one strategy value can configure many concurrent machines.
+package core

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"cwnsim/internal/machine"
+	"cwnsim/internal/topology"
+	"cwnsim/internal/workload"
+)
+
+func TestDiffusionSpreadsWork(t *testing.T) {
+	tree := workload.NewFib(12)
+	st := mustRun(t, topology.NewGrid(4, 4), tree, NewDiffusion(20))
+	busy := 0
+	for i := range st.BusyPerPE {
+		if st.BusyPerPE[i] > 0 {
+			busy++
+		}
+	}
+	if busy < 8 {
+		t.Errorf("diffusion reached only %d/16 PEs", busy)
+	}
+	if st.Speedup() <= 1.5 {
+		t.Errorf("diffusion speedup %.2f, want > 1.5", st.Speedup())
+	}
+}
+
+func TestDiffusionConservation(t *testing.T) {
+	tree := workload.NewFib(11)
+	st := mustRun(t, topology.NewDLM(5, 5, 5), tree, NewDiffusion(20))
+	if st.GoalsExecuted != int64(tree.Count()) {
+		t.Errorf("executed %d goals, want %d", st.GoalsExecuted, tree.Count())
+	}
+	if st.GoalHops.Total() != int64(tree.Count()) {
+		t.Errorf("hop histogram total %d, want %d", st.GoalHops.Total(), tree.Count())
+	}
+}
+
+func TestDiffusionBadIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDiffusion(0) did not panic")
+		}
+	}()
+	NewDiffusion(0)
+}
+
+func TestIdealBeatsNeighborhoodSchemes(t *testing.T) {
+	// Perfect information must not lose to neighborhood information on
+	// a mid-sized machine: Ideal >= GM, and Ideal at least competitive
+	// with CWN (within 25% — Ideal pays full shortest-path routing for
+	// every goal).
+	tree := workload.NewFib(13)
+	topo := topology.NewGrid(5, 5)
+	ideal := mustRun(t, topo, tree, NewIdeal())
+	gm := mustRun(t, topo, tree, PaperGMGrid())
+	cwn := mustRun(t, topo, tree, PaperCWNGrid())
+	if ideal.Speedup() < gm.Speedup() {
+		t.Errorf("Ideal %.2f < GM %.2f", ideal.Speedup(), gm.Speedup())
+	}
+	if ideal.Speedup() < cwn.Speedup()*0.75 {
+		t.Errorf("Ideal %.2f far below CWN %.2f — oracle should be competitive",
+			ideal.Speedup(), cwn.Speedup())
+	}
+}
+
+func TestIdealOnSinglePE(t *testing.T) {
+	tree := workload.NewFib(8)
+	st := mustRun(t, topology.NewSingle(), tree, NewIdeal())
+	if st.Speedup() != 1.0 {
+		t.Errorf("single-PE ideal speedup %.2f, want 1", st.Speedup())
+	}
+}
+
+func TestIdealRoutesMultiHop(t *testing.T) {
+	// On a ring the least-loaded PE is often several hops away; goals
+	// must arrive (and the net displacement histogram must see distances
+	// greater than 1).
+	tree := workload.NewFib(11)
+	st := mustRun(t, topology.NewRing(8), tree, NewIdeal())
+	if st.GoalDist.Max() < 2 {
+		t.Errorf("ideal never placed beyond neighbors (max dist %d)", st.GoalDist.Max())
+	}
+}
+
+func TestHeterogeneousMachine(t *testing.T) {
+	// Half-speed PEs: the balancer must still complete correctly, and
+	// the fast PEs should absorb more work than the slow ones.
+	tree := workload.NewFib(13)
+	topo := topology.NewGrid(4, 4)
+	cfg := machine.DefaultConfig()
+	cfg.PESpeeds = make([]float64, 16)
+	for i := range cfg.PESpeeds {
+		if i%2 == 0 {
+			cfg.PESpeeds[i] = 1.0
+		} else {
+			cfg.PESpeeds[i] = 0.25
+		}
+	}
+	st := machine.New(topo, tree, NewCWN(4, 1), cfg).Run()
+	if !st.Completed {
+		t.Fatal("incomplete")
+	}
+	if st.Result != tree.Eval() {
+		t.Fatalf("result %d, want %d", st.Result, tree.Eval())
+	}
+	var fastGoals, slowGoals int64
+	for i := 0; i < 16; i++ {
+		// Goals executed per PE are not exported; approximate with busy
+		// time normalized by speed (busy time scales with 1/speed).
+		if i%2 == 0 {
+			fastGoals += int64(st.BusyPerPE[i])
+		} else {
+			slowGoals += int64(float64(st.BusyPerPE[i]) * 0.25)
+		}
+	}
+	if fastGoals <= slowGoals {
+		t.Errorf("fast PEs did %d work units vs slow %d — balancer ignored speed",
+			fastGoals, slowGoals)
+	}
+}
+
+func TestHeterogeneousValidation(t *testing.T) {
+	topo := topology.NewGrid(2, 2)
+	tree := workload.NewFib(5)
+	for i, speeds := range [][]float64{{1, 1}, {1, 1, 1, 0}, {1, 1, 1, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			cfg := machine.DefaultConfig()
+			cfg.PESpeeds = speeds
+			machine.New(topo, tree, NewLocal(), cfg)
+		}()
+	}
+}

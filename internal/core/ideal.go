@@ -1,0 +1,61 @@
+package core
+
+import (
+	"cwnsim/internal/machine"
+)
+
+// Ideal is the perfect-information comparator: it models the paper's
+// introduction remark that "on shared memory machines, the load
+// balancing is relatively simple: we can maintain all the work in a
+// central pool" — every new goal is placed on the globally least-loaded
+// PE using perfect, zero-latency knowledge of all queue lengths, while
+// still paying communication time along the shortest path.
+//
+// It is deliberately not a strict upper bound: goals in transit are
+// invisible to the load measure, so simultaneous placements herd toward
+// the same recently-idle PE, and distant placements pay real transit
+// time — which is why CWN can and does beat it on larger machines. The
+// gap in either direction is informative: it separates the value of
+// information quality from the cost of acting on it.
+type Ideal struct{}
+
+// NewIdeal returns the perfect-information baseline.
+func NewIdeal() *Ideal { return &Ideal{} }
+
+// Name implements machine.Strategy.
+func (s *Ideal) Name() string { return "Ideal" }
+
+// Setup implements machine.Strategy.
+func (s *Ideal) Setup(m *machine.Machine) {}
+
+// NewNode implements machine.Strategy.
+func (s *Ideal) NewNode(pe *machine.PE) machine.NodeStrategy {
+	return &idealNode{pe: pe}
+}
+
+type idealNode struct {
+	pe *machine.PE
+}
+
+// PlaceNewGoal inspects every PE's true load (the omniscient oracle)
+// and routes the goal straight to the global minimum, preferring nearer
+// PEs among equals to limit communication.
+func (n *idealNode) PlaceNewGoal(g *machine.Goal) {
+	m := n.pe.Machine()
+	self := n.pe.ID()
+	best, bestLoad, bestDist := self, n.pe.Load(), 0
+	for i := 0; i < m.NumPEs(); i++ {
+		load := m.PE(i).Load()
+		d := m.Topology().Dist(self, i)
+		if load < bestLoad || (load == bestLoad && d < bestDist) {
+			best, bestLoad, bestDist = i, load, d
+		}
+	}
+	n.pe.RouteGoal(best, g)
+}
+
+// GoalArrived accepts: the placement decision was already final.
+func (n *idealNode) GoalArrived(g *machine.Goal, from int) { n.pe.Accept(g) }
+
+// Control implements machine.NodeStrategy; no control traffic.
+func (n *idealNode) Control(from int, payload any) {}

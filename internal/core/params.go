@@ -1,0 +1,35 @@
+package core
+
+import "cwnsim/internal/machine"
+
+// The paper's Table 1: "Selected Parameters" — the winning parameter
+// combinations from the optimization experiments, used for all the main
+// comparison runs.
+
+// PaperCWNGrid returns CWN with the grid parameters: radius 9, horizon 2.
+func PaperCWNGrid() *CWN { return NewCWN(9, 2) }
+
+// PaperCWNDLM returns CWN with the lattice-mesh parameters: radius 5,
+// horizon 1.
+func PaperCWNDLM() *CWN { return NewCWN(5, 1) }
+
+// PaperGMGrid returns the Gradient Model with the grid parameters:
+// high-water-mark 2, low-water-mark 1, interval 20.
+func PaperGMGrid() *Gradient { return NewGradient(1, 2, 20) }
+
+// PaperGMDLM returns the Gradient Model with the lattice-mesh
+// parameters: high-water-mark 1, low-water-mark 1, interval 20.
+func PaperGMDLM() *Gradient { return NewGradient(1, 1, 20) }
+
+// Verify interface satisfaction at compile time.
+var (
+	_ machine.Strategy = (*CWN)(nil)
+	_ machine.Strategy = (*Gradient)(nil)
+	_ machine.Strategy = (*ACWN)(nil)
+	_ machine.Strategy = (*Local)(nil)
+	_ machine.Strategy = (*RandomWalk)(nil)
+	_ machine.Strategy = (*RoundRobin)(nil)
+	_ machine.Strategy = (*WorkSteal)(nil)
+	_ machine.Strategy = (*Diffusion)(nil)
+	_ machine.Strategy = (*Ideal)(nil)
+)

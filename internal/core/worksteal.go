@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"cwnsim/internal/machine"
+	"cwnsim/internal/sim"
+)
+
+// WorkSteal is a receiver-initiated comparator: new goals stay local
+// (like GM), and a PE whose load drops below Threshold periodically asks
+// its most-loaded known neighbor for work; the victim replies with one
+// queued goal or a refusal. This is the classic receiver-initiated
+// policy from the load-sharing literature contemporary to the paper,
+// included for the extended comparison.
+type WorkSteal struct {
+	// Interval is the idle-check period.
+	Interval sim.Time
+	// Threshold: steal attempts start when load < Threshold.
+	Threshold int
+}
+
+// NewWorkSteal returns a work-stealing strategy.
+func NewWorkSteal(interval sim.Time, threshold int) *WorkSteal {
+	if interval <= 0 {
+		panic("core: WorkSteal interval must be positive")
+	}
+	if threshold < 1 {
+		panic("core: WorkSteal threshold must be >= 1")
+	}
+	return &WorkSteal{Interval: interval, Threshold: threshold}
+}
+
+// Name implements machine.Strategy.
+func (s *WorkSteal) Name() string {
+	return fmt.Sprintf("WorkSteal(i=%d,t=%d)", s.Interval, s.Threshold)
+}
+
+// Setup implements machine.Strategy.
+func (s *WorkSteal) Setup(m *machine.Machine) {}
+
+// NewNode implements machine.Strategy.
+func (s *WorkSteal) NewNode(pe *machine.PE) machine.NodeStrategy {
+	n := &stealNode{s: s, pe: pe}
+	pe.Machine().NewTicker(pe, s.Interval, n.tick)
+	return n
+}
+
+// stealRequest asks the receiver to donate one queued goal.
+type stealRequest struct{}
+
+// stealNack tells a thief the victim had nothing to give.
+type stealNack struct{}
+
+type stealNode struct {
+	s           *WorkSteal
+	pe          *machine.PE
+	outstanding bool // at most one steal request in flight
+}
+
+// PlaceNewGoal keeps work local; distribution is pull-based.
+func (n *stealNode) PlaceNewGoal(g *machine.Goal) { n.pe.Accept(g) }
+
+// GoalArrived accepts donated work and re-arms the thief.
+func (n *stealNode) GoalArrived(g *machine.Goal, from int) {
+	n.outstanding = false
+	n.pe.Accept(g)
+}
+
+func (n *stealNode) tick() {
+	if n.outstanding || n.pe.Load() >= n.s.Threshold {
+		return
+	}
+	victim := n.pickVictim()
+	if victim < 0 {
+		return
+	}
+	n.outstanding = true
+	n.pe.SendControl(victim, stealRequest{})
+}
+
+// pickVictim chooses the neighbor with the largest known positive load
+// (ties broken randomly); -1 when no neighbor is known to have work.
+func (n *stealNode) pickVictim() int {
+	best, choice, count := 0, -1, 0
+	rng := n.pe.Machine().Engine().Rng()
+	for _, nb := range n.pe.Neighbors() {
+		load, seen := n.pe.KnownLoad(nb)
+		if seen < 0 || load <= 0 {
+			continue
+		}
+		switch {
+		case load > best:
+			best, choice, count = load, nb, 1
+		case load == best:
+			count++
+			if rng.Intn(count) == 0 {
+				choice = nb
+			}
+		}
+	}
+	return choice
+}
+
+func (n *stealNode) Control(from int, payload any) {
+	switch payload.(type) {
+	case stealRequest:
+		if g := n.pe.TakeNewestQueuedGoal(); g != nil {
+			n.pe.SendGoal(from, g)
+			return
+		}
+		n.pe.SendControl(from, stealNack{})
+	case stealNack:
+		n.outstanding = false
+	}
+}

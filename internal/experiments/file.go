@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SpecFile is the on-disk experiment description consumed by cmd/sweep:
+// a list of runs plus optional shared defaults.
+type SpecFile struct {
+	// Comment is free-form documentation carried in the file.
+	Comment string `json:"comment,omitempty"`
+	// Defaults, when present, fills in zero-valued fields of every run
+	// (topology, workload, strategy, seed, sampling).
+	Defaults *RunSpec  `json:"defaults,omitempty"`
+	Runs     []RunSpec `json:"runs"`
+}
+
+// LoadSpecs reads a SpecFile from path and applies its defaults.
+func LoadSpecs(path string) ([]RunSpec, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	var sf SpecFile
+	if err := json.Unmarshal(blob, &sf); err != nil {
+		return nil, fmt.Errorf("experiments: parsing %s: %w", path, err)
+	}
+	if len(sf.Runs) == 0 {
+		return nil, fmt.Errorf("experiments: %s contains no runs", path)
+	}
+	for i := range sf.Runs {
+		applyDefaults(&sf.Runs[i], sf.Defaults)
+		// Validate eagerly: a bad spec should fail at load, not mid-sweep.
+		if err := validateSpec(sf.Runs[i]); err != nil {
+			return nil, fmt.Errorf("experiments: %s run %d: %w", path, i, err)
+		}
+	}
+	return sf.Runs, nil
+}
+
+// SaveSpecs writes runs as a SpecFile.
+func SaveSpecs(path, comment string, runs []RunSpec) error {
+	blob, err := json.MarshalIndent(SpecFile{Comment: comment, Runs: runs}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+func applyDefaults(rs *RunSpec, d *RunSpec) {
+	if d == nil {
+		return
+	}
+	if rs.Topo.Kind == "" {
+		rs.Topo = d.Topo
+	}
+	if rs.Workload.Kind == "" {
+		rs.Workload = d.Workload
+	}
+	if rs.Strategy.Kind == "" {
+		rs.Strategy = d.Strategy
+	}
+	if rs.Seed == 0 {
+		rs.Seed = d.Seed
+	}
+	if rs.SampleInterval == 0 {
+		rs.SampleInterval = d.SampleInterval
+	}
+	if rs.LoadMetric == "" {
+		rs.LoadMetric = d.LoadMetric
+	}
+	if rs.GoalHopTime == 0 {
+		rs.GoalHopTime = d.GoalHopTime
+	}
+	if rs.RespHopTime == 0 {
+		rs.RespHopTime = d.RespHopTime
+	}
+}
+
+// validateSpec builds the spec's components, converting panics from
+// unknown kinds or bad parameters into errors.
+func validateSpec(rs RunSpec) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	rs.Topo.Build()
+	rs.Workload.Build()
+	rs.Strategy.Build()
+	return nil
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The parsers must return errors, never panic, on arbitrary input.
+
+func TestQuickParseTopoNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = ParseTopo(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickParseWorkloadNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = ParseWorkload(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickParseStrategyNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = ParseStrategy(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Structured fuzz: colon-joined fragments resembling real inputs.
+func TestQuickParseStructuredInputs(t *testing.T) {
+	kinds := []string{"grid", "torus", "dlm", "hypercube", "ring", "chordal", "single", "bogus", ""}
+	f := func(k uint8, a, b, c int8) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		s := kinds[int(k)%len(kinds)]
+		switch int(a) % 3 {
+		case 0:
+			s += ":" + itoa(int(b)) + "x" + itoa(int(c))
+		case 1:
+			s += ":" + itoa(int(b)) + ":" + itoa(int(c))
+		case 2:
+			s += ":" + itoa(int(b))
+		}
+		if spec, err := ParseTopo(s); err == nil {
+			// Parsed specs may still describe invalid machines (e.g.
+			// negative sizes); Build is allowed to panic for those, so
+			// only check the label is stable.
+			_ = spec.Label()
+			_ = spec.PEs()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(v int) string {
+	// tiny strconv.Itoa wrapper to keep the fuzz input printable
+	if v < 0 {
+		return "-" + itoa(-v)
+	}
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return itoa(v/10) + string(rune('0'+v%10))
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseTopo parses a topology argument of the form:
+//
+//	grid:RxC | torus:RxC | dlm:RxC:SPAN | hypercube:D |
+//	ring:N | complete:N | star:N | bus:N | single
+func ParseTopo(s string) (TopoSpec, error) {
+	parts := strings.Split(s, ":")
+	kind := parts[0]
+	dims := func(str string) (int, int, error) {
+		rc := strings.Split(str, "x")
+		if len(rc) != 2 {
+			return 0, 0, fmt.Errorf("want RxC, got %q", str)
+		}
+		r, err1 := strconv.Atoi(rc[0])
+		c, err2 := strconv.Atoi(rc[1])
+		if err1 != nil || err2 != nil {
+			return 0, 0, fmt.Errorf("bad dimensions %q", str)
+		}
+		return r, c, nil
+	}
+	switch kind {
+	case "grid", "torus":
+		if len(parts) != 2 {
+			return TopoSpec{}, fmt.Errorf("usage: %s:RxC", kind)
+		}
+		r, c, err := dims(parts[1])
+		if err != nil {
+			return TopoSpec{}, err
+		}
+		return TopoSpec{Kind: kind, Rows: r, Cols: c}, nil
+	case "dlm":
+		if len(parts) != 3 {
+			return TopoSpec{}, fmt.Errorf("usage: dlm:RxC:SPAN")
+		}
+		r, c, err := dims(parts[1])
+		if err != nil {
+			return TopoSpec{}, err
+		}
+		span, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return TopoSpec{}, fmt.Errorf("bad span %q", parts[2])
+		}
+		return TopoSpec{Kind: "dlm", Rows: r, Cols: c, Span: span}, nil
+	case "torus3d":
+		if len(parts) != 2 {
+			return TopoSpec{}, fmt.Errorf("usage: torus3d:XxYxZ")
+		}
+		xyz := strings.Split(parts[1], "x")
+		if len(xyz) != 3 {
+			return TopoSpec{}, fmt.Errorf("usage: torus3d:XxYxZ")
+		}
+		x, err1 := strconv.Atoi(xyz[0])
+		y, err2 := strconv.Atoi(xyz[1])
+		z, err3 := strconv.Atoi(xyz[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return TopoSpec{}, fmt.Errorf("bad dimensions %q", parts[1])
+		}
+		return TopoSpec{Kind: "torus3d", Rows: x, Cols: y, Z: z}, nil
+	case "chordal":
+		if len(parts) != 3 {
+			return TopoSpec{}, fmt.Errorf("usage: chordal:N:CHORD")
+		}
+		n, err1 := strconv.Atoi(parts[1])
+		c, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			return TopoSpec{}, fmt.Errorf("bad chordal args %q", s)
+		}
+		return TopoSpec{Kind: "chordal", N: n, Chord: c}, nil
+	case "hypercube":
+		if len(parts) != 2 {
+			return TopoSpec{}, fmt.Errorf("usage: hypercube:DIM")
+		}
+		d, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return TopoSpec{}, fmt.Errorf("bad dimension %q", parts[1])
+		}
+		return TopoSpec{Kind: "hypercube", Dim: d}, nil
+	case "ring", "complete", "star", "bus":
+		if len(parts) != 2 {
+			return TopoSpec{}, fmt.Errorf("usage: %s:N", kind)
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return TopoSpec{}, fmt.Errorf("bad size %q", parts[1])
+		}
+		return TopoSpec{Kind: kind, N: n}, nil
+	case "single":
+		return TopoSpec{Kind: "single"}, nil
+	default:
+		return TopoSpec{}, fmt.Errorf("unknown topology %q", kind)
+	}
+}
+
+// ParseWorkload parses a workload argument:
+//
+//	fib:M | dc:X | dc:M:N | binary:DEPTH | skew:N | chain:N | random:N:SEED
+func ParseWorkload(s string) (WorkloadSpec, error) {
+	parts := strings.Split(s, ":")
+	atoi := func(i int) (int, error) {
+		if i >= len(parts) {
+			return 0, fmt.Errorf("missing argument in %q", s)
+		}
+		return strconv.Atoi(parts[i])
+	}
+	switch parts[0] {
+	case "fib":
+		m, err := atoi(1)
+		if err != nil {
+			return WorkloadSpec{}, err
+		}
+		return Fib(m), nil
+	case "dc":
+		switch len(parts) {
+		case 2:
+			x, err := atoi(1)
+			if err != nil {
+				return WorkloadSpec{}, err
+			}
+			return DC(x), nil
+		case 3:
+			m, err1 := atoi(1)
+			n, err2 := atoi(2)
+			if err1 != nil || err2 != nil {
+				return WorkloadSpec{}, fmt.Errorf("bad dc range %q", s)
+			}
+			return WorkloadSpec{Kind: "dc", M: m, N: n}, nil
+		default:
+			return WorkloadSpec{}, fmt.Errorf("usage: dc:X or dc:M:N")
+		}
+	case "binary", "skew", "chain":
+		n, err := atoi(1)
+		if err != nil {
+			return WorkloadSpec{}, err
+		}
+		return WorkloadSpec{Kind: parts[0], N: n}, nil
+	case "random":
+		n, err := atoi(1)
+		if err != nil {
+			return WorkloadSpec{}, err
+		}
+		seed := 1
+		if len(parts) > 2 {
+			if seed, err = atoi(2); err != nil {
+				return WorkloadSpec{}, err
+			}
+		}
+		return WorkloadSpec{Kind: "random", N: n, Seed: int64(seed)}, nil
+	default:
+		return WorkloadSpec{}, fmt.Errorf("unknown workload %q", parts[0])
+	}
+}
+
+// ParseStrategy parses a strategy argument:
+//
+//	cwn:RADIUS:HORIZON | gm:LOW:HIGH:INTERVAL | acwn:RADIUS:HORIZON:SAT:INTERVAL |
+//	local | randomwalk:STEPS | roundrobin | worksteal:INTERVAL:THRESHOLD
+func ParseStrategy(s string) (StrategySpec, error) {
+	parts := strings.Split(s, ":")
+	nums := make([]int, 0, len(parts)-1)
+	for _, p := range parts[1:] {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return StrategySpec{}, fmt.Errorf("bad number %q in %q", p, s)
+		}
+		nums = append(nums, v)
+	}
+	need := func(n int, usage string) error {
+		if len(nums) != n {
+			return fmt.Errorf("usage: %s", usage)
+		}
+		return nil
+	}
+	switch parts[0] {
+	case "cwn":
+		if err := need(2, "cwn:RADIUS:HORIZON"); err != nil {
+			return StrategySpec{}, err
+		}
+		return CWN(nums[0], nums[1]), nil
+	case "gm":
+		if err := need(3, "gm:LOW:HIGH:INTERVAL"); err != nil {
+			return StrategySpec{}, err
+		}
+		return GM(nums[0], nums[1], int64(nums[2])), nil
+	case "acwn":
+		if err := need(4, "acwn:RADIUS:HORIZON:SAT:INTERVAL"); err != nil {
+			return StrategySpec{}, err
+		}
+		return ACWN(nums[0], nums[1], nums[2], int64(nums[3])), nil
+	case "local":
+		return StrategySpec{Kind: "local"}, nil
+	case "randomwalk":
+		if err := need(1, "randomwalk:STEPS"); err != nil {
+			return StrategySpec{}, err
+		}
+		return StrategySpec{Kind: "randomwalk", Steps: nums[0]}, nil
+	case "roundrobin":
+		return StrategySpec{Kind: "roundrobin"}, nil
+	case "worksteal":
+		if err := need(2, "worksteal:INTERVAL:THRESHOLD"); err != nil {
+			return StrategySpec{}, err
+		}
+		return StrategySpec{Kind: "worksteal", Interval: int64(nums[0]), Threshold: nums[1]}, nil
+	case "diffusion":
+		if err := need(1, "diffusion:INTERVAL"); err != nil {
+			return StrategySpec{}, err
+		}
+		return StrategySpec{Kind: "diffusion", Interval: int64(nums[0])}, nil
+	case "ideal":
+		return StrategySpec{Kind: "ideal"}, nil
+	default:
+		return StrategySpec{}, fmt.Errorf("unknown strategy %q", parts[0])
+	}
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import "fmt"
+
+// ResultSet indexes results by (workload, topology, strategy family) for
+// the table formatters.
+type ResultSet struct {
+	byKey map[string]*Result
+}
+
+func key(w WorkloadSpec, t TopoSpec, stratKind string) string {
+	return fmt.Sprintf("%s|%s|%s", w.Label(), t.Label(), stratKind)
+}
+
+// Index builds a ResultSet. When several results share a key (e.g.
+// repeated seeds) the last one wins.
+func Index(results []*Result) *ResultSet {
+	rs := &ResultSet{byKey: make(map[string]*Result, len(results))}
+	for _, r := range results {
+		rs.byKey[key(r.Spec.Workload, r.Spec.Topo, r.Spec.Strategy.Kind)] = r
+	}
+	return rs
+}
+
+// Get returns the result for a configuration, or nil.
+func (rs *ResultSet) Get(w WorkloadSpec, t TopoSpec, stratKind string) *Result {
+	return rs.byKey[key(w, t, stratKind)]
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"cwnsim/internal/machine"
+	"cwnsim/internal/sim"
+)
+
+// RunSpec is one complete simulation specification.
+type RunSpec struct {
+	Label          string       `json:"label,omitempty"`
+	Topo           TopoSpec     `json:"topo"`
+	Workload       WorkloadSpec `json:"workload"`
+	Strategy       StrategySpec `json:"strategy"`
+	Seed           int64        `json:"seed,omitempty"`           // default 1
+	SampleInterval int64        `json:"sampleInterval,omitempty"` // time-series sampling; 0 = off
+	MonitorPE      bool         `json:"monitorPE,omitempty"`      // per-PE frames (needs SampleInterval)
+	LoadMetric     string       `json:"loadMetric,omitempty"`     // "", "queue", "queue+pending"
+	GoalHopTime    int64        `json:"goalHopTime,omitempty"`    // override; 0 = default
+	RespHopTime    int64        `json:"respHopTime,omitempty"`
+}
+
+// Name returns a human-readable run identifier.
+func (rs RunSpec) Name() string {
+	if rs.Label != "" {
+		return rs.Label
+	}
+	return fmt.Sprintf("%s | %s | %s", rs.Strategy.Label(), rs.Topo.Label(), rs.Workload.Label())
+}
+
+// Config materializes the machine configuration for this run.
+func (rs RunSpec) Config() machine.Config {
+	cfg := machine.DefaultConfig()
+	if rs.Seed != 0 {
+		cfg.Seed = rs.Seed
+	}
+	cfg.SampleInterval = sim.Time(rs.SampleInterval)
+	cfg.MonitorPE = rs.MonitorPE
+	if rs.LoadMetric == "queue+pending" {
+		cfg.LoadMetric = machine.LoadQueuePlusPending
+	}
+	if rs.GoalHopTime > 0 {
+		cfg.GoalHopTime = sim.Time(rs.GoalHopTime)
+	}
+	if rs.RespHopTime > 0 {
+		cfg.RespHopTime = sim.Time(rs.RespHopTime)
+	}
+	return cfg
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Spec     RunSpec
+	Stats    *machine.Stats
+	Goals    int
+	Util     float64 // percent, the paper's y-axis
+	Speedup  float64
+	Bound    float64 // min(P, T1/T∞): the workload's speedup ceiling
+	Balance  float64 // Jain index over per-PE busy time
+	AvgHops  float64
+	Makespan sim.Time
+	Wall     time.Duration
+}
+
+// OfBound returns the measured speedup as a fraction of the workload's
+// parallelism ceiling on this machine size.
+func (r *Result) OfBound() float64 {
+	if r.Bound == 0 {
+		return 0
+	}
+	return r.Speedup / r.Bound
+}
+
+// Execute builds and runs the specified simulation synchronously.
+func (rs RunSpec) Execute() *Result {
+	topo := rs.Topo.Build()
+	tree := rs.Workload.Build()
+	strat := rs.Strategy.Build()
+	cfg := rs.Config()
+	start := time.Now()
+	st := machine.New(topo, tree, strat, cfg).Run()
+	if !st.Completed {
+		panic(fmt.Sprintf("experiments: run %q aborted at MaxTime — a goal was lost or the machine is misconfigured", rs.Name()))
+	}
+	bound := tree.MaxSpeedup(int64(cfg.GrainTime), int64(cfg.CombineTime))
+	if p := float64(topo.Size()); bound > p {
+		bound = p
+	}
+	return &Result{
+		Spec:     rs,
+		Stats:    st,
+		Goals:    tree.Count(),
+		Util:     st.UtilizationPercent(),
+		Speedup:  st.Speedup(),
+		Bound:    bound,
+		Balance:  st.BalanceIndex(),
+		AvgHops:  st.AvgGoalHops(),
+		Makespan: st.Makespan,
+		Wall:     time.Since(start),
+	}
+}
+
+// RunAll executes specs concurrently on up to workers goroutines
+// (workers <= 0 selects GOMAXPROCS) and returns results in spec order.
+// Each simulation is single-threaded and independent; parallelism across
+// runs is free determinism-wise.
+func RunAll(specs []RunSpec, workers int) []*Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	results := make([]*Result, len(specs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = specs[i].Execute()
+			}
+		}()
+	}
+	for i := range specs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,75 @@
+package machine
+
+import "cwnsim/internal/sim"
+
+// chanState models one communication channel (link or bus) as a serial
+// FIFO server: exactly one message occupies the channel at a time;
+// requests queue in arrival order. This mirrors ORACLE's "one process
+// per communication channel" contention model without materializing a
+// queue — because service is FIFO and non-preemptive, tracking the time
+// the channel frees up is sufficient.
+type chanState struct {
+	id        int
+	members   []int
+	busyUntil sim.Time
+	busyTotal sim.Time
+	messages  int64
+}
+
+// MsgKind classifies traffic for accounting.
+type MsgKind uint8
+
+const (
+	// MsgGoal is a goal (new work) message.
+	MsgGoal MsgKind = iota
+	// MsgResponse is a completed goal's value travelling to its parent.
+	MsgResponse
+	// MsgLoad is the short periodic load-information word.
+	MsgLoad
+	// MsgControl is a strategy control message (e.g. GM proximity).
+	MsgControl
+	numMsgKinds
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgGoal:
+		return "goal"
+	case MsgResponse:
+		return "response"
+	case MsgLoad:
+		return "load"
+	case MsgControl:
+		return "control"
+	default:
+		return "unknown"
+	}
+}
+
+// transmit occupies the channel for dur units starting when it next
+// frees up, then invokes deliver. Returns the delivery time.
+func (m *Machine) transmit(ch *chanState, dur sim.Time, deliver func()) sim.Time {
+	start := m.eng.Now()
+	if ch.busyUntil > start {
+		start = ch.busyUntil
+	}
+	end := start + dur
+	ch.busyUntil = end
+	ch.busyTotal += dur
+	ch.messages++
+	m.eng.At(end, deliver)
+	return end
+}
+
+// pickChannel returns the least-backlogged channel among the candidates
+// (channel IDs), breaking ties toward the lower ID. Bus topologies give
+// a PE pair up to two parallel buses; links give exactly one.
+func (m *Machine) pickChannel(candidates []int) *chanState {
+	best := m.chans[candidates[0]]
+	for _, ci := range candidates[1:] {
+		if m.chans[ci].busyUntil < best.busyUntil {
+			best = m.chans[ci]
+		}
+	}
+	return best
+}

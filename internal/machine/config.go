@@ -1,0 +1,152 @@
+package machine
+
+import (
+	"fmt"
+
+	"cwnsim/internal/sim"
+	"cwnsim/internal/trace"
+)
+
+// LoadMetric selects how a PE's advertised load is computed.
+type LoadMetric int
+
+const (
+	// LoadQueue counts the messages (goals + responses) waiting in the
+	// ready queue — the paper's measure.
+	LoadQueue LoadMetric = iota
+	// LoadQueuePlusPending adds the number of tasks blocked awaiting
+	// responses: the "future commitments" refinement the paper's
+	// conclusions propose after observing the extended tail in Plot 11.
+	LoadQueuePlusPending
+)
+
+func (m LoadMetric) String() string {
+	switch m {
+	case LoadQueue:
+		return "queue"
+	case LoadQueuePlusPending:
+		return "queue+pending"
+	default:
+		return fmt.Sprintf("LoadMetric(%d)", int(m))
+	}
+}
+
+// Config holds the machine's charged times and policies. All durations
+// are in abstract simulation units, as in the paper. Use DefaultConfig
+// and override fields as needed.
+type Config struct {
+	// Seed drives every random choice in the run (tie-breaks, ticker
+	// phases). Equal seeds give identical runs.
+	Seed int64
+
+	// GrainTime is the PE service time to execute one goal body
+	// (multiplied by the task's Work factor).
+	GrainTime sim.Time
+	// CombineTime is the PE service time to integrate one response
+	// message into its waiting parent task.
+	CombineTime sim.Time
+
+	// GoalHopTime is the channel occupancy for one hop of a goal
+	// message; RespHopTime likewise for responses and CtrlHopTime for
+	// the "very short" load/control words. The paper chose these low
+	// relative to GrainTime so that communication stagnation does not
+	// interfere with the load-distribution comparison.
+	GoalHopTime sim.Time
+	RespHopTime sim.Time
+	CtrlHopTime sim.Time
+
+	// LoadInterval is the period of each PE's load-information broadcast
+	// to its neighbors; <= 0 disables periodic broadcasts (piggybacking
+	// may still propagate loads).
+	LoadInterval sim.Time
+	// PiggybackLoad stamps the sender's current load on every message,
+	// updating the receiver's view on delivery — the paper's
+	// optimization.
+	PiggybackLoad bool
+	// LoadMetric selects the advertised load definition.
+	LoadMetric LoadMetric
+
+	// SampleInterval is the utilization time-series sampling period
+	// (plots 11-16); <= 0 disables sampling.
+	SampleInterval sim.Time
+	// MonitorPE additionally records every PE's utilization at each
+	// sample — ORACLE's load-distribution monitor (requires
+	// SampleInterval > 0). Frames land in Stats.Monitor.
+	MonitorPE bool
+	// Trace receives lifecycle events (goal created/sent/accepted/
+	// executed, responses). nil disables tracing.
+	Trace trace.Sink
+
+	// RootPE is where the root goal is injected.
+	RootPE int
+
+	// MaxTime aborts a run that has not completed by this virtual time
+	// (a safety net; completed runs stop at root-response delivery).
+	MaxTime sim.Time
+
+	// StaggerTicks randomizes each periodic process's phase within its
+	// first period, so the PEs' asynchronous processes do not fire in
+	// lockstep. Drawn from the run's seeded stream.
+	StaggerTicks bool
+
+	// PESpeeds optionally makes the machine heterogeneous: PE i's
+	// service times are divided by PESpeeds[i] (1.0 = nominal, 0.5 =
+	// half speed). nil means uniform speed — the paper's setting. An
+	// extension knob: load balancing on heterogeneous machines.
+	PESpeeds []float64
+}
+
+// DefaultConfig returns the parameters used for the paper reproduction:
+// grain 10, combine 5, goal/response hop 2, control hop 1, load and
+// gradient intervals 20 (the paper's "fairly low" 20 units against total
+// execution times of 1000-23000), piggybacking on.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		GrainTime:      10,
+		CombineTime:    5,
+		GoalHopTime:    2,
+		RespHopTime:    2,
+		CtrlHopTime:    1,
+		LoadInterval:   20,
+		PiggybackLoad:  true,
+		LoadMetric:     LoadQueue,
+		SampleInterval: 0,
+		RootPE:         0,
+		MaxTime:        2_000_000,
+		StaggerTicks:   true,
+	}
+}
+
+// validate panics on configurations that would make the simulation
+// meaningless.
+func (c *Config) validate(numPEs int) {
+	if c.GrainTime <= 0 {
+		panic("machine: GrainTime must be positive")
+	}
+	if c.CombineTime <= 0 {
+		panic("machine: CombineTime must be positive")
+	}
+	if c.GoalHopTime <= 0 || c.RespHopTime <= 0 || c.CtrlHopTime <= 0 {
+		panic("machine: hop times must be positive")
+	}
+	if c.RootPE < 0 || c.RootPE >= numPEs {
+		panic(fmt.Sprintf("machine: RootPE %d out of range [0,%d)", c.RootPE, numPEs))
+	}
+	if c.MaxTime <= 0 {
+		panic("machine: MaxTime must be positive")
+	}
+	if c.PESpeeds != nil {
+		if len(c.PESpeeds) != numPEs {
+			panic(fmt.Sprintf("machine: PESpeeds has %d entries for %d PEs", len(c.PESpeeds), numPEs))
+		}
+		for i, s := range c.PESpeeds {
+			if s <= 0 {
+				panic(fmt.Sprintf("machine: PESpeeds[%d] = %f must be positive", i, s))
+			}
+		}
+	}
+	if c.MonitorPE && c.SampleInterval <= 0 {
+		panic("machine: MonitorPE requires SampleInterval > 0")
+	}
+}

@@ -1,0 +1,23 @@
+// Package machine is the multiprocessor model — the Go equivalent of
+// ORACLE, the simulator the paper's experiments ran on. It simulates a
+// message-passing machine: processing elements (PEs) that serve one
+// message at a time from a FIFO ready queue, and communication channels
+// (point-to-point links or multi-drop buses) that carry one message at a
+// time, so both compute and communication contention are modelled.
+//
+// The computation model follows Section 2 of the paper: a goal executes
+// for a grain time and either completes (sending a response to its
+// parent's PE) or spawns sub-goals and waits for their responses; a task
+// never migrates after spawning. Where each new goal executes is decided
+// by a pluggable Strategy (package core provides CWN, the Gradient Model
+// and several baselines). As the paper assumes, a communication
+// co-processor performs routing and load-balancing work, so strategy
+// decisions consume channel time but no PE compute time.
+//
+// A PE's "load" is the number of messages waiting in its ready queue —
+// the paper's measure — optionally augmented with the count of tasks
+// awaiting responses (the "future commitments" refinement from the
+// paper's conclusions). Load information travels to neighbors through
+// periodic short broadcasts and, optionally, piggybacked on every
+// regular message.
+package machine

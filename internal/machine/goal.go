@@ -1,0 +1,64 @@
+package machine
+
+import (
+	"cwnsim/internal/sim"
+	"cwnsim/internal/workload"
+)
+
+// Goal is one task instance in flight: the unit of load distribution.
+// A goal is created on the PE executing its parent, placed by the
+// strategy (possibly travelling several hops), accepted by exactly one
+// PE, executed there once, and never moved again.
+type Goal struct {
+	// ID is unique within a run, in creation order (0 = root).
+	ID int64
+	// Task is the immutable tree node this goal evaluates.
+	Task *workload.Task
+	// Origin is the PE on which the goal was created.
+	Origin int
+	// ParentPE is where the parent task waits; responses are routed
+	// there. -1 for the root goal.
+	ParentPE int
+	// ParentID is the parent goal's ID (-1 for the root).
+	ParentID int64
+	// Hops counts link/bus traversals so far — the paper's "count field
+	// that says how many hops the message has travelled from the
+	// source". For CWN it includes backtracking, so it can exceed the
+	// final topological distance from Origin.
+	Hops int
+	// CreatedAt and AcceptedAt record virtual times for agility stats.
+	CreatedAt  sim.Time
+	AcceptedAt sim.Time
+}
+
+// response carries a completed goal's value back to its parent task.
+type response struct {
+	dstPE  int   // the parent's PE
+	goalID int64 // the *parent* goal awaiting this value
+	value  int64
+	hops   int
+}
+
+// itemKind discriminates ready-queue entries.
+type itemKind uint8
+
+const (
+	itemGoal itemKind = iota
+	itemResponse
+)
+
+// item is one entry in a PE's ready queue: a message waiting to be
+// processed (the paper's definition of load).
+type item struct {
+	kind itemKind
+	goal *Goal
+	resp response
+}
+
+// pendingTask is a task that has spawned children and awaits their
+// responses. It never migrates (Section 2 of the paper).
+type pendingTask struct {
+	goal      *Goal
+	remaining int
+	vals      []int64
+}

@@ -1,0 +1,298 @@
+package machine
+
+import (
+	"cwnsim/internal/sim"
+	"cwnsim/internal/topology"
+	"cwnsim/internal/trace"
+	"cwnsim/internal/workload"
+)
+
+// Machine wires a topology, a workload tree and a strategy into one
+// runnable simulation. Build with New, run once with Run.
+type Machine struct {
+	eng   *sim.Engine
+	topo  *topology.Topology
+	cfg   Config
+	strat Strategy
+	tree  *workload.Tree
+
+	pes   []*PE
+	chans []*chanState
+	stats *Stats
+
+	nextGoalID int64
+	completed  bool
+	finishedAt sim.Time
+	result     int64
+
+	prevBusySample sim.Time
+	prevBusyPerPE  []sim.Time
+	frameBuf       []float64
+}
+
+// emit records a trace event if tracing is enabled.
+func (m *Machine) emit(kind trace.Kind, pe, other int, goal int64) {
+	if m.cfg.Trace != nil {
+		m.cfg.Trace.Record(trace.Event{At: m.eng.Now(), Kind: kind, PE: pe, Other: other, Goal: goal})
+	}
+}
+
+// New constructs a machine. The tree and topology are read-only and may
+// be shared across machines; the strategy value must be fresh per run if
+// it carries mutable global state (the core package strategies are
+// stateless templates and safe to reuse).
+func New(topo *topology.Topology, tree *workload.Tree, strat Strategy, cfg Config) *Machine {
+	cfg.validate(topo.Size())
+	m := &Machine{
+		eng:   sim.NewEngine(cfg.Seed),
+		topo:  topo,
+		cfg:   cfg,
+		strat: strat,
+		tree:  tree,
+	}
+	m.stats = newStats(topo, tree, strat.Name())
+
+	m.chans = make([]*chanState, len(topo.Channels()))
+	for i, ch := range topo.Channels() {
+		m.chans[i] = &chanState{id: ch.ID, members: ch.Members}
+	}
+
+	m.pes = make([]*PE, topo.Size())
+	for i := range m.pes {
+		nbrs := topo.Neighbors(i)
+		pe := &PE{
+			m:        m,
+			id:       i,
+			pending:  make(map[int64]*pendingTask),
+			nbrs:     nbrs,
+			nbrIndex: make(map[int]int, len(nbrs)),
+			nbrLoad:  make([]int32, len(nbrs)),
+			nbrSeen:  make([]sim.Time, len(nbrs)),
+		}
+		for j, nb := range nbrs {
+			pe.nbrIndex[nb] = j
+			pe.nbrSeen[j] = -1
+		}
+		m.pes[i] = pe
+	}
+
+	strat.Setup(m)
+	for _, pe := range m.pes {
+		pe.node = strat.NewNode(pe)
+		if pe.node == nil {
+			panic("machine: strategy returned nil NodeStrategy")
+		}
+	}
+
+	// Periodic load-information broadcast (the machine-level mechanism
+	// CWN relies on; strategies may layer their own control traffic).
+	if cfg.LoadInterval > 0 {
+		for _, pe := range m.pes {
+			pe := pe
+			m.NewTicker(pe, cfg.LoadInterval, func() { m.broadcastLoad(pe) })
+		}
+	}
+
+	if cfg.SampleInterval > 0 {
+		if cfg.MonitorPE {
+			m.prevBusyPerPE = make([]sim.Time, len(m.pes))
+			m.frameBuf = make([]float64, len(m.pes))
+		}
+		m.NewTicker(nil, cfg.SampleInterval, m.sample)
+	}
+	return m
+}
+
+// Engine exposes the discrete-event engine (e.g. for Now or the seeded
+// random stream).
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// Topology returns the interconnection network.
+func (m *Machine) Topology() *topology.Topology { return m.topo }
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Tree returns the workload being executed.
+func (m *Machine) Tree() *workload.Tree { return m.tree }
+
+// NumPEs returns the machine size.
+func (m *Machine) NumPEs() int { return len(m.pes) }
+
+// PE returns processing element i.
+func (m *Machine) PE(i int) *PE { return m.pes[i] }
+
+// Completed reports whether the root response has been delivered.
+func (m *Machine) Completed() bool { return m.completed }
+
+// NewTicker registers a periodic process. When StaggerTicks is set the
+// phase is drawn uniformly from the first period (per registration, from
+// the run's seeded stream) so PEs do not act in lockstep; pe is only
+// used to document ownership and may be nil for machine-level processes.
+func (m *Machine) NewTicker(pe *PE, period sim.Time, fn func()) *sim.Ticker {
+	var phase sim.Time
+	if m.cfg.StaggerTicks && period > 1 {
+		phase = sim.Time(m.eng.Rng().Int63n(int64(period)))
+	}
+	return sim.NewTicker(m.eng, period, phase, fn)
+}
+
+// newGoal mints a goal for task, created on PE origin for parent goal
+// parentID living on parentPE.
+func (m *Machine) newGoal(task *workload.Task, parentPE int, parentID int64) *Goal {
+	g := &Goal{
+		ID:        m.nextGoalID,
+		Task:      task,
+		Origin:    parentPE,
+		ParentPE:  parentPE,
+		ParentID:  parentID,
+		CreatedAt: m.eng.Now(),
+	}
+	m.nextGoalID++
+	if parentPE >= 0 {
+		m.emit(trace.GoalCreated, parentPE, -1, g.ID)
+	}
+	return g
+}
+
+// broadcastLoad sends this PE's current load to all neighbors: one
+// transaction per attached channel (a single bus transaction reaches all
+// bus-mates).
+func (m *Machine) broadcastLoad(pe *PE) {
+	load := pe.Load()
+	m.broadcast(pe, MsgLoad, m.cfg.CtrlHopTime, func(dst *PE, from int) {
+		dst.noteLoad(from, load)
+	})
+}
+
+// broadcast performs one transmission per channel attached to pe,
+// delivering to every other channel member. A neighbor reachable via two
+// channels (a double-lattice pair) hears the broadcast twice; deliveries
+// must therefore be idempotent, which load and proximity updates are.
+func (m *Machine) broadcast(pe *PE, kind MsgKind, dur sim.Time, deliver func(dst *PE, from int)) {
+	from := pe.id
+	for _, ci := range m.topo.ChannelsOf(from) {
+		ch := m.chans[ci]
+		m.stats.MsgCounts[kind]++
+		m.transmit(ch, dur, func() {
+			for _, member := range ch.members {
+				if member != from {
+					deliver(m.pes[member], from)
+				}
+			}
+		})
+	}
+}
+
+// respond sends goal g's computed value from the PE that executed it
+// back to the parent's PE (or completes the run for the root goal).
+func (m *Machine) respond(fromPE int, g *Goal, value int64) {
+	if g.ParentPE < 0 {
+		m.result = value
+		m.completed = true
+		m.finishedAt = m.eng.Now()
+		m.eng.Stop()
+		return
+	}
+	m.emit(trace.RespSent, fromPE, g.ParentPE, g.ID)
+	m.routeResponse(fromPE, response{dstPE: g.ParentPE, goalID: g.ParentID, value: value})
+}
+
+// routeResponse moves a response one shortest-path hop at a time toward
+// its destination PE, charging each channel. Forwarding happens on the
+// co-processor: no PE compute time.
+func (m *Machine) routeResponse(cur int, r response) {
+	if cur == r.dstPE {
+		m.stats.RespHops.Add(r.hops)
+		m.emit(trace.RespDelivered, cur, -1, r.goalID)
+		m.pes[cur].enqueue(item{kind: itemResponse, resp: r})
+		return
+	}
+	next := m.topo.NextHop(cur, r.dstPE)
+	chs := m.topo.ChannelsBetween(cur, next)
+	ch := m.pickChannel(chs)
+	m.stats.MsgCounts[MsgResponse]++
+	r.hops++
+	sentLoad := m.pes[cur].Load()
+	m.transmit(ch, m.cfg.RespHopTime, func() {
+		if m.cfg.PiggybackLoad {
+			m.pes[next].noteLoad(cur, sentLoad)
+		}
+		m.routeResponse(next, r)
+	})
+}
+
+// sample appends one utilization time-series point: the fraction of
+// PE-time spent busy during the window just ended, as a percentage
+// (matching the paper's plots 11-16).
+func (m *Machine) sample() {
+	var busy sim.Time
+	for _, pe := range m.pes {
+		busy += pe.committedBusy()
+	}
+	window := m.cfg.SampleInterval * sim.Time(len(m.pes))
+	util := 100 * float64(busy-m.prevBusySample) / float64(window)
+	m.prevBusySample = busy
+	m.stats.Timeline.Add(float64(m.eng.Now()), util)
+
+	if m.prevBusyPerPE != nil {
+		for i, pe := range m.pes {
+			b := pe.committedBusy()
+			m.frameBuf[i] = float64(b-m.prevBusyPerPE[i]) / float64(m.cfg.SampleInterval)
+			m.prevBusyPerPE[i] = b
+		}
+		m.stats.Monitor.Append(m.eng.Now(), m.frameBuf)
+	}
+}
+
+// committedBusy returns busy time accrued up to now (excluding the not
+// yet elapsed remainder of an in-service message).
+func (pe *PE) committedBusy() sim.Time {
+	b := pe.busyTime
+	if pe.busy && pe.serviceEnd > pe.m.eng.Now() {
+		b -= pe.serviceEnd - pe.m.eng.Now()
+	}
+	return b
+}
+
+// Run executes the simulation until the root response is delivered (or
+// MaxTime elapses) and returns the collected statistics. A machine runs
+// exactly once.
+func (m *Machine) Run() *Stats {
+	if m.stats.Makespan != 0 || m.eng.Now() != 0 {
+		panic("machine: Run called twice")
+	}
+	root := m.newGoal(m.tree.Root, -1, -1)
+	root.Origin = m.cfg.RootPE
+	m.emit(trace.GoalCreated, m.cfg.RootPE, -1, root.ID)
+	// The root goal arrives from the outside world: it is accepted at
+	// RootPE directly rather than placed by the strategy, so both
+	// competitors start from the identical state.
+	m.pes[m.cfg.RootPE].Accept(root)
+
+	m.eng.RunUntil(m.cfg.MaxTime)
+	m.finalize()
+	return m.stats
+}
+
+func (m *Machine) finalize() {
+	s := m.stats
+	s.Completed = m.completed
+	s.Result = m.result
+	if m.completed {
+		s.Makespan = m.finishedAt
+	} else {
+		s.Makespan = m.eng.Now()
+	}
+	s.Events = m.eng.Processed()
+	for i, pe := range m.pes {
+		b := pe.committedBusy()
+		s.BusyPerPE[i] = b
+		s.TotalBusy += b
+		s.GoalsPerPE[i] = pe.goalsExecuted
+	}
+	for i, ch := range m.chans {
+		s.ChannelBusy[i] = ch.busyTotal
+		s.ChannelMsgs[i] = ch.messages
+	}
+}

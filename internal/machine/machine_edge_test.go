@@ -1,0 +1,206 @@
+package machine_test
+
+import (
+	"testing"
+
+	"cwnsim/internal/core"
+	"cwnsim/internal/machine"
+	"cwnsim/internal/topology"
+	"cwnsim/internal/trace"
+	"cwnsim/internal/workload"
+)
+
+// TestResponseHopsEqualTopologicalDistance uses the trace to verify
+// each response travels exactly Dist(executor, parent) hops.
+func TestResponseHopsEqualTopologicalDistance(t *testing.T) {
+	tree := workload.NewFib(9)
+	topo := topology.NewGrid(4, 4)
+	var col trace.Collector
+	cfg := machine.DefaultConfig()
+	cfg.Trace = &col
+	st := machine.New(topo, tree, core.NewCWN(5, 1), cfg).Run()
+	if !st.Completed {
+		t.Fatal("incomplete")
+	}
+	// Reconstruct: RespSent at the executing PE, with Other = parent PE.
+	var totalDist int64
+	for _, ev := range col.ByKind(trace.RespSent) {
+		totalDist += int64(topo.Dist(ev.PE, ev.Other))
+	}
+	var histSum int64
+	for h := 0; h <= st.RespHops.Max(); h++ {
+		histSum += int64(h) * st.RespHops.Count(h)
+	}
+	if totalDist != histSum {
+		t.Fatalf("response hops %d != sum of shortest distances %d", histSum, totalDist)
+	}
+}
+
+// TestGMControlTrafficCounted verifies proximity broadcasts appear in
+// the control message counters and cost channel time.
+func TestGMControlTrafficCounted(t *testing.T) {
+	tree := workload.NewFib(11)
+	cfg := machine.DefaultConfig()
+	st := machine.New(topology.NewGrid(4, 4), tree, core.NewGradient(1, 2, 20), cfg).Run()
+	if !st.Completed {
+		t.Fatal("incomplete")
+	}
+	if st.MsgCounts[machine.MsgControl] == 0 {
+		t.Error("GM sent no proximity broadcasts")
+	}
+}
+
+// TestBusSaturationStillCorrect pushes a large workload over a single
+// shared bus: extreme contention, but conservation and the result must
+// hold, and the bus must not exceed 100% utilization.
+func TestBusSaturationStillCorrect(t *testing.T) {
+	tree := workload.NewFib(12)
+	cfg := machine.DefaultConfig()
+	st := machine.New(topology.NewBusGlobal(8), tree, core.NewCWN(2, 1), cfg).Run()
+	if !st.Completed {
+		t.Fatal("incomplete")
+	}
+	if st.Result != tree.Eval() {
+		t.Fatalf("result %d, want %d", st.Result, tree.Eval())
+	}
+	if st.GoalsExecuted != int64(tree.Count()) {
+		t.Fatalf("executed %d, want %d", st.GoalsExecuted, tree.Count())
+	}
+	if u := st.MaxChannelUtilization(); u > 1.0000001 {
+		t.Fatalf("bus utilization %f > 1", u)
+	}
+	if u := st.MaxChannelUtilization(); u < 0.3 {
+		t.Errorf("expected a heavily loaded bus, got %.2f", u)
+	}
+}
+
+// TestLoadInfoStaleness verifies the KnownLoad timestamp advances with
+// periodic broadcasts.
+func TestLoadInfoStaleness(t *testing.T) {
+	tree := workload.NewFib(10)
+	topo := topology.NewGrid(2, 2)
+	cfg := machine.DefaultConfig()
+	cfg.PiggybackLoad = false
+	cfg.LoadInterval = 20
+	m := machine.New(topo, tree, core.NewLocal(), cfg)
+	pe := m.PE(1)
+	m.Engine().Schedule(100, func() {
+		_, seen := pe.KnownLoad(0)
+		if seen < 0 {
+			t.Error("no load broadcast heard by t=100 with interval 20")
+		}
+		if seen > 100 {
+			t.Errorf("seen time %d in the future", seen)
+		}
+	})
+	m.Run()
+}
+
+// TestPEAccessors covers the remaining PE accessors.
+func TestPEAccessors(t *testing.T) {
+	tree := workload.NewFib(5)
+	m := machine.New(topology.NewGrid(2, 2), tree, core.NewLocal(), machine.DefaultConfig())
+	pe := m.PE(0)
+	if pe.ID() != 0 {
+		t.Error("ID")
+	}
+	if pe.Machine() != m {
+		t.Error("Machine")
+	}
+	if pe.Now() != 0 {
+		t.Error("Now")
+	}
+	if got := len(pe.Neighbors()); got != 2 {
+		t.Errorf("corner of 2x2 grid has %d neighbors, want 2", got)
+	}
+	if pe.Node() == nil {
+		t.Error("Node nil")
+	}
+	if m.Tree() != tree {
+		t.Error("Tree")
+	}
+	if m.Config().GrainTime != 10 {
+		t.Error("Config")
+	}
+	if m.Completed() {
+		t.Error("Completed before run")
+	}
+}
+
+// TestMsgCountsByKind checks accounting sanity under CWN: every goal
+// hop and response hop is one message; load words flow periodically.
+func TestMsgCountsByKind(t *testing.T) {
+	tree := workload.NewFib(10)
+	var col trace.Collector
+	cfg := machine.DefaultConfig()
+	cfg.Trace = &col
+	st := machine.New(topology.NewGrid(4, 4), tree, core.NewCWN(4, 1), cfg).Run()
+	if !st.Completed {
+		t.Fatal("incomplete")
+	}
+	if int64(col.Count(trace.GoalSent)) != st.MsgCounts[machine.MsgGoal] {
+		t.Errorf("goal sends traced %d != counted %d", col.Count(trace.GoalSent), st.MsgCounts[machine.MsgGoal])
+	}
+	var hopSum int64
+	for h := 0; h <= st.GoalHops.Max(); h++ {
+		hopSum += int64(h) * st.GoalHops.Count(h)
+	}
+	if hopSum != st.MsgCounts[machine.MsgGoal] {
+		t.Errorf("goal hop-sum %d != goal messages %d", hopSum, st.MsgCounts[machine.MsgGoal])
+	}
+	if st.MsgCounts[machine.MsgLoad] == 0 {
+		t.Error("no periodic load messages despite LoadInterval=20")
+	}
+}
+
+// TestGoalsPerPEConservation: the per-PE execution counts partition the
+// goal total.
+func TestGoalsPerPEConservation(t *testing.T) {
+	tree := workload.NewFib(11)
+	st := machine.New(topology.NewGrid(4, 4), tree, core.NewCWN(4, 1), machine.DefaultConfig()).Run()
+	if !st.Completed {
+		t.Fatal("incomplete")
+	}
+	var sum int64
+	for _, n := range st.GoalsPerPE {
+		sum += n
+	}
+	if sum != st.GoalsExecuted || sum != int64(tree.Count()) {
+		t.Fatalf("per-PE sum %d, GoalsExecuted %d, tree %d", sum, st.GoalsExecuted, tree.Count())
+	}
+}
+
+// TestQueueDelayShowsHoarding measures the paper's hoarding effect as
+// queueing delay: GM's accepted goals wait in queues far longer than
+// CWN's on a grid (work piles up where it was created).
+func TestQueueDelayShowsHoarding(t *testing.T) {
+	tree := workload.NewFib(13)
+	topo := topology.NewGrid(5, 5)
+	cwn := machine.New(topo, tree, core.PaperCWNGrid(), machine.DefaultConfig()).Run()
+	gm := machine.New(topo, tree, core.PaperGMGrid(), machine.DefaultConfig()).Run()
+	if !cwn.Completed || !gm.Completed {
+		t.Fatal("incomplete")
+	}
+	if gm.QueueDelay.Mean() <= cwn.QueueDelay.Mean() {
+		t.Errorf("GM mean queue delay %.1f <= CWN %.1f — hoarding signature missing",
+			gm.QueueDelay.Mean(), cwn.QueueDelay.Mean())
+	}
+	if cwn.QueueDelay.N() != int64(tree.Count()) {
+		t.Errorf("delay samples %d, want %d", cwn.QueueDelay.N(), tree.Count())
+	}
+	if cwn.QueueDelay.Min() < 0 {
+		t.Error("negative queue delay")
+	}
+}
+
+// TestRouteGoalAPI exercises multi-hop goal routing directly.
+func TestRouteGoalAPI(t *testing.T) {
+	tree := workload.NewFib(9)
+	st := machine.New(topology.NewRing(6), tree, core.NewIdeal(), machine.DefaultConfig()).Run()
+	if !st.Completed {
+		t.Fatal("incomplete")
+	}
+	if st.Result != tree.Eval() {
+		t.Fatalf("result %d, want %d", st.Result, tree.Eval())
+	}
+}

@@ -1,0 +1,369 @@
+package machine
+
+import (
+	"fmt"
+
+	"cwnsim/internal/sim"
+	"cwnsim/internal/trace"
+)
+
+// PE is one processing element. It serves one ready-queue message at a
+// time (goal execution or response integration); all fields are managed
+// by the machine, and strategies interact through the exported methods.
+type PE struct {
+	m  *Machine
+	id int
+
+	ready      []item // FIFO ready queue; index 0 is the head
+	head       int    // index of the queue head within ready
+	busy       bool
+	serviceEnd sim.Time // when the in-service message finishes (valid while busy)
+	pending    map[int64]*pendingTask
+
+	nbrs     []int       // cached topology neighbors, ascending
+	nbrIndex map[int]int // PE id -> index into nbrs
+	nbrLoad  []int32     // last known load per neighbor (assumed 0 initially)
+	nbrSeen  []sim.Time  // when that load was learned (-1 = never)
+
+	node NodeStrategy // strategy state for this PE (set after construction)
+
+	// accounting
+	busyTime       sim.Time
+	goalsExecuted  int64
+	goalsAccepted  int64
+	respIntegrated int64
+}
+
+// ID returns the PE's index, 0..P-1.
+func (pe *PE) ID() int { return pe.id }
+
+// Node returns the PE's strategy state (for inspection and tests).
+func (pe *PE) Node() NodeStrategy { return pe.node }
+
+// Machine returns the owning machine.
+func (pe *PE) Machine() *Machine { return pe.m }
+
+// Now returns the current virtual time.
+func (pe *PE) Now() sim.Time { return pe.m.eng.Now() }
+
+// Load returns this PE's advertised load under the configured metric.
+func (pe *PE) Load() int {
+	load := pe.queueLen()
+	if pe.m.cfg.LoadMetric == LoadQueuePlusPending {
+		load += len(pe.pending)
+	}
+	return load
+}
+
+// queueLen returns the number of messages waiting (not counting one in
+// service) — the paper's base load measure.
+func (pe *PE) queueLen() int { return len(pe.ready) - pe.head }
+
+// QueuedGoals returns how many ready-queue entries are unstarted goals
+// (exportable work, as opposed to responses which must be handled
+// locally).
+func (pe *PE) QueuedGoals() int {
+	n := 0
+	for i := pe.head; i < len(pe.ready); i++ {
+		if pe.ready[i].kind == itemGoal {
+			n++
+		}
+	}
+	return n
+}
+
+// PendingTasks returns the number of local tasks awaiting responses —
+// the "future commitments" component of the refined load metric.
+func (pe *PE) PendingTasks() int { return len(pe.pending) }
+
+// Neighbors returns the PE's neighbors in ascending order. Callers must
+// not modify the slice.
+func (pe *PE) Neighbors() []int { return pe.nbrs }
+
+// KnownLoad returns the most recently learned load of neighbor nbrPE and
+// the time it was learned (-1 if never; loads are assumed 0 until first
+// heard, as the paper assumes for proximities).
+func (pe *PE) KnownLoad(nbrPE int) (load int, seenAt sim.Time) {
+	i, ok := pe.nbrIndex[nbrPE]
+	if !ok {
+		panic(fmt.Sprintf("machine: PE %d is not a neighbor of PE %d", nbrPE, pe.id))
+	}
+	return int(pe.nbrLoad[i]), pe.nbrSeen[i]
+}
+
+// noteLoad records a load observation for neighbor nbrPE.
+func (pe *PE) noteLoad(nbrPE int, load int) {
+	if i, ok := pe.nbrIndex[nbrPE]; ok {
+		pe.nbrLoad[i] = int32(load)
+		pe.nbrSeen[i] = pe.m.eng.Now()
+	}
+}
+
+// LeastLoadedNeighbor returns the neighbor with the smallest known load.
+// Ties are broken uniformly at random from the run's seeded stream (so
+// repeated forwarding does not systematically favor low PE numbers).
+// Returns (-1, 0) when the PE has no neighbors.
+func (pe *PE) LeastLoadedNeighbor() (nbrPE, load int) {
+	if len(pe.nbrs) == 0 {
+		return -1, 0
+	}
+	best := int32(1<<31 - 1)
+	count := 0
+	choice := -1
+	for i, nb := range pe.nbrs {
+		l := pe.nbrLoad[i]
+		switch {
+		case l < best:
+			best, count, choice = l, 1, nb
+		case l == best:
+			count++
+			if pe.m.eng.Rng().Intn(count) == 0 {
+				choice = nb
+			}
+		}
+	}
+	return choice, int(best)
+}
+
+// MinNeighborLoad returns the smallest known neighbor load, or 0 when
+// the PE has no neighbors.
+func (pe *PE) MinNeighborLoad() int {
+	if len(pe.nbrs) == 0 {
+		return 0
+	}
+	best := pe.nbrLoad[0]
+	for _, l := range pe.nbrLoad[1:] {
+		if l < best {
+			best = l
+		}
+	}
+	return int(best)
+}
+
+// Accept places the goal in this PE's ready queue. Under CWN acceptance
+// is final ("a goal, once it is accepted by a PE, remains there");
+// strategies with re-distribution (GM, ACWN) may later pluck a still
+// queued goal back out with TakeNewestQueuedGoal, so travel-distance
+// statistics are recorded when the goal finally executes, not here.
+func (pe *PE) Accept(g *Goal) {
+	g.AcceptedAt = pe.m.eng.Now()
+	pe.goalsAccepted++
+	pe.m.emit(trace.GoalAccepted, pe.id, -1, g.ID)
+	pe.enqueue(item{kind: itemGoal, goal: g})
+}
+
+// SendGoal forwards the goal one hop to neighbor `to`, charging the
+// connecting channel. On delivery the receiving strategy's GoalArrived
+// runs. The hop counter increments — including when a goal is bounced
+// back where it came from, matching the paper's travel-distance
+// accounting.
+func (pe *PE) SendGoal(to int, g *Goal) {
+	m := pe.m
+	chs := m.topo.ChannelsBetween(pe.id, to)
+	if len(chs) == 0 {
+		panic(fmt.Sprintf("machine: SendGoal %d->%d: not neighbors", pe.id, to))
+	}
+	g.Hops++
+	m.stats.MsgCounts[MsgGoal]++
+	m.emit(trace.GoalSent, pe.id, to, g.ID)
+	ch := m.pickChannel(chs)
+	sentLoad := pe.Load()
+	from := pe.id
+	m.transmit(ch, m.cfg.GoalHopTime, func() {
+		dst := m.pes[to]
+		if m.cfg.PiggybackLoad {
+			dst.noteLoad(from, sentLoad)
+		}
+		dst.node.GoalArrived(g, from)
+	})
+}
+
+// RouteGoal ships the goal to an arbitrary destination PE along a
+// shortest path, one hop at a time on the co-processors; only the final
+// PE's strategy sees GoalArrived. Strategies with global placement
+// decisions (e.g. the Ideal oracle baseline) use this; neighborhood
+// strategies should prefer the hop-by-hop SendGoal.
+func (pe *PE) RouteGoal(dst int, g *Goal) {
+	if dst == pe.id {
+		pe.Accept(g)
+		return
+	}
+	pe.m.routeGoal(pe.id, dst, g)
+}
+
+// routeGoal advances the goal one shortest-path hop toward dst.
+func (m *Machine) routeGoal(cur, dst int, g *Goal) {
+	next := m.topo.NextHop(cur, dst)
+	chs := m.topo.ChannelsBetween(cur, next)
+	ch := m.pickChannel(chs)
+	g.Hops++
+	m.stats.MsgCounts[MsgGoal]++
+	m.emit(trace.GoalSent, cur, next, g.ID)
+	sentLoad := m.pes[cur].Load()
+	m.transmit(ch, m.cfg.GoalHopTime, func() {
+		if m.cfg.PiggybackLoad {
+			m.pes[next].noteLoad(cur, sentLoad)
+		}
+		if next == dst {
+			m.pes[next].node.GoalArrived(g, cur)
+			return
+		}
+		m.routeGoal(next, dst, g)
+	})
+}
+
+// SendControl delivers an opaque strategy payload to neighbor `to`,
+// charging CtrlHopTime on the connecting channel.
+func (pe *PE) SendControl(to int, payload any) {
+	m := pe.m
+	chs := m.topo.ChannelsBetween(pe.id, to)
+	if len(chs) == 0 {
+		panic(fmt.Sprintf("machine: SendControl %d->%d: not neighbors", pe.id, to))
+	}
+	m.stats.MsgCounts[MsgControl]++
+	ch := m.pickChannel(chs)
+	sentLoad := pe.Load()
+	from := pe.id
+	m.transmit(ch, m.cfg.CtrlHopTime, func() {
+		dst := m.pes[to]
+		if m.cfg.PiggybackLoad {
+			dst.noteLoad(from, sentLoad)
+		}
+		dst.node.Control(from, payload)
+	})
+}
+
+// BroadcastControl delivers a payload to every neighbor. On a bus each
+// attached channel carries the broadcast as a single transaction heard
+// by all members — the key bandwidth advantage of the double-lattice-
+// mesh; on point-to-point topologies it degenerates to one message per
+// link.
+func (pe *PE) BroadcastControl(payload any) {
+	pe.m.broadcast(pe, MsgControl, pe.m.cfg.CtrlHopTime, func(dst *PE, from int) {
+		dst.node.Control(from, payload)
+	})
+}
+
+// TakeNewestQueuedGoal removes and returns the most recently enqueued
+// unstarted goal, for strategies that re-export queued work. Returns
+// nil when the queue holds no goals. In a depth-first tree computation
+// the newest goal tends to be the smallest remaining subtree, so this
+// policy keeps big work local and exports crumbs.
+func (pe *PE) TakeNewestQueuedGoal() *Goal {
+	for i := len(pe.ready) - 1; i >= pe.head; i-- {
+		if pe.ready[i].kind == itemGoal {
+			g := pe.ready[i].goal
+			pe.ready = append(pe.ready[:i], pe.ready[i+1:]...)
+			return g
+		}
+	}
+	return nil
+}
+
+// TakeOldestQueuedGoal removes and returns the least recently enqueued
+// unstarted goal — the front of the queue, which in a tree computation
+// is typically the largest waiting subtree. Exporting it lets the
+// receiver become a self-sustaining source of further work.
+func (pe *PE) TakeOldestQueuedGoal() *Goal {
+	for i := pe.head; i < len(pe.ready); i++ {
+		if pe.ready[i].kind == itemGoal {
+			g := pe.ready[i].goal
+			pe.ready = append(pe.ready[:i], pe.ready[i+1:]...)
+			return g
+		}
+	}
+	return nil
+}
+
+// enqueue appends a message to the ready queue and wakes the PE if idle.
+func (pe *PE) enqueue(it item) {
+	pe.ready = append(pe.ready, it)
+	if !pe.busy {
+		pe.startNext()
+	}
+}
+
+// startNext begins service of the queue head.
+func (pe *PE) startNext() {
+	if pe.head >= len(pe.ready) {
+		// Queue drained: reset storage so it can be reused.
+		pe.ready = pe.ready[:0]
+		pe.head = 0
+		pe.busy = false
+		return
+	}
+	it := pe.ready[pe.head]
+	pe.head++
+	// Compact occasionally so memory does not grow with total traffic.
+	if pe.head > 64 && pe.head*2 > len(pe.ready) {
+		n := copy(pe.ready, pe.ready[pe.head:])
+		pe.ready = pe.ready[:n]
+		pe.head = 0
+	}
+	pe.busy = true
+	var dur sim.Time
+	switch it.kind {
+	case itemGoal:
+		dur = pe.m.cfg.GrainTime * sim.Time(it.goal.Task.Work)
+		pe.m.stats.QueueDelay.Add(float64(pe.m.eng.Now() - it.goal.AcceptedAt))
+	case itemResponse:
+		dur = pe.m.cfg.CombineTime
+	}
+	if s := pe.m.cfg.PESpeeds; s != nil {
+		scaled := sim.Time(float64(dur) / s[pe.id])
+		if scaled < 1 {
+			scaled = 1
+		}
+		dur = scaled
+	}
+	pe.busyTime += dur
+	pe.serviceEnd = pe.m.eng.Now() + dur
+	pe.m.eng.Schedule(dur, func() {
+		pe.finish(it)
+		pe.startNext()
+	})
+}
+
+// finish applies the effects of a completed service.
+func (pe *PE) finish(it item) {
+	switch it.kind {
+	case itemGoal:
+		pe.goalsExecuted++
+		pe.m.stats.GoalsExecuted++
+		g := it.goal
+		// The goal's journey is definitively over: record the travel
+		// distance (paper Table 3) and the net displacement.
+		pe.m.stats.GoalHops.Add(g.Hops)
+		pe.m.stats.GoalDist.Add(pe.m.topo.Dist(g.Origin, pe.id))
+		pe.m.emit(trace.GoalExecuted, pe.id, -1, g.ID)
+		task := g.Task
+		if task.IsLeaf() {
+			pe.m.respond(pe.id, g, task.Value)
+			return
+		}
+		pe.pending[g.ID] = &pendingTask{
+			goal:      g,
+			remaining: len(task.Kids),
+			vals:      make([]int64, 0, len(task.Kids)),
+		}
+		for _, kid := range task.Kids {
+			child := pe.m.newGoal(kid, pe.id, g.ID)
+			pe.node.PlaceNewGoal(child)
+		}
+	case itemResponse:
+		pe.respIntegrated++
+		pe.m.stats.RespIntegrated++
+		r := it.resp
+		p, ok := pe.pending[r.goalID]
+		if !ok {
+			panic(fmt.Sprintf("machine: PE %d got response for unknown goal %d", pe.id, r.goalID))
+		}
+		p.vals = append(p.vals, r.value)
+		p.remaining--
+		if p.remaining == 0 {
+			delete(pe.pending, r.goalID)
+			val := pe.m.tree.Combine(p.vals)
+			pe.m.respond(pe.id, p.goal, val)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"cwnsim/internal/metrics"
+	"cwnsim/internal/sim"
+	"cwnsim/internal/topology"
+	"cwnsim/internal/trace"
+	"cwnsim/internal/workload"
+)
+
+// Stats holds everything ORACLE reported for one run: utilization
+// (overall, per-PE, over time), completion time, channel utilizations,
+// message counts and distance distributions, plus the program's result.
+type Stats struct {
+	// Labels.
+	Topology string
+	Strategy string
+	Workload string
+	P        int
+	Goals    int
+
+	// Outcome.
+	Completed bool
+	Result    int64
+	Makespan  sim.Time
+	Events    uint64
+
+	// PE activity.
+	TotalBusy      sim.Time
+	BusyPerPE      []sim.Time
+	GoalsPerPE     []int64
+	GoalsExecuted  int64
+	RespIntegrated int64
+
+	// Message accounting. GoalHops is the paper's Table 3 quantity: the
+	// number of hops each goal message travelled before being accepted
+	// (CWN counts its whole walk, including backtracking). GoalDist is
+	// the net topological displacement from the goal's origin to its
+	// executing PE. RespHops counts response routing hops.
+	GoalHops  metrics.Hist
+	GoalDist  metrics.Hist
+	RespHops  metrics.Hist
+	MsgCounts [numMsgKinds]int64
+
+	// Channel activity, indexed by channel ID.
+	ChannelBusy []sim.Time
+	ChannelMsgs []int64
+
+	// QueueDelay summarizes, per executed goal, the virtual time between
+	// its final acceptance and the start of its execution — the pure
+	// queueing component of latency. Hoarding strategies (GM on grids)
+	// show it as a long mean delay.
+	QueueDelay metrics.Summary
+
+	// Timeline is percent utilization per sampling window (plots 11-16);
+	// empty unless Config.SampleInterval > 0.
+	Timeline metrics.Series
+
+	// Monitor holds the per-PE utilization frames of ORACLE's load
+	// monitor; empty unless Config.MonitorPE and SampleInterval are set.
+	Monitor trace.Monitor
+}
+
+func newStats(topo *topology.Topology, tree *workload.Tree, stratName string) *Stats {
+	return &Stats{
+		Topology:    topo.Name(),
+		Strategy:    stratName,
+		Workload:    tree.Name,
+		P:           topo.Size(),
+		Goals:       tree.Count(),
+		BusyPerPE:   make([]sim.Time, topo.Size()),
+		GoalsPerPE:  make([]int64, topo.Size()),
+		ChannelBusy: make([]sim.Time, len(topo.Channels())),
+		ChannelMsgs: make([]int64, len(topo.Channels())),
+		Timeline:    metrics.Series{Label: "util%"},
+	}
+}
+
+// Utilization returns average PE utilization in [0,1]: total busy time
+// over P×makespan.
+func (s *Stats) Utilization() float64 {
+	if s.Makespan == 0 {
+		return 0
+	}
+	return float64(s.TotalBusy) / (float64(s.P) * float64(s.Makespan))
+}
+
+// UtilizationPercent returns Utilization×100, the paper's y-axis.
+func (s *Stats) UtilizationPercent() float64 { return 100 * s.Utilization() }
+
+// Speedup returns total sequential work divided by makespan. At
+// completion this equals the paper's "number of PEs × average
+// utilization / 100".
+func (s *Stats) Speedup() float64 {
+	if s.Makespan == 0 {
+		return 0
+	}
+	return float64(s.TotalBusy) / float64(s.Makespan)
+}
+
+// PEUtilization returns PE i's individual utilization in [0,1].
+func (s *Stats) PEUtilization(i int) float64 {
+	if s.Makespan == 0 {
+		return 0
+	}
+	return float64(s.BusyPerPE[i]) / float64(s.Makespan)
+}
+
+// ChannelUtilization returns channel c's busy fraction.
+func (s *Stats) ChannelUtilization(c int) float64 {
+	if s.Makespan == 0 {
+		return 0
+	}
+	return float64(s.ChannelBusy[c]) / float64(s.Makespan)
+}
+
+// MaxChannelUtilization returns the busiest channel's utilization — the
+// "communication stagnation" indicator the paper kept low.
+func (s *Stats) MaxChannelUtilization() float64 {
+	max := 0.0
+	for c := range s.ChannelBusy {
+		if u := s.ChannelUtilization(c); u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// BalanceIndex returns Jain's fairness index over per-PE busy times:
+// 1.0 means the load was spread perfectly evenly, 1/P means one PE did
+// everything. The paper's "effectiveness at distributing the work" as a
+// single number.
+func (s *Stats) BalanceIndex() float64 {
+	xs := make([]float64, len(s.BusyPerPE))
+	for i, b := range s.BusyPerPE {
+		xs[i] = float64(b)
+	}
+	return metrics.JainIndex(xs)
+}
+
+// TotalMessages returns the total message transmissions of all kinds.
+func (s *Stats) TotalMessages() int64 {
+	var n int64
+	for _, c := range s.MsgCounts {
+		n += c
+	}
+	return n
+}
+
+// AvgGoalHops returns the mean goal travel distance (paper: ~3 hops for
+// CWN vs <1 for GM on the 10×10 grid).
+func (s *Stats) AvgGoalHops() float64 { return s.GoalHops.Mean() }
+
+// String renders a one-paragraph run summary.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s | %s | %s (%d goals)\n", s.Strategy, s.Topology, s.Workload, s.Goals)
+	fmt.Fprintf(&b, "  completed=%v result=%d makespan=%d events=%d\n", s.Completed, s.Result, s.Makespan, s.Events)
+	fmt.Fprintf(&b, "  utilization=%.1f%% speedup=%.2f balance=%.2f (P=%d)\n", s.UtilizationPercent(), s.Speedup(), s.BalanceIndex(), s.P)
+	fmt.Fprintf(&b, "  goal hops: %s\n", s.GoalHops.String())
+	fmt.Fprintf(&b, "  queue delay: mean=%.1f max=%.0f\n", s.QueueDelay.Mean(), s.QueueDelay.Max())
+	fmt.Fprintf(&b, "  messages: goal=%d resp=%d load=%d ctrl=%d maxChanUtil=%.1f%%",
+		s.MsgCounts[MsgGoal], s.MsgCounts[MsgResponse], s.MsgCounts[MsgLoad], s.MsgCounts[MsgControl],
+		100*s.MaxChannelUtilization())
+	return b.String()
+}

@@ -1,0 +1,35 @@
+package machine
+
+// Strategy is a load-distribution scheme. One Strategy value configures
+// a whole machine; NewNode supplies the per-PE state. Implementations
+// live in package core (CWN, the Gradient Model, baselines).
+//
+// Strategies run on the PEs' communication co-processors, as the paper
+// assumes: their decisions cost channel time (for the messages they
+// send) but never PE compute time.
+type Strategy interface {
+	// Name identifies the strategy in reports, e.g. "CWN(r=9,h=2)".
+	Name() string
+	// Setup runs once before the simulation starts, after the machine
+	// is wired. Strategies typically capture the topology diameter or
+	// validate parameters here.
+	Setup(m *Machine)
+	// NewNode returns the per-PE strategy state. Called once per PE
+	// after Setup. Strategies register periodic processes here via
+	// Machine.NewTicker.
+	NewNode(pe *PE) NodeStrategy
+}
+
+// NodeStrategy is the per-PE half of a Strategy.
+type NodeStrategy interface {
+	// PlaceNewGoal decides where a goal created on this PE goes: keep
+	// it (pe.Accept) or ship it (pe.SendGoal).
+	PlaceNewGoal(g *Goal)
+	// GoalArrived handles a goal message delivered from neighbor
+	// `from`: accept it or forward it on.
+	GoalArrived(g *Goal, from int)
+	// Control handles a strategy control payload from neighbor `from`
+	// (e.g. a Gradient Model proximity update). Strategies that use no
+	// control traffic may ignore it.
+	Control(from int, payload any)
+}

@@ -1,0 +1,184 @@
+package machine_test
+
+import (
+	"testing"
+
+	"cwnsim/internal/core"
+	"cwnsim/internal/machine"
+	"cwnsim/internal/topology"
+	"cwnsim/internal/trace"
+	"cwnsim/internal/workload"
+)
+
+// TestTraceLifecycleInvariants replays a CWN run through the trace
+// collector and checks the goal lifecycle event-by-event: every goal is
+// created once, executed once, its events are causally ordered, and its
+// recorded walk length equals the hop histogram's entry.
+func TestTraceLifecycleInvariants(t *testing.T) {
+	tree := workload.NewFib(10)
+	var col trace.Collector
+	cfg := machine.DefaultConfig()
+	cfg.Trace = &col
+	st := machine.New(topology.NewGrid(4, 4), tree, core.NewCWN(4, 1), cfg).Run()
+	if !st.Completed {
+		t.Fatal("incomplete")
+	}
+
+	goals := tree.Count()
+	if got := col.Count(trace.GoalCreated); got != goals {
+		t.Errorf("GoalCreated = %d, want %d", got, goals)
+	}
+	if got := col.Count(trace.GoalExecuted); got != goals {
+		t.Errorf("GoalExecuted = %d, want %d", got, goals)
+	}
+	// Under CWN a goal is accepted exactly once (no re-distribution).
+	if got := col.Count(trace.GoalAccepted); got != goals {
+		t.Errorf("GoalAccepted = %d, want %d", got, goals)
+	}
+	if got := col.Count(trace.RespSent); got != goals-1 {
+		t.Errorf("RespSent = %d, want %d", got, goals-1)
+	}
+	if got := col.Count(trace.RespDelivered); got != goals-1 {
+		t.Errorf("RespDelivered = %d, want %d", got, goals-1)
+	}
+
+	for id := int64(0); id < int64(goals); id++ {
+		evs := col.ByGoal(id)
+		var created, accepted, executed, sent int
+		var lastAt int64 = -1
+		for _, ev := range evs {
+			if int64(ev.At) < lastAt {
+				t.Fatalf("goal %d: events out of time order", id)
+			}
+			lastAt = int64(ev.At)
+			switch ev.Kind {
+			case trace.GoalCreated:
+				created++
+				if accepted+executed+sent > 0 {
+					t.Fatalf("goal %d: created after other events", id)
+				}
+			case trace.GoalSent:
+				sent++
+				if executed > 0 {
+					t.Fatalf("goal %d: sent after execution", id)
+				}
+			case trace.GoalAccepted:
+				accepted++
+			case trace.GoalExecuted:
+				executed++
+			}
+		}
+		if created != 1 || executed != 1 {
+			t.Fatalf("goal %d: created %d times, executed %d times", id, created, executed)
+		}
+		if sent > 4 {
+			t.Fatalf("goal %d: %d hops exceeds radius 4", id, sent)
+		}
+	}
+}
+
+// TestTraceWalkMatchesHistogram cross-checks the trace against the
+// aggregate statistics: per-goal GoalSent counts must reproduce the hop
+// histogram exactly.
+func TestTraceWalkMatchesHistogram(t *testing.T) {
+	tree := workload.NewFib(9)
+	var col trace.Collector
+	cfg := machine.DefaultConfig()
+	cfg.Trace = &col
+	st := machine.New(topology.NewGrid(3, 3), tree, core.NewCWN(3, 1), cfg).Run()
+	if !st.Completed {
+		t.Fatal("incomplete")
+	}
+	hopCount := map[int64]int{}
+	for _, ev := range col.ByKind(trace.GoalSent) {
+		hopCount[ev.Goal]++
+	}
+	hist := map[int]int64{}
+	for id := int64(0); id < int64(tree.Count()); id++ {
+		hist[hopCount[id]]++
+	}
+	for hops, n := range hist {
+		if got := st.GoalHops.Count(hops); got != n {
+			t.Errorf("hop %d: histogram %d, trace %d", hops, got, n)
+		}
+	}
+}
+
+// TestTraceGMReExport verifies that under the Gradient Model some goals
+// are accepted more than once (export re-places a queued goal), which
+// the statistics layer must not double-count.
+func TestTraceGMReExport(t *testing.T) {
+	tree := workload.NewFib(12)
+	var col trace.Collector
+	cfg := machine.DefaultConfig()
+	cfg.Trace = &col
+	st := machine.New(topology.NewGrid(3, 3), tree, core.NewGradient(1, 2, 20), cfg).Run()
+	if !st.Completed {
+		t.Fatal("incomplete")
+	}
+	if col.Count(trace.GoalAccepted) <= tree.Count() {
+		t.Error("expected re-acceptances under GM export")
+	}
+	if st.GoalHops.Total() != int64(tree.Count()) {
+		t.Errorf("hop histogram total %d, want %d (exactly once per goal)", st.GoalHops.Total(), tree.Count())
+	}
+	if got := col.Count(trace.GoalExecuted); got != tree.Count() {
+		t.Errorf("GoalExecuted = %d, want %d", got, tree.Count())
+	}
+}
+
+// TestMonitorFramesIntegration runs with the per-PE monitor enabled and
+// validates the frames, including the paper's rise-time contrast: early
+// in the run CWN has spread work to more PEs than GM.
+func TestMonitorFramesIntegration(t *testing.T) {
+	tree := workload.NewFib(13)
+	run := func(strat machine.Strategy) *machine.Stats {
+		cfg := machine.DefaultConfig()
+		cfg.SampleInterval = 50
+		cfg.MonitorPE = true
+		st := machine.New(topology.NewGrid(5, 5), tree, strat, cfg).Run()
+		if !st.Completed {
+			t.Fatal("incomplete")
+		}
+		return st
+	}
+	cwn := run(core.PaperCWNGrid())
+	gm := run(core.PaperGMGrid())
+
+	for _, st := range []*machine.Stats{cwn, gm} {
+		if st.Monitor.Len() < 2 {
+			t.Fatalf("monitor has %d frames", st.Monitor.Len())
+		}
+		for _, f := range st.Monitor.Frames {
+			if len(f.Util) != 25 {
+				t.Fatalf("frame has %d PEs", len(f.Util))
+			}
+			for pe, u := range f.Util {
+				if u < 0 || u > 1.0001 {
+					t.Fatalf("frame t=%d PE %d utilization %f out of [0,1]", f.At, pe, u)
+				}
+			}
+		}
+	}
+	// Rise-time: by the 4th sample (t=200) CWN must have activated at
+	// least as many PEs as GM — the paper's "much faster rise-time".
+	frame := 3
+	if cwn.Monitor.Len() <= frame || gm.Monitor.Len() <= frame {
+		t.Skip("run too short to compare rise-time")
+	}
+	if cwn.Monitor.ActivePEs(frame) < gm.Monitor.ActivePEs(frame) {
+		t.Errorf("at frame %d CWN activated %d PEs < GM %d — rise-time inverted",
+			frame, cwn.Monitor.ActivePEs(frame), gm.Monitor.ActivePEs(frame))
+	}
+}
+
+// TestMonitorDisabledByDefault ensures no frames accumulate without the
+// opt-in.
+func TestMonitorDisabledByDefault(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.SampleInterval = 50
+	st := machine.New(topology.NewGrid(3, 3), workload.NewFib(8), core.NewCWN(3, 1), cfg).Run()
+	if st.Monitor.Len() != 0 {
+		t.Errorf("monitor collected %d frames without MonitorPE", st.Monitor.Len())
+	}
+}

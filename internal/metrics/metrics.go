@@ -1,0 +1,249 @@
+// Package metrics provides the small statistics toolkit the simulator
+// and the experiment harness share: integer histograms (message hop
+// distributions, Table 3), running summaries (Welford mean/variance),
+// and time series (the utilization-versus-time plots).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Hist is a histogram over small non-negative integers (e.g. hop counts).
+// The zero value is ready to use.
+type Hist struct {
+	counts []int64
+	total  int64
+	sum    int64
+}
+
+// Add increments the bucket for v (v must be >= 0).
+func (h *Hist) Add(v int) {
+	if v < 0 {
+		panic("metrics: negative histogram value")
+	}
+	for v >= len(h.counts) {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[v]++
+	h.total++
+	h.sum += int64(v)
+}
+
+// Count returns the number of observations in bucket v.
+func (h *Hist) Count(v int) int64 {
+	if v < 0 || v >= len(h.counts) {
+		return 0
+	}
+	return h.counts[v]
+}
+
+// Total returns the number of observations.
+func (h *Hist) Total() int64 { return h.total }
+
+// Max returns the largest observed value (-1 when empty).
+func (h *Hist) Max() int {
+	for v := len(h.counts) - 1; v >= 0; v-- {
+		if h.counts[v] > 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Percentile returns the smallest value v such that at least p (0..1) of
+// the observations are <= v. Empty histograms return 0.
+func (h *Hist) Percentile(p float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	need := int64(math.Ceil(p * float64(h.total)))
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	for v, c := range h.counts {
+		cum += c
+		if cum >= need {
+			return v
+		}
+	}
+	return len(h.counts) - 1
+}
+
+// Counts returns a copy of the bucket counts from 0 to Max.
+func (h *Hist) Counts() []int64 {
+	m := h.Max()
+	out := make([]int64, m+1)
+	copy(out, h.counts[:m+1])
+	return out
+}
+
+// String renders "v:count" pairs, e.g. "0:4068 1:2372 … mean=0.92".
+func (h *Hist) String() string {
+	var b strings.Builder
+	for v, c := range h.counts {
+		if c > 0 {
+			fmt.Fprintf(&b, "%d:%d ", v, c)
+		}
+	}
+	fmt.Fprintf(&b, "mean=%.2f", h.Mean())
+	return b.String()
+}
+
+// Summary accumulates a stream of float64 observations with Welford's
+// online algorithm. The zero value is ready to use.
+type Summary struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the observation count.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the running mean (0 when empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the sample variance (0 for fewer than 2 observations).
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// String implements fmt.Stringer.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f", s.n, s.Mean(), s.Stddev(), s.min, s.max)
+}
+
+// Point is one sample of a time series.
+type Point struct {
+	T float64
+	V float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(t, v float64) { s.Points = append(s.Points, Point{t, v}) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// MaxV returns the largest sample value (0 when empty).
+func (s *Series) MaxV() float64 {
+	m := 0.0
+	for _, p := range s.Points {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// At returns the interpolated value at time t (nearest-neighbor for
+// out-of-range queries). Series must be sorted by T, which Add preserves
+// when samples arrive in time order.
+func (s *Series) At(t float64) float64 {
+	n := len(s.Points)
+	if n == 0 {
+		return 0
+	}
+	i := sort.Search(n, func(i int) bool { return s.Points[i].T >= t })
+	if i == 0 {
+		return s.Points[0].V
+	}
+	if i == n {
+		return s.Points[n-1].V
+	}
+	a, b := s.Points[i-1], s.Points[i]
+	if b.T == a.T {
+		return b.V
+	}
+	frac := (t - a.T) / (b.T - a.T)
+	return a.V + frac*(b.V-a.V)
+}
+
+// Mean returns the unweighted mean of the sample values.
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.V
+	}
+	return sum / float64(len(s.Points))
+}
+
+// Ratio returns a/b guarding against a zero denominator (returns 0).
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// JainIndex returns Jain's fairness index (Σx)²/(n·Σx²) for
+// non-negative values: 1.0 when all values are equal (perfectly even
+// load), approaching 1/n when one element holds everything. Returns 1
+// for empty or all-zero input (nothing to be unfair about).
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}

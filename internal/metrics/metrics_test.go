@@ -1,0 +1,208 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistBasics(t *testing.T) {
+	var h Hist
+	if h.Total() != 0 || h.Max() != -1 || h.Mean() != 0 {
+		t.Fatal("zero-value histogram not empty")
+	}
+	for _, v := range []int{0, 1, 1, 3, 3, 3} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d, want 6", h.Total())
+	}
+	if h.Count(1) != 2 || h.Count(3) != 3 || h.Count(2) != 0 || h.Count(99) != 0 {
+		t.Errorf("bucket counts wrong: %v", h.Counts())
+	}
+	if h.Max() != 3 {
+		t.Errorf("Max = %d, want 3", h.Max())
+	}
+	want := (0.0 + 1 + 1 + 3 + 3 + 3) / 6
+	if math.Abs(h.Mean()-want) > 1e-12 {
+		t.Errorf("Mean = %f, want %f", h.Mean(), want)
+	}
+	if got := h.Counts(); len(got) != 4 {
+		t.Errorf("Counts len = %d, want 4", len(got))
+	}
+	if h.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestHistPercentile(t *testing.T) {
+	var h Hist
+	for v := 1; v <= 100; v++ {
+		h.Add(v)
+	}
+	if p := h.Percentile(0.5); p != 50 {
+		t.Errorf("P50 = %d, want 50", p)
+	}
+	if p := h.Percentile(0.99); p != 99 {
+		t.Errorf("P99 = %d, want 99", p)
+	}
+	if p := h.Percentile(1.0); p != 100 {
+		t.Errorf("P100 = %d, want 100", p)
+	}
+	if p := h.Percentile(0); p != 1 {
+		t.Errorf("P0 = %d, want 1", p)
+	}
+	var empty Hist
+	if empty.Percentile(0.5) != 0 {
+		t.Error("empty percentile != 0")
+	}
+}
+
+func TestHistNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	var h Hist
+	h.Add(-1)
+}
+
+func TestSummaryAgainstDirectComputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 1000)
+	var s Summary
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		s.Add(xs[i])
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var varr float64
+	for _, x := range xs {
+		varr += (x - mean) * (x - mean)
+	}
+	varr /= float64(len(xs) - 1)
+	if math.Abs(s.Mean()-mean) > 1e-9 {
+		t.Errorf("Mean = %v, want %v", s.Mean(), mean)
+	}
+	if math.Abs(s.Var()-varr) > 1e-9 {
+		t.Errorf("Var = %v, want %v", s.Var(), varr)
+	}
+	if s.N() != 1000 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestSummaryMinMax(t *testing.T) {
+	var s Summary
+	if s.Min() != 0 || s.Max() != 0 || s.Var() != 0 {
+		t.Fatal("zero-value summary not zeroed")
+	}
+	s.Add(5)
+	s.Add(-2)
+	s.Add(9)
+	if s.Min() != -2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want -2/9", s.Min(), s.Max())
+	}
+}
+
+func TestQuickSummaryMeanBounds(t *testing.T) {
+	f := func(raw []int16) bool {
+		var s Summary
+		if len(raw) == 0 {
+			return true
+		}
+		for _, r := range raw {
+			s.Add(float64(r) / 32.0)
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(0, 0)
+	s.Add(10, 100)
+	s.Add(20, 50)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.MaxV() != 100 {
+		t.Errorf("MaxV = %v", s.MaxV())
+	}
+	if got := s.At(5); math.Abs(got-50) > 1e-9 {
+		t.Errorf("At(5) = %v, want 50 (interpolated)", got)
+	}
+	if got := s.At(15); math.Abs(got-75) > 1e-9 {
+		t.Errorf("At(15) = %v, want 75", got)
+	}
+	if got := s.At(-1); got != 0 {
+		t.Errorf("At(-1) = %v, want 0 (clamped)", got)
+	}
+	if got := s.At(99); got != 50 {
+		t.Errorf("At(99) = %v, want 50 (clamped)", got)
+	}
+	if got := s.Mean(); math.Abs(got-50) > 1e-9 {
+		t.Errorf("Mean = %v, want 50", got)
+	}
+	var empty Series
+	if empty.At(5) != 0 || empty.Mean() != 0 || empty.MaxV() != 0 {
+		t.Error("empty series accessors not zero")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Error("Ratio(6,3) != 2")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio(_,0) != 0")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal loads: %f, want 1", got)
+	}
+	// One PE does everything: index = 1/n.
+	if got := JainIndex([]float64{9, 0, 0}); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("concentrated load: %f, want 1/3", got)
+	}
+	if JainIndex(nil) != 1 || JainIndex([]float64{0, 0}) != 1 {
+		t.Error("degenerate inputs should return 1")
+	}
+	// Monotone sanity: a more even split scores higher.
+	uneven := JainIndex([]float64{8, 2})
+	even := JainIndex([]float64{5, 5})
+	if uneven >= even {
+		t.Errorf("uneven %f >= even %f", uneven, even)
+	}
+}
+
+func TestQuickJainBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		j := JainIndex(xs)
+		if len(xs) == 0 {
+			return j == 1
+		}
+		return j >= 1.0/float64(len(xs))-1e-12 && j <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"cwnsim/internal/metrics"
+)
+
+// Chart renders one or more time series as an ASCII line chart — the
+// textual equivalent of the paper's plots. Each series gets a marker
+// rune; overlapping points show the later series' marker.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int     // plot area columns (default 64)
+	Height int     // plot area rows (default 16)
+	YMax   float64 // fixed y-axis max; 0 = auto
+	series []*metrics.Series
+	marks  []rune
+}
+
+// NewChart creates an empty chart.
+func NewChart(title, xlabel, ylabel string) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 64, Height: 16}
+}
+
+// Add attaches a series with the given marker.
+func (c *Chart) Add(s *metrics.Series, marker rune) {
+	c.series = append(c.series, s)
+	c.marks = append(c.marks, marker)
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	var b strings.Builder
+	c.Render(&b)
+	return b.String()
+}
+
+// Render writes the chart to w.
+func (c *Chart) Render(w io.Writer) {
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	width, height := c.Width, c.Height
+	if width < 8 {
+		width = 64
+	}
+	if height < 4 {
+		height = 16
+	}
+	var xmin, xmax float64
+	first := true
+	for _, s := range c.series {
+		for _, p := range s.Points {
+			if first || p.T < xmin {
+				xmin = p.T
+			}
+			if first || p.T > xmax {
+				xmax = p.T
+			}
+			first = false
+		}
+	}
+	if first { // no data at all
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	ymax := c.YMax
+	if ymax <= 0 {
+		for _, s := range c.series {
+			if v := s.MaxV(); v > ymax {
+				ymax = v
+			}
+		}
+		if ymax == 0 {
+			ymax = 1
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range c.series {
+		if s.Len() == 0 {
+			continue
+		}
+		for col := 0; col < width; col++ {
+			x := xmin + (xmax-xmin)*float64(col)/float64(width-1)
+			v := s.At(x)
+			row := int(math.Round((1 - v/ymax) * float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = c.marks[si]
+		}
+	}
+	for r := 0; r < height; r++ {
+		yval := ymax * float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(w, "%8.1f |%s|\n", yval, string(grid[r]))
+	}
+	fmt.Fprintf(w, "%8s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "%8s  %-*.0f%*.0f\n", "", width/2, xmin, width-width/2, xmax)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(w, "%8s  x: %s   y: %s\n", "", c.XLabel, c.YLabel)
+	}
+	for i, s := range c.series {
+		fmt.Fprintf(w, "%8s  %c %s\n", "", c.marks[i], s.Label)
+	}
+}

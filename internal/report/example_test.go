@@ -1,0 +1,31 @@
+package report_test
+
+import (
+	"os"
+
+	"cwnsim/internal/report"
+)
+
+func ExampleTable() {
+	tb := report.NewTable("speedups", "PEs", "CWN", "GM")
+	tb.AddRow(100, 52.34, 17.63)
+	tb.AddRow(400, 110.30, 12.55)
+	tb.Render(os.Stdout)
+	// Output:
+	// speedups
+	// PEs     CWN     GM
+	// ------------------
+	// 100   52.34  17.63
+	// 400  110.30  12.55
+}
+
+func ExampleHeatmap() {
+	hm := report.NewHeatmap("load", 2, 4)
+	hm.Values = []float64{1, 0.7, 0.3, 0, 0.9, 0.5, 0.1, 0}
+	hm.Render(os.Stdout)
+	// Output:
+	// load
+	//   @ * :
+	//   % =
+	//   scale: ' '=idle ... '@'=busy
+}

@@ -1,0 +1,59 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// shades maps activity 0..1 to increasingly dense glyphs — the terminal
+// stand-in for ORACLE's graphics monitor color continuum ("red: busy,
+// blue: idle").
+var shades = []rune(" .:-=+*#%@")
+
+// Heatmap renders per-PE values in [0,1] laid out on a rows×cols grid.
+type Heatmap struct {
+	Title      string
+	Rows, Cols int
+	Values     []float64 // indexed pe = r*Cols + c
+}
+
+// NewHeatmap creates a heat map for a rows×cols PE array.
+func NewHeatmap(title string, rows, cols int) *Heatmap {
+	return &Heatmap{Title: title, Rows: rows, Cols: cols, Values: make([]float64, rows*cols)}
+}
+
+// Shade returns the glyph for a value in [0,1] (values are clamped).
+func Shade(v float64) rune {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	i := int(v * float64(len(shades)-1))
+	return shades[i]
+}
+
+// String renders the heat map.
+func (h *Heatmap) String() string {
+	var b strings.Builder
+	h.Render(&b)
+	return b.String()
+}
+
+// Render writes the heat map to w.
+func (h *Heatmap) Render(w io.Writer) {
+	if h.Title != "" {
+		fmt.Fprintf(w, "%s\n", h.Title)
+	}
+	for r := 0; r < h.Rows; r++ {
+		var line strings.Builder
+		for c := 0; c < h.Cols; c++ {
+			line.WriteRune(Shade(h.Values[r*h.Cols+c]))
+			line.WriteRune(' ')
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(line.String(), " "))
+	}
+	fmt.Fprintf(w, "  scale: '%c'=idle ... '%c'=busy\n", shades[0], shades[len(shades)-1])
+}

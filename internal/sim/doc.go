@@ -1,0 +1,18 @@
+// Package sim implements the deterministic discrete-event simulation
+// engine underneath the multiprocessor model — the Go analogue of the
+// kernel of ORACLE, the SIMSCRIPT simulator the paper's experiments were
+// run on.
+//
+// The engine maintains a virtual clock and a pending-event set ordered by
+// (time, insertion sequence). Events are plain closures; resources such as
+// processing elements and communication channels are modelled by the
+// machine package as state machines that schedule their own continuation
+// events. Determinism is guaranteed: two events at the same virtual time
+// fire in the order they were scheduled, and all randomness flows from a
+// single seeded generator owned by the engine.
+//
+// The engine is intentionally single-goroutine: one simulation run is a
+// sequential computation over virtual time. Parallelism belongs one level
+// up, where the experiment harness runs many independent simulations on
+// separate goroutines.
+package sim

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Time is virtual simulation time in abstract integer units. The paper
+// charges integral "units" for primitive operations (e.g. the gradient
+// process interval is 20 units), so integer time loses nothing and keeps
+// event ordering exact.
+type Time int64
+
+// Never is a sentinel meaning "no deadline".
+const Never Time = -1
+
+// Event is a handle to a scheduled closure. It can be cancelled up to the
+// moment it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // position in the heap, -1 once popped
+}
+
+// At reports the virtual time the event is scheduled for.
+func (ev *Event) At() Time { return ev.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (ev *Event) Cancel() {
+	ev.canceled = true
+}
+
+// Canceled reports whether Cancel was called.
+func (ev *Event) Canceled() bool { return ev.canceled }
+
+// Engine is a discrete-event simulator instance.
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now       Time
+	seq       uint64
+	heap      eventHeap
+	rng       *rand.Rand
+	seed      int64
+	stopped   bool
+	processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero whose random stream
+// is derived from seed. Equal seeds yield byte-identical simulations.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		rng:  rand.New(rand.NewSource(seed)),
+		seed: seed,
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Seed returns the seed the engine was constructed with.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Rng returns the engine's deterministic random stream. All stochastic
+// choices in a simulation (tie-breaks, phase staggering) must draw from
+// this stream so that a run is a pure function of its seed.
+func (e *Engine) Rng() *rand.Rand { return e.rng }
+
+// Processed returns the number of events fired so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled events not yet discarded).
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Schedule runs fn after delay units of virtual time. A negative delay
+// panics: the past is immutable in a discrete-event simulation.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: Schedule with negative delay %d at t=%d", delay, e.now))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t (t must not precede Now).
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: At(%d) before now=%d", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: At with nil fn")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	e.heap.push(ev)
+	return ev
+}
+
+// Step fires the single next event. It returns false when no events
+// remain or the engine has been stopped.
+func (e *Engine) Step() bool {
+	if e.stopped {
+		return false
+	}
+	for {
+		ev := e.heap.pop()
+		if ev == nil {
+			return false
+		}
+		if ev.canceled {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: event heap returned an event from the past")
+		}
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+		return true
+	}
+}
+
+// Run fires events until none remain or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline, then sets the clock
+// to deadline (if it has not passed it already). It returns true if events
+// remain pending afterwards.
+func (e *Engine) RunUntil(deadline Time) bool {
+	for {
+		if e.stopped {
+			return false
+		}
+		ev := e.heap.peek()
+		if ev == nil {
+			if e.now < deadline {
+				e.now = deadline
+			}
+			return false
+		}
+		if ev.at > deadline {
+			if e.now < deadline {
+				e.now = deadline
+			}
+			return true
+		}
+		e.Step()
+	}
+}
+
+// Stop halts Run/RunUntil after the current event. Further Step calls
+// return false. Pending events are retained (inspectable) but will not
+// fire.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }

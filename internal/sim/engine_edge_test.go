@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHeapStressInterleaved exercises the hand-rolled heap with a long
+// random interleaving of schedules and cancellations, validated against
+// a reference model.
+func TestHeapStressInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	e := NewEngine(1)
+	type rec struct {
+		at  Time
+		seq int
+	}
+	var want []rec // live events only
+	var live []*Event
+	var liveRec []rec
+	seq := 0
+	for round := 0; round < 2000; round++ {
+		switch rng.Intn(3) {
+		case 0, 1: // schedule
+			at := Time(rng.Intn(500))
+			r := rec{at, seq}
+			seq++
+			idx := len(liveRec)
+			_ = idx
+			var self rec = r
+			ev := e.At(at, func() {})
+			live = append(live, ev)
+			liveRec = append(liveRec, self)
+		case 2: // cancel a random live event
+			if len(live) > 0 {
+				i := rng.Intn(len(live))
+				live[i].Cancel()
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				liveRec[i] = liveRec[len(liveRec)-1]
+				liveRec = liveRec[:len(liveRec)-1]
+			}
+		}
+	}
+	want = append(want, liveRec...)
+	// Count survivors by draining.
+	fired := 0
+	for e.Step() {
+		fired++
+	}
+	if fired != len(want) {
+		t.Fatalf("fired %d events, want %d live", fired, len(want))
+	}
+}
+
+func TestRunUntilExactEventTime(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(10, func() { fired = true })
+	// Deadline exactly at the event: it must fire (<= semantics).
+	e.RunUntil(10)
+	if !fired {
+		t.Fatal("event at the deadline did not fire")
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %d", e.Now())
+	}
+}
+
+func TestRunUntilZero(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	e.Schedule(0, func() { n++ })
+	e.Schedule(1, func() { n++ })
+	e.RunUntil(0)
+	if n != 1 {
+		t.Fatalf("fired %d events at t=0, want 1", n)
+	}
+}
+
+func TestEventAtAccessor(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.Schedule(17, func() {})
+	if ev.At() != 17 {
+		t.Fatalf("At = %d", ev.At())
+	}
+}
+
+func TestManySameTimeEventsScheduledDuringFire(t *testing.T) {
+	// Events scheduled at the current instant from within a handler run
+	// in the same instant, after already-queued ones.
+	e := NewEngine(1)
+	var order []string
+	e.Schedule(5, func() {
+		order = append(order, "a")
+		e.Schedule(0, func() { order = append(order, "nested") })
+	})
+	e.Schedule(5, func() { order = append(order, "b") })
+	e.Run()
+	want := []string{"a", "b", "nested"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestStopInsideRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	e.Schedule(1, func() { n++; e.Stop() })
+	e.Schedule(2, func() { n++ })
+	more := e.RunUntil(100)
+	if more {
+		t.Fatal("RunUntil should report stopped as no-more")
+	}
+	if n != 1 {
+		t.Fatalf("fired %d, want 1", n)
+	}
+}

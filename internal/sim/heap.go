@@ -1,0 +1,92 @@
+package sim
+
+// eventHeap is a binary min-heap of events ordered by (at, seq). It is
+// hand-rolled rather than built on container/heap to avoid interface
+// boxing on the hot path: a full comparison run of the paper's suite pops
+// a few hundred million events.
+type eventHeap []*Event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) push(ev *Event) {
+	*h = append(*h, ev)
+	ev.index = len(*h) - 1
+	h.up(ev.index)
+}
+
+// peek returns the next live event without removing it, discarding any
+// cancelled events encountered at the top.
+func (h *eventHeap) peek() *Event {
+	for len(*h) > 0 {
+		top := (*h)[0]
+		if !top.canceled {
+			return top
+		}
+		h.popTop()
+	}
+	return nil
+}
+
+// pop removes and returns the earliest event, or nil if empty. Cancelled
+// events may be returned; the engine skips them.
+func (h *eventHeap) pop() *Event {
+	if len(*h) == 0 {
+		return nil
+	}
+	return h.popTop()
+}
+
+func (h *eventHeap) popTop() *Event {
+	old := *h
+	n := len(old)
+	top := old[0]
+	old.swap(0, n-1)
+	old[n-1] = nil
+	*h = old[:n-1]
+	if n > 1 {
+		h.down(0)
+	}
+	top.index = -1
+	return top
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		smallest := l
+		if r := l + 1; r < n && h.less(r, l) {
+			smallest = r
+		}
+		if !h.less(smallest, i) {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

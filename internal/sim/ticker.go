@@ -1,0 +1,57 @@
+package sim
+
+// Ticker fires a callback at a fixed virtual-time period. It models the
+// paper's periodic asynchronous processes: the Gradient Model's per-PE
+// "gradient process" and the load-information broadcast in CWN.
+//
+// The first firing happens at phase (an offset into the first period) so
+// that the PEs' periodic processes are not artificially synchronized — on
+// real hardware they would drift; the machine staggers phases from the
+// engine's random stream.
+type Ticker struct {
+	eng     *Engine
+	period  Time
+	fn      func()
+	next    *Event
+	stopped bool
+	firings uint64
+}
+
+// NewTicker schedules fn every period units, first at now+phase.
+// period must be positive; phase must be non-negative.
+func NewTicker(eng *Engine, period, phase Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: NewTicker with non-positive period")
+	}
+	if phase < 0 {
+		panic("sim: NewTicker with negative phase")
+	}
+	t := &Ticker{eng: eng, period: period, fn: fn}
+	t.next = eng.Schedule(phase, t.fire)
+	return t
+}
+
+func (t *Ticker) fire() {
+	if t.stopped {
+		return
+	}
+	t.firings++
+	t.fn()
+	if !t.stopped { // fn may have stopped us
+		t.next = t.eng.Schedule(t.period, t.fire)
+	}
+}
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.next != nil {
+		t.next.Cancel()
+	}
+}
+
+// Firings returns how many times the ticker has fired.
+func (t *Ticker) Firings() uint64 { return t.firings }
+
+// Period returns the ticker period.
+func (t *Ticker) Period() Time { return t.period }

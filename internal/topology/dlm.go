@@ -1,0 +1,62 @@
+package topology
+
+import "fmt"
+
+// NewDLM returns a rows×cols double-lattice-mesh with the given bus span,
+// reconstructed from Figure 1 of the paper and Kale's ICPP 1986 "Optimal
+// Communication Neighborhoods".
+//
+// Per row, lattice A partitions the row into cols/span buses of span
+// consecutive PEs; lattice B is the same partition shifted right by
+// span/2 with wraparound, so adjacent A-buses are bridged. Columns get
+// the same two lattices vertically. Every PE therefore sits on exactly
+// four buses (two horizontal, two vertical); its neighbors are all its
+// bus-mates (up to 4·(span-1) PEs), and a single bus transaction reaches
+// any of them — or, for a broadcast, all of them at once.
+//
+// rows and cols must be divisible by span (all paper configurations are:
+// span 5 for 5×5, 10×10, 20×20; span 4 for 8×8, 16×16). The resulting
+// diameters, 2–6 over 25–400 PEs, match the paper's quoted 4–5 for the
+// larger meshes.
+func NewDLM(rows, cols, span int) *Topology {
+	if rows <= 0 || cols <= 0 {
+		panic("topology: DLM dimensions must be positive")
+	}
+	if span < 2 {
+		panic("topology: DLM span must be at least 2")
+	}
+	if rows%span != 0 || cols%span != 0 {
+		panic(fmt.Sprintf("topology: DLM %dx%d not divisible by span %d", rows, cols, span))
+	}
+	n := rows * cols
+	id := func(r, c int) int { return r*cols + c }
+	var chans []Channel
+
+	// Horizontal buses: for each row, lattice A starts at columns
+	// 0, span, 2·span, ...; lattice B at span/2 + the same offsets,
+	// wrapping around the row.
+	for r := 0; r < rows; r++ {
+		for _, off := range []int{0, span / 2} {
+			for c0 := off; c0 < cols+off; c0 += span {
+				members := make([]int, span)
+				for k := 0; k < span; k++ {
+					members[k] = id(r, (c0+k)%cols)
+				}
+				chans = append(chans, Channel{Members: members})
+			}
+		}
+	}
+	// Vertical buses, symmetrically.
+	for c := 0; c < cols; c++ {
+		for _, off := range []int{0, span / 2} {
+			for r0 := off; r0 < rows+off; r0 += span {
+				members := make([]int, span)
+				for k := 0; k < span; k++ {
+					members[k] = id((r0+k)%rows, c)
+				}
+				chans = append(chans, Channel{Members: members})
+			}
+		}
+	}
+	return build(fmt.Sprintf("dlm-%dx%d-s%d", rows, cols, span), n, chans)
+}

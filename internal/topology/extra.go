@@ -1,0 +1,75 @@
+package topology
+
+import "fmt"
+
+// NewTorus3D returns an x×y×z wraparound mesh: the natural next step
+// for the paper's "how do the schemes behave when the size of the
+// system changes" question, with diameter ⌊x/2⌋+⌊y/2⌋+⌊z/2⌋ — much
+// smaller than a 2-D torus of equal size. PE (i,j,k) has ID
+// (i*y + j)*z + k.
+func NewTorus3D(x, y, z int) *Topology {
+	if x <= 0 || y <= 0 || z <= 0 {
+		panic("topology: torus3d dimensions must be positive")
+	}
+	id := func(i, j, k int) int { return (i*y+j)*z + k }
+	var chans []Channel
+	link := func(a, b int) {
+		if a != b { // dimension of size 1 yields self-loops; skip
+			chans = append(chans, Channel{Members: []int{a, b}})
+		}
+	}
+	addDim := func(n int, at func(w int) int) {
+		for w := 0; w < n-1; w++ {
+			link(at(w), at(w+1))
+		}
+		if n > 2 {
+			link(at(n-1), at(0))
+		}
+	}
+	for i := 0; i < x; i++ {
+		for j := 0; j < y; j++ {
+			addDim(z, func(w int) int { return id(i, j, w) })
+		}
+	}
+	for i := 0; i < x; i++ {
+		for k := 0; k < z; k++ {
+			addDim(y, func(w int) int { return id(i, w, k) })
+		}
+	}
+	for j := 0; j < y; j++ {
+		for k := 0; k < z; k++ {
+			addDim(x, func(w int) int { return id(w, j, k) })
+		}
+	}
+	return build(fmt.Sprintf("torus3d-%dx%dx%d", x, y, z), x*y*z, chans)
+}
+
+// NewChordalRing returns a ring of n PEs augmented with chords of the
+// given stride (each PE also links to the PE `chord` positions ahead) —
+// a classic 1980s degree-4 network with diameter O(n/chord + chord).
+func NewChordalRing(n, chord int) *Topology {
+	if n < 3 {
+		panic("topology: chordal ring needs at least 3 PEs")
+	}
+	if chord < 2 || chord > n/2 {
+		panic("topology: chord must be in [2, n/2]")
+	}
+	var chans []Channel
+	seen := map[pairKey]bool{}
+	link := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		k := pairKey{a, b}
+		if a == b || seen[k] {
+			return
+		}
+		seen[k] = true
+		chans = append(chans, Channel{Members: []int{a, b}})
+	}
+	for i := 0; i < n; i++ {
+		link(i, (i+1)%n)
+		link(i, (i+chord)%n)
+	}
+	return build(fmt.Sprintf("chordal-%d-c%d", n, chord), n, chans)
+}

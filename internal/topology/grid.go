@@ -1,0 +1,59 @@
+package topology
+
+import "fmt"
+
+// NewGrid returns a rows×cols nearest-neighbor grid without wraparound:
+// each PE links to the PEs directly above, below, left and right of it.
+// Its diameter is (rows-1)+(cols-1) — for the paper's square grids of
+// side 5..20 that is the quoted "8 to 38" range.
+func NewGrid(rows, cols int) *Topology {
+	return newGrid(rows, cols, false)
+}
+
+// NewTorus returns a rows×cols grid with wraparound connections (the
+// literal reading of the paper's "nearest neighbor grid with wrap-around
+// connections"). Diameter floor(rows/2)+floor(cols/2).
+func NewTorus(rows, cols int) *Topology {
+	return newGrid(rows, cols, true)
+}
+
+func newGrid(rows, cols int, wrap bool) *Topology {
+	if rows <= 0 || cols <= 0 {
+		panic("topology: grid dimensions must be positive")
+	}
+	n := rows * cols
+	id := func(r, c int) int { return r*cols + c }
+	var chans []Channel
+	link := func(a, b int) {
+		chans = append(chans, Channel{Members: []int{a, b}})
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				link(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				link(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	if wrap {
+		// A wrap link duplicates an existing link when the dimension has
+		// size 2, and is a self-loop at size 1; skip both cases.
+		if cols > 2 {
+			for r := 0; r < rows; r++ {
+				link(id(r, cols-1), id(r, 0))
+			}
+		}
+		if rows > 2 {
+			for c := 0; c < cols; c++ {
+				link(id(rows-1, c), id(0, c))
+			}
+		}
+	}
+	kind := "grid"
+	if wrap {
+		kind = "torus"
+	}
+	return build(fmt.Sprintf("%s-%dx%d", kind, rows, cols), n, chans)
+}

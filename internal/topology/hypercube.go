@@ -1,0 +1,24 @@
+package topology
+
+import "fmt"
+
+// NewHypercube returns a binary hypercube of the given dimension:
+// 2^dim PEs, with PEs adjacent iff their IDs differ in exactly one bit.
+// Diameter and degree both equal dim. Used by the paper's appendix
+// experiments (dimensions 5–7).
+func NewHypercube(dim int) *Topology {
+	if dim < 0 || dim > 20 {
+		panic("topology: hypercube dimension out of range [0,20]")
+	}
+	n := 1 << uint(dim)
+	var chans []Channel
+	for pe := 0; pe < n; pe++ {
+		for b := 0; b < dim; b++ {
+			other := pe ^ (1 << uint(b))
+			if other > pe { // add each edge once
+				chans = append(chans, Channel{Members: []int{pe, other}})
+			}
+		}
+	}
+	return build(fmt.Sprintf("hypercube-d%d", dim), n, chans)
+}

@@ -1,0 +1,91 @@
+package topology
+
+import "fmt"
+
+// NewRing returns a cycle of n PEs (n >= 3), each linked to its two
+// neighbors. Diameter floor(n/2). Useful as a worst-case large-diameter
+// network in tests and ablations.
+func NewRing(n int) *Topology {
+	if n < 3 {
+		panic("topology: ring needs at least 3 PEs")
+	}
+	var chans []Channel
+	for i := 0; i < n; i++ {
+		chans = append(chans, Channel{Members: []int{i, (i + 1) % n}})
+	}
+	return build(fmt.Sprintf("ring-%d", n), n, chans)
+}
+
+// NewComplete returns a fully connected network of n PEs: the idealized
+// (non-scalable) global-communication machine the paper argues against.
+// With n == 1 it is the degenerate single-PE machine.
+func NewComplete(n int) *Topology {
+	if n <= 0 {
+		panic("topology: complete graph needs at least 1 PE")
+	}
+	var chans []Channel
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			chans = append(chans, Channel{Members: []int{i, j}})
+		}
+	}
+	return build(fmt.Sprintf("complete-%d", n), n, chans)
+}
+
+// NewSingle returns the one-PE machine: no channels, every strategy
+// degenerates to local execution.
+func NewSingle() *Topology {
+	return build("single", 1, nil)
+}
+
+// NewStar returns a hub-and-spoke network: PE 0 is the hub, PEs 1..n-1
+// are leaves. Models a centralized load-distribution bottleneck.
+func NewStar(n int) *Topology {
+	if n < 2 {
+		panic("topology: star needs at least 2 PEs")
+	}
+	var chans []Channel
+	for i := 1; i < n; i++ {
+		chans = append(chans, Channel{Members: []int{0, i}})
+	}
+	return build(fmt.Sprintf("star-%d", n), n, chans)
+}
+
+// NewTree returns a complete k-ary tree with the given number of levels
+// (levels >= 1; levels == 1 is a single PE... rejected here, use
+// NewSingle). Node i's children are k*i+1 .. k*i+k.
+func NewTree(arity, levels int) *Topology {
+	if arity < 2 {
+		panic("topology: tree arity must be at least 2")
+	}
+	if levels < 2 {
+		panic("topology: tree needs at least 2 levels")
+	}
+	n := 0
+	pow := 1
+	for l := 0; l < levels; l++ {
+		n += pow
+		pow *= arity
+	}
+	var chans []Channel
+	for i := 0; i < n; i++ {
+		for c := arity*i + 1; c <= arity*i+arity && c < n; c++ {
+			chans = append(chans, Channel{Members: []int{i, c}})
+		}
+	}
+	return build(fmt.Sprintf("tree-a%d-l%d", arity, levels), n, chans)
+}
+
+// NewBusGlobal returns n PEs on one shared bus: every PE is one hop from
+// every other, but all communication contends for a single channel.
+// An extreme contention stress case for the machine model.
+func NewBusGlobal(n int) *Topology {
+	if n < 2 {
+		panic("topology: global bus needs at least 2 PEs")
+	}
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	return build(fmt.Sprintf("bus-%d", n), n, []Channel{{Members: members}})
+}

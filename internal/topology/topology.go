@@ -1,0 +1,231 @@
+// Package topology models the interconnection networks of the simulated
+// multiprocessor: which PEs are neighbors, which communication channels
+// (point-to-point links or multi-drop buses) connect them, shortest-path
+// distances, and next-hop routing.
+//
+// The paper's experiments use three families: the 2-dimensional
+// nearest-neighbor grid (with and without wraparound), the bus-based
+// double-lattice-mesh from Kale's ICPP 1986 "Optimal Communication
+// Neighborhoods", and — in the appendix — binary hypercubes. Ring, star,
+// complete and tree networks are included for tests and extensions.
+//
+// A Channel is the unit of communication contention: a point-to-point
+// link has two members, a bus has span-many. Two PEs are neighbors iff
+// they share at least one channel; one channel transaction is one "hop".
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Channel is a communication resource shared by its member PEs. For
+// point-to-point links len(Members) == 2; for buses it is the bus span.
+// Exactly one message can occupy a channel at a time.
+type Channel struct {
+	ID      int
+	Members []int
+}
+
+// Topology is an immutable interconnection network. Construct via the
+// New* functions. All slices returned by accessors must be treated as
+// read-only; they are shared across concurrent simulations.
+type Topology struct {
+	name     string
+	n        int
+	channels []Channel
+	chansOf  [][]int // PE -> channel IDs, ascending
+	nbrs     [][]int // PE -> neighbor PE IDs, ascending
+	between  map[pairKey][]int
+
+	routeOnce sync.Once
+	dist      [][]int32 // all-pairs shortest hop counts
+	next      [][]int32 // next[src][dst] = first hop on a shortest path
+	diameter  int
+}
+
+type pairKey struct{ a, b int }
+
+// build assembles the derived structures from a channel list.
+func build(name string, n int, channels []Channel) *Topology {
+	if n <= 0 {
+		panic("topology: non-positive size")
+	}
+	t := &Topology{
+		name:     name,
+		n:        n,
+		channels: channels,
+		chansOf:  make([][]int, n),
+		nbrs:     make([][]int, n),
+		between:  make(map[pairKey][]int),
+	}
+	nbrSet := make([]map[int]bool, n)
+	for i := range nbrSet {
+		nbrSet[i] = make(map[int]bool)
+	}
+	for ci := range channels {
+		ch := &channels[ci]
+		ch.ID = ci
+		if len(ch.Members) < 2 {
+			panic(fmt.Sprintf("topology %s: channel %d has %d members", name, ci, len(ch.Members)))
+		}
+		seen := make(map[int]bool, len(ch.Members))
+		for _, pe := range ch.Members {
+			if pe < 0 || pe >= n {
+				panic(fmt.Sprintf("topology %s: channel %d member %d out of range", name, ci, pe))
+			}
+			if seen[pe] {
+				panic(fmt.Sprintf("topology %s: channel %d lists PE %d twice", name, ci, pe))
+			}
+			seen[pe] = true
+			t.chansOf[pe] = append(t.chansOf[pe], ci)
+		}
+		for _, a := range ch.Members {
+			for _, b := range ch.Members {
+				if a == b {
+					continue
+				}
+				nbrSet[a][b] = true
+				t.between[pairKey{a, b}] = append(t.between[pairKey{a, b}], ci)
+			}
+		}
+	}
+	for pe := range t.nbrs {
+		for b := range nbrSet[pe] {
+			t.nbrs[pe] = append(t.nbrs[pe], b)
+		}
+		sort.Ints(t.nbrs[pe])
+	}
+	return t
+}
+
+// Name returns a human-readable identifier, e.g. "grid-10x10" or
+// "dlm-10x10-s5".
+func (t *Topology) Name() string { return t.name }
+
+// Size returns the number of PEs.
+func (t *Topology) Size() int { return t.n }
+
+// Channels returns all communication channels.
+func (t *Topology) Channels() []Channel { return t.channels }
+
+// ChannelsOf returns the IDs of channels PE pe is attached to.
+func (t *Topology) ChannelsOf(pe int) []int { return t.chansOf[pe] }
+
+// Neighbors returns the PEs sharing at least one channel with pe, in
+// ascending order.
+func (t *Topology) Neighbors(pe int) []int { return t.nbrs[pe] }
+
+// ChannelsBetween returns the channels directly connecting a and b
+// (nil if they are not neighbors). Bus topologies may offer several.
+func (t *Topology) ChannelsBetween(a, b int) []int { return t.between[pairKey{a, b}] }
+
+// ensureRouting computes all-pairs BFS distances, next hops and the
+// diameter, once, on first use.
+func (t *Topology) ensureRouting() {
+	t.routeOnce.Do(func() {
+		n := t.n
+		t.dist = make([][]int32, n)
+		queue := make([]int32, 0, n)
+		for src := 0; src < n; src++ {
+			d := make([]int32, n)
+			for i := range d {
+				d[i] = -1
+			}
+			d[src] = 0
+			queue = queue[:0]
+			queue = append(queue, int32(src))
+			for len(queue) > 0 {
+				u := queue[0]
+				queue = queue[1:]
+				for _, v := range t.nbrs[u] {
+					if d[v] < 0 {
+						d[v] = d[u] + 1
+						queue = append(queue, int32(v))
+					}
+				}
+			}
+			t.dist[src] = d
+		}
+		diam := 0
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				dd := t.dist[src][dst]
+				if dd < 0 {
+					panic(fmt.Sprintf("topology %s: disconnected (%d unreachable from %d)", t.name, dst, src))
+				}
+				if int(dd) > diam {
+					diam = int(dd)
+				}
+			}
+		}
+		t.diameter = diam
+		// next[src][dst]: lowest-numbered neighbor of src on a shortest path.
+		t.next = make([][]int32, n)
+		for src := 0; src < n; src++ {
+			row := make([]int32, n)
+			for dst := 0; dst < n; dst++ {
+				if src == dst {
+					row[dst] = int32(src)
+					continue
+				}
+				row[dst] = -1
+				for _, nb := range t.nbrs[src] {
+					if t.dist[nb][dst] == t.dist[src][dst]-1 {
+						row[dst] = int32(nb)
+						break // neighbors ascending => deterministic choice
+					}
+				}
+				if row[dst] < 0 {
+					panic("topology: no next hop on shortest path")
+				}
+			}
+			t.next[src] = row
+		}
+	})
+}
+
+// Dist returns the shortest hop count between a and b.
+func (t *Topology) Dist(a, b int) int {
+	t.ensureRouting()
+	return int(t.dist[a][b])
+}
+
+// NextHop returns the neighbor of from that is the first hop on a
+// shortest path to to. NextHop(x, x) == x.
+func (t *Topology) NextHop(from, to int) int {
+	t.ensureRouting()
+	return int(t.next[from][to])
+}
+
+// Diameter returns the maximum shortest-path distance over all PE pairs.
+func (t *Topology) Diameter() int {
+	t.ensureRouting()
+	return t.diameter
+}
+
+// MaxDegree returns the largest neighbor count of any PE.
+func (t *Topology) MaxDegree() int {
+	max := 0
+	for _, nb := range t.nbrs {
+		if len(nb) > max {
+			max = len(nb)
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the mean neighbor count.
+func (t *Topology) AvgDegree() float64 {
+	total := 0
+	for _, nb := range t.nbrs {
+		total += len(nb)
+	}
+	return float64(total) / float64(t.n)
+}
+
+// String implements fmt.Stringer.
+func (t *Topology) String() string {
+	return fmt.Sprintf("%s (%d PEs, %d channels, diameter %d)", t.name, t.n, len(t.channels), t.Diameter())
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"cwnsim/internal/report"
+	"cwnsim/internal/sim"
+)
+
+// Frame is one sampling instant of the load monitor: every PE's
+// utilization over the window that just ended.
+type Frame struct {
+	At   sim.Time
+	Util []float64 // per PE, in [0,1]
+}
+
+// Monitor accumulates per-PE utilization frames — the data ORACLE
+// shipped to its color graphics display. The machine appends a frame
+// every sample interval when monitoring is enabled.
+type Monitor struct {
+	Frames []Frame
+}
+
+// Append adds a frame (the utilization slice is copied).
+func (m *Monitor) Append(at sim.Time, util []float64) {
+	cp := make([]float64, len(util))
+	copy(cp, util)
+	m.Frames = append(m.Frames, Frame{At: at, Util: cp})
+}
+
+// Len returns the number of frames.
+func (m *Monitor) Len() int { return len(m.Frames) }
+
+// ActivePEs returns how many PEs were busy at all in frame i.
+func (m *Monitor) ActivePEs(i int) int {
+	n := 0
+	for _, u := range m.Frames[i].Util {
+		if u > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Render writes a selection of frames as heat maps laid out on a
+// rows×cols PE grid: a flip-book of the load spreading across the
+// machine ("red: busy, blue: idle" in ASCII shades). every selects the
+// stride between rendered frames (1 = all).
+func (m *Monitor) Render(w io.Writer, rows, cols, every int) {
+	if every < 1 {
+		every = 1
+	}
+	for i := 0; i < len(m.Frames); i += every {
+		f := m.Frames[i]
+		hm := report.NewHeatmap(fmt.Sprintf("t=%d  (%d/%d PEs active)", f.At, m.ActivePEs(i), len(f.Util)), rows, cols)
+		copy(hm.Values, f.Util)
+		hm.Render(w)
+	}
+}
+
+// WriteCSV emits the frames in ORACLE's machine-readable monitor format:
+// one row per frame, first column the time, then one utilization column
+// per PE — suitable for driving an external plotting program.
+func (m *Monitor) WriteCSV(w io.Writer) error {
+	for _, f := range m.Frames {
+		if _, err := fmt.Fprintf(w, "%d", f.At); err != nil {
+			return err
+		}
+		for _, u := range f.Util {
+			if _, err := fmt.Fprintf(w, ",%.4f", u); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCollector(t *testing.T) {
+	var c Collector
+	c.Record(Event{At: 1, Kind: GoalCreated, PE: 0, Other: -1, Goal: 7})
+	c.Record(Event{At: 2, Kind: GoalSent, PE: 0, Other: 1, Goal: 7})
+	c.Record(Event{At: 3, Kind: GoalAccepted, PE: 1, Other: -1, Goal: 7})
+	c.Record(Event{At: 4, Kind: GoalAccepted, PE: 2, Other: -1, Goal: 9})
+
+	if len(c.Events) != 4 {
+		t.Fatalf("stored %d events", len(c.Events))
+	}
+	if got := c.ByKind(GoalAccepted); len(got) != 2 {
+		t.Errorf("ByKind(GoalAccepted) = %d events", len(got))
+	}
+	if got := c.ByGoal(7); len(got) != 3 {
+		t.Errorf("ByGoal(7) = %d events", len(got))
+	}
+	if c.Count(GoalSent) != 1 || c.Count(GoalExecuted) != 0 {
+		t.Error("Count wrong")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	for i := 0; i < 5; i++ {
+		c.Record(Event{Kind: GoalExecuted})
+	}
+	c.Record(Event{Kind: RespSent})
+	if c.Count(GoalExecuted) != 5 || c.Count(RespSent) != 1 || c.Count(GoalCreated) != 0 {
+		t.Errorf("counter wrong: %+v", c)
+	}
+	if c.Count(Kind(200)) != 0 {
+		t.Error("out-of-range kind should count 0")
+	}
+}
+
+func TestLogger(t *testing.T) {
+	var buf bytes.Buffer
+	l := &Logger{W: &buf}
+	l.Record(Event{At: 42, Kind: GoalSent, PE: 3, Other: 4, Goal: 17})
+	l.Record(Event{At: 50, Kind: GoalExecuted, PE: 4, Other: -1, Goal: 17})
+	out := buf.String()
+	if !strings.Contains(out, "goal-sent") || !strings.Contains(out, "peer=4") {
+		t.Errorf("log output: %q", out)
+	}
+	if !strings.Contains(out, "goal-executed") {
+		t.Errorf("log output: %q", out)
+	}
+	// Filtered logger drops unselected kinds.
+	buf.Reset()
+	l.Filter = func(k Kind) bool { return k == RespSent }
+	l.Record(Event{At: 1, Kind: GoalSent, PE: 0, Other: 1, Goal: 1})
+	if buf.Len() != 0 {
+		t.Errorf("filter leaked: %q", buf.String())
+	}
+	l.Record(Event{At: 1, Kind: RespSent, PE: 0, Other: 1, Goal: 1})
+	if buf.Len() == 0 {
+		t.Error("filter dropped selected kind")
+	}
+}
+
+func TestMulti(t *testing.T) {
+	var a, b Counter
+	m := Multi{&a, &b}
+	m.Record(Event{Kind: GoalCreated})
+	if a.Count(GoalCreated) != 1 || b.Count(GoalCreated) != 1 {
+		t.Error("multi did not fan out")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := GoalCreated; k < numKinds; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if !strings.HasPrefix(Kind(99).String(), "Kind(") {
+		t.Error("unknown kind should fall back")
+	}
+}
+
+func TestMonitorFrames(t *testing.T) {
+	var m Monitor
+	m.Append(10, []float64{0, 0.5, 1, 0})
+	m.Append(20, []float64{1, 1, 1, 0.25})
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if m.ActivePEs(0) != 2 || m.ActivePEs(1) != 4 {
+		t.Errorf("ActivePEs = %d, %d", m.ActivePEs(0), m.ActivePEs(1))
+	}
+	// Frames are copies: mutating the source must not leak in.
+	src := []float64{0.9}
+	m.Append(30, src)
+	src[0] = 0
+	if m.Frames[2].Util[0] != 0.9 {
+		t.Error("frame aliases caller slice")
+	}
+}
+
+func TestMonitorRender(t *testing.T) {
+	var m Monitor
+	m.Append(10, []float64{0, 1, 0.5, 0})
+	m.Append(20, []float64{1, 1, 1, 1})
+	var buf bytes.Buffer
+	m.Render(&buf, 2, 2, 1)
+	out := buf.String()
+	if !strings.Contains(out, "t=10") || !strings.Contains(out, "t=20") {
+		t.Errorf("render missing frames:\n%s", out)
+	}
+	if !strings.Contains(out, "2/4 PEs active") {
+		t.Errorf("render missing activity count:\n%s", out)
+	}
+	// Stride skips frames.
+	buf.Reset()
+	m.Render(&buf, 2, 2, 2)
+	if strings.Contains(buf.String(), "t=20") {
+		t.Error("stride 2 should skip the second frame")
+	}
+}
+
+func TestMonitorCSV(t *testing.T) {
+	var m Monitor
+	m.Append(10, []float64{0.5, 1})
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "10,0.5000,1.0000\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,47 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"cwnsim/internal/workload"
+)
+
+// The paper's two programs, sized so both generate identical goal
+// counts (the dc sizes are Fibonacci numbers).
+func Example() {
+	fib := workload.NewFib(11)
+	dc := workload.NewDC(1, 144)
+	fmt.Println(fib, "value", fib.Eval())
+	fmt.Println(dc, "value", dc.Eval())
+	// Output:
+	// fib(11) (287 goals, depth 10) value 89
+	// dc(1,144) (287 goals, depth 8) value 10440
+}
+
+func ExampleTree_MaxSpeedup() {
+	// The work/span bound: dc's balanced tree has far more parallelism
+	// than fib's skewed one at equal goal count.
+	fib := workload.NewFib(15)
+	dc := workload.NewDC(1, 987)
+	fmt.Printf("fib(15): T1=%d Tinf=%d bound=%.0f\n",
+		fib.SequentialTime(10, 5), fib.CriticalPath(10, 5), fib.MaxSpeedup(10, 5))
+	fmt.Printf("dc(1,987): T1=%d Tinf=%d bound=%.0f\n",
+		dc.SequentialTime(10, 5), dc.CriticalPath(10, 5), dc.MaxSpeedup(10, 5))
+	// Output:
+	// fib(15): T1=29590 Tinf=220 bound=134
+	// dc(1,987): T1=29590 Tinf=160 bound=185
+}
+
+func ExampleTree_Walk() {
+	tr := workload.NewDC(1, 4)
+	tr.Walk(func(t *workload.Task) {
+		if t.IsLeaf() {
+			fmt.Printf("leaf %d value %d\n", t.ID, t.Value)
+		}
+	})
+	// Output:
+	// leaf 2 value 1
+	// leaf 3 value 2
+	// leaf 5 value 3
+	// leaf 6 value 4
+}

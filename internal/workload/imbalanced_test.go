@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestImbalancedExactCount(t *testing.T) {
+	for _, goals := range []int{1, 2, 3, 10, 101, 500} {
+		for _, frac := range []float64{0.1, 0.5, 0.9} {
+			tr := NewImbalanced(goals, frac)
+			if tr.Count() != goals {
+				t.Errorf("imbal(%d,%.1f) count = %d", goals, frac, tr.Count())
+			}
+			if tr.Eval() != int64(tr.Leaves()) {
+				t.Errorf("imbal(%d,%.1f) eval %d != leaves %d", goals, frac, tr.Eval(), tr.Leaves())
+			}
+		}
+	}
+}
+
+func TestImbalancedDepthGrowsWithSkew(t *testing.T) {
+	balanced := NewImbalanced(511, 0.5)
+	skewed := NewImbalanced(511, 0.9)
+	if skewed.Depth() <= balanced.Depth() {
+		t.Errorf("skewed depth %d <= balanced depth %d", skewed.Depth(), balanced.Depth())
+	}
+}
+
+func TestImbalancedMatchesDCWhenBalanced(t *testing.T) {
+	// At 0.5 the shape approximates dc: depth within 2x of log2(n).
+	tr := NewImbalanced(1023, 0.5)
+	if tr.Depth() > 20 {
+		t.Errorf("balanced split depth = %d, want near 10", tr.Depth())
+	}
+}
+
+func TestQuickImbalancedCount(t *testing.T) {
+	f := func(raw uint16, fr uint8) bool {
+		goals := int(raw%2000) + 1
+		frac := 0.05 + 0.9*float64(fr)/255
+		tr := NewImbalanced(goals, frac)
+		return tr.Count() == goals
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImbalancedPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewImbalanced(0, 0.5) },
+		func() { NewImbalanced(10, 0) },
+		func() { NewImbalanced(10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWalkIsPreorder(t *testing.T) {
+	tr := NewDC(1, 8)
+	var ids []int32
+	tr.Walk(func(task *Task) { ids = append(ids, task.ID) })
+	for i, id := range ids {
+		if int32(i) != id {
+			t.Fatalf("walk order not preorder-ID order at %d: %v", i, ids[:i+1])
+		}
+	}
+}
+
+func TestTotalWorkWithMultipliers(t *testing.T) {
+	tr := NewRandom(RandomConfig{Seed: 9, Goals: 300, MaxKids: 3, MaxWork: 5, LeafValue: 1})
+	var manual int64
+	tr.Walk(func(task *Task) { manual += int64(task.Work) })
+	if tr.TotalWork() != manual {
+		t.Errorf("TotalWork %d != manual sum %d", tr.TotalWork(), manual)
+	}
+	if tr.TotalWork() < int64(tr.Count()) {
+		t.Error("TotalWork below count despite Work >= 1")
+	}
+}
