@@ -20,7 +20,10 @@ func benchSpecs(b *testing.B, specs []experiments.RunSpec) {
 	b.Helper()
 	var speedup, util float64
 	for i := 0; i < b.N; i++ {
-		results := experiments.RunAll(specs, 0)
+		results, err := experiments.RunAll(specs, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
 		speedup, util = 0, 0
 		for _, r := range results {
 			speedup += r.Speedup

@@ -25,6 +25,8 @@ func main() {
 		topoArg  = flag.String("topo", "grid:10x10", "topology: grid:RxC | torus:RxC | dlm:RxC:SPAN | hypercube:D | ring:N | complete:N | star:N | bus:N | single")
 		wlArg    = flag.String("workload", "fib:15", "workload: fib:M | dc:X | dc:M:N | binary:D | skew:N | chain:N | random:N:SEED")
 		stratArg = flag.String("strategy", "cwn:9:2", "strategy: cwn:R:H | gm:LOW:HIGH:IVL | acwn:R:H:SAT:IVL | local | randomwalk:K | roundrobin | worksteal:IVL:T")
+		arrArg   = flag.String("arrival", "single", "arrival process: single | interval:GAP:JOBS | poisson:MEANGAP:JOBS | burst:SIZE:GAP:BURSTS")
+		warmup   = flag.Int64("warmup", 0, "exclude jobs injected before this virtual time from steady-state latency stats")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		sample   = flag.Int64("sample", 0, "utilization sampling interval (0 = off)")
 		chart    = flag.Bool("chart", false, "render the utilization-over-time chart (needs -sample)")
@@ -42,19 +44,24 @@ func main() {
 	fail(err)
 	strat, err := experiments.ParseStrategy(*stratArg)
 	fail(err)
+	arr, err := experiments.ParseArrival(*arrArg)
+	fail(err)
 
 	spec := experiments.RunSpec{
 		Topo:           topo,
 		Workload:       wl,
 		Strategy:       strat,
+		Arrival:        arr,
 		Seed:           *seed,
+		Warmup:         *warmup,
 		SampleInterval: *sample,
 		MonitorPE:      *monitor > 0,
 		LoadMetric:     *loadMet,
 		GoalHopTime:    *hopTime,
 		RespHopTime:    *hopTime,
 	}
-	res := spec.Execute()
+	res, err := spec.ExecuteErr()
+	fail(err)
 	st := res.Stats
 
 	fmt.Println(st.String())

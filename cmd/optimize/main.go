@@ -52,10 +52,21 @@ func main() {
 
 	if *scheme == "cwn" || *scheme == "both" {
 		radii, horizons := experiments.DefaultCWNGridSearch(*quick)
-		show("CWN", experiments.OptimizeCWN(ts, wls, radii, horizons, *workers))
+		out, err := experiments.OptimizeCWN(ts, wls, radii, horizons, *workers)
+		fail(err)
+		show("CWN", out)
 	}
 	if *scheme == "gm" || *scheme == "both" {
 		lows, highs, ivs := experiments.DefaultGMGridSearch(*quick)
-		show("GM", experiments.OptimizeGM(ts, wls, lows, highs, ivs, *workers))
+		out, err := experiments.OptimizeGM(ts, wls, lows, highs, ivs, *workers)
+		fail(err)
+		show("GM", out)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optimize:", err)
+		os.Exit(1)
 	}
 }

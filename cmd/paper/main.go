@@ -108,10 +108,10 @@ func table1() {
 	radii, horizons := experiments.DefaultCWNGridSearch(*quick)
 	lows, highs, ivs := experiments.DefaultGMGridSearch(*quick)
 
-	gridCWN := experiments.OptimizeCWN(gridTs, gridWls, radii, horizons, *workers)
-	dlmCWN := experiments.OptimizeCWN(dlmTs, dlmWls, radii, horizons, *workers)
-	gridGM := experiments.OptimizeGM(gridTs, gridWls, lows, highs, ivs, *workers)
-	dlmGM := experiments.OptimizeGM(dlmTs, dlmWls, lows, highs, ivs, *workers)
+	gridCWN := mustOptimize(experiments.OptimizeCWN(gridTs, gridWls, radii, horizons, *workers))
+	dlmCWN := mustOptimize(experiments.OptimizeCWN(dlmTs, dlmWls, radii, horizons, *workers))
+	gridGM := mustOptimize(experiments.OptimizeGM(gridTs, gridWls, lows, highs, ivs, *workers))
+	dlmGM := mustOptimize(experiments.OptimizeGM(dlmTs, dlmWls, lows, highs, ivs, *workers))
 
 	emit(experiments.OptimizationTable(gridCWN[0], dlmCWN[0], gridGM[0], dlmGM[0]), "table1.csv")
 
@@ -130,7 +130,7 @@ func table1() {
 func table2() {
 	specs := experiments.SpeedupSuite(*quick)
 	fmt.Printf("running %d simulations...\n", len(specs))
-	results := experiments.RunAll(specs, *workers)
+	results := mustRun(specs, *workers)
 	emit(experiments.SpeedupTable(results), "table2.csv")
 	fmt.Println("summary:", experiments.Summarize(results).String())
 }
@@ -139,7 +139,7 @@ func table2() {
 // paper's Table 1 lists (2) and the one its published histogram implies (1).
 func table3() {
 	for _, h := range []int{1, 2} {
-		results := experiments.RunAll(experiments.HopDistributionSpecs(h, *quick), *workers)
+		results := mustRun(experiments.HopDistributionSpecs(h, *quick), *workers)
 		tb := experiments.HopDistributionTable(results)
 		tb.Title = fmt.Sprintf("%s — CWN horizon %d", tb.Title, h)
 		emit(tb, fmt.Sprintf("table3_h%d.csv", h))
@@ -153,7 +153,7 @@ func utilizationPlots(topos []experiments.TopoSpec, prog string, firstPlot int) 
 		if *quick && ts.PEs() > 100 {
 			continue
 		}
-		results := experiments.RunAll(experiments.UtilizationCurveSpecs(ts, prog, *quick), *workers)
+		results := mustRun(experiments.UtilizationCurveSpecs(ts, prog, *quick), *workers)
 		title := fmt.Sprintf("%s on %s", prog, ts.Label())
 		if firstPlot > 0 {
 			title = fmt.Sprintf("Plot %d: %s", firstPlot+len(topos)-1-i, title)
@@ -191,7 +191,7 @@ func timePlots(ts experiments.TopoSpec, fibSizes []int, firstPlot int) {
 		if *quick && m > 15 {
 			m = 13
 		}
-		results := experiments.RunAll(experiments.TimeSeriesSpecs(ts, experiments.Fib(m), 50), *workers)
+		results := mustRun(experiments.TimeSeriesSpecs(ts, experiments.Fib(m), 50), *workers)
 		title := fmt.Sprintf("Plot %d: fib(%d) on %s, utilization over time", firstPlot+i, m, ts.Label())
 		experiments.TimeSeriesChart(title, results).Render(os.Stdout)
 		fmt.Println()
@@ -209,7 +209,7 @@ func hypercube() {
 		if *quick && ts.PEs() > 64 {
 			continue
 		}
-		results := experiments.RunAll(experiments.UtilizationCurveSpecs(ts, "fib", *quick), *workers)
+		results := mustRun(experiments.UtilizationCurveSpecs(ts, "fib", *quick), *workers)
 		experiments.UtilizationChart(fmt.Sprintf("Appendix: fib on %s", ts.Label()), results).Render(os.Stdout)
 		fmt.Println()
 	}
@@ -219,7 +219,7 @@ func hypercube() {
 		dim, sizes = 5, []int{13}
 	}
 	for _, m := range sizes {
-		results := experiments.RunAll(experiments.TimeSeriesSpecs(experiments.Hypercube(dim), experiments.Fib(m), 50), *workers)
+		results := mustRun(experiments.TimeSeriesSpecs(experiments.Hypercube(dim), experiments.Fib(m), 50), *workers)
 		experiments.TimeSeriesChart(fmt.Sprintf("Appendix: fib(%d) on hypercube-d%d over time", m, dim), results).Render(os.Stdout)
 		fmt.Println()
 	}
@@ -227,26 +227,26 @@ func hypercube() {
 
 // ablation runs the future-work extension comparison.
 func ablation() {
-	results := experiments.RunAll(experiments.AblationSpecs(*quick), *workers)
+	results := mustRun(experiments.AblationSpecs(*quick), *workers)
 	emit(experiments.ResultTable("CWN extensions and baselines (paper future work)", results), "ablation.csv")
 }
 
 // commRatio runs the communication-ratio caveat sweep.
 func commRatio() {
-	results := experiments.RunAll(experiments.CommRatioSpecs(*quick), *workers)
+	results := mustRun(experiments.CommRatioSpecs(*quick), *workers)
 	emit(experiments.ResultTable("communication:computation ratio sweep", results), "commratio.csv")
 }
 
 // diameter runs the diameter-conjecture study: same machine size,
 // varying network diameter.
 func diameter() {
-	results := experiments.RunAll(experiments.DiameterStudySpecs(*quick), *workers)
+	results := mustRun(experiments.DiameterStudySpecs(*quick), *workers)
 	emit(experiments.DiameterStudyTable(results), "diameter.csv")
 }
 
 // imbalance sweeps computation-tree skew at fixed size.
 func imbalance() {
-	results := experiments.RunAll(experiments.ImbalanceSpecs(*quick), *workers)
+	results := mustRun(experiments.ImbalanceSpecs(*quick), *workers)
 	emit(experiments.ResultTable("tree-imbalance sweep (64 PEs, fixed goals)", results), "imbalance.csv")
 }
 
@@ -268,4 +268,23 @@ func monitor() {
 		res.Stats.Monitor.Render(os.Stdout, 10, 10, 4)
 		fmt.Println()
 	}
+}
+
+// mustRun executes specs, exiting with the joined error if any run
+// fails — a paper regeneration has no use for partial tables.
+func mustRun(specs []experiments.RunSpec, workers int) []*experiments.Result {
+	results, err := experiments.RunAll(specs, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paper:", err)
+		os.Exit(1)
+	}
+	return results
+}
+
+func mustOptimize(out []experiments.OptOutcome, err error) []experiments.OptOutcome {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paper:", err)
+		os.Exit(1)
+	}
+	return out
 }

@@ -1,26 +1,46 @@
 // Package cwnsim is a from-scratch Go reproduction of L.V. Kale,
 // "Comparing the Performance of Two Dynamic Load Distribution Methods"
-// (ICPP 1988 / UIUCDCS-R-87-1387): a discrete-event simulation study of
-// two distributed load-balancing schemes — Contracting Within a
-// Neighborhood (CWN) and Lin & Keller's Gradient Model (GM) — for
-// medium-grain, tree-structured symbolic computations on message-passing
-// multiprocessors.
+// (ICPP 1988 / UIUCDCS-R-87-1387) — a discrete-event simulation study
+// of two distributed load-balancing schemes, Contracting Within a
+// Neighborhood (CWN) and Lin & Keller's Gradient Model (GM) — grown
+// into an open-system serving benchmark for dynamic load balancers on
+// message-passing multiprocessors.
+//
+// Two run lifecycles share one machine model:
+//
+//   - Closed system (the paper): one tree-structured computation is
+//     injected at time zero and the machine drains; the figure of merit
+//     is makespan/speedup. machine.New builds these runs.
+//   - Open system (the extension): a machine.JobSource injects a stream
+//     of root goals over virtual time — fixed-interval, Poisson, or
+//     bursty arrivals — and every job's sojourn time (injection to root
+//     response) is recorded; the figures of merit are mean/p50/p99
+//     latency, throughput, and steady-state utilization with warm-up
+//     exclusion. machine.NewStream builds these runs, and the single
+//     job is just the trivial stream, so paper results are preserved
+//     bit for bit.
 //
 // The library layers, bottom-up:
 //
 //	internal/sim         deterministic discrete-event engine (ORACLE's kernel)
 //	internal/topology    grids, tori, double-lattice-meshes, hypercubes, ...
 //	internal/workload    fib/dc/random task trees (the simulated programs)
-//	internal/machine     PEs, channels with contention, message routing
+//	internal/machine     PEs, channels with contention, job streams, routing
 //	internal/core        CWN, GM, ACWN, and baseline strategies
-//	internal/metrics     histograms, summaries, time series
+//	internal/metrics     histograms, summaries, exact-percentile samples
 //	internal/report      text tables, ASCII charts, heat maps, CSV
-//	internal/experiments the paper's experiment suites (Tables 1-3, all plots)
+//	internal/experiments registry-driven specs and the paper's suites
+//
+// The experiments layer dispatches topologies, workloads, strategies
+// and arrival processes through registries (experiments.RegisterTopology
+// and friends), so new kinds plug in by name and flow through JSON spec
+// files, the CLI parsers and every sweep without touching the dispatch.
 //
 // Executables: cmd/lbsim (single runs), cmd/paper (regenerate every
-// table and figure), cmd/optimize (the Table 1 parameter sweeps).
-// See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
-// results. The benchmarks in bench_test.go regenerate each table/figure
-// at reduced scale and report achieved speedup/utilization as custom
-// benchmark metrics.
+// table and figure), cmd/optimize (the Table 1 parameter sweeps),
+// cmd/sweep (ad-hoc batches), cmd/validate (the paper's claims as
+// checks), and cmd/serve (arrival-rate versus tail-latency sweeps for
+// the open system). The benchmarks in bench_test.go regenerate each
+// table/figure at reduced scale and report achieved speedup/utilization
+// as custom benchmark metrics.
 package cwnsim

@@ -30,7 +30,11 @@ func main() {
 	}
 
 	// Simulations are independent; run them on all cores.
-	results := experiments.RunAll(specs, 0)
+	results, err := experiments.RunAll(specs, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(1)
+	}
 
 	tb := report.NewTable(
 		fmt.Sprintf("%s on %s (%d PEs)", wl.Label(), topo.Label(), topo.PEs()),

@@ -1,0 +1,3 @@
+module cwnsim
+
+go 1.24

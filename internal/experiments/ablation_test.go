@@ -22,7 +22,10 @@ func TestDiameterStudy(t *testing.T) {
 			t.Fatalf("%s has %d PEs, want 64 (fixed machine size)", specs[i].Topo.Label(), specs[i].Topo.PEs())
 		}
 	}
-	results := RunAll(specs, 0)
+	results, err := RunAll(specs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tb := DiameterStudyTable(results)
 	if tb.NumRows() != 7 {
 		t.Fatalf("table rows = %d", tb.NumRows())

@@ -28,7 +28,11 @@ func Claims() []Claim {
 			ID:        "C1-cwn-wins",
 			Statement: "CWN yields larger speedups than GM in the vast majority of pairings (paper: 118/120)",
 			Check: func(quick bool, workers int) (bool, string) {
-				s := Summarize(RunAll(SpeedupSuite(quick), workers))
+				rs, err := RunAll(SpeedupSuite(quick), workers)
+				if err != nil {
+					return false, err.Error()
+				}
+				s := Summarize(rs)
 				frac := float64(s.CWNWins) / float64(s.Pairs)
 				return frac >= 0.75, s.String()
 			},
@@ -37,7 +41,11 @@ func Claims() []Claim {
 			ID:        "C2-grid-margins",
 			Statement: "margins are larger on grids (diameter 8-38) than on DLMs (diameter 4-5)",
 			Check: func(quick bool, workers int) (bool, string) {
-				s := Summarize(RunAll(SpeedupSuite(quick), workers))
+				rs, err := RunAll(SpeedupSuite(quick), workers)
+				if err != nil {
+					return false, err.Error()
+				}
+				s := Summarize(rs)
 				return s.GridMean > 1 && s.GridMean >= s.DLMMean*0.9,
 					fmt.Sprintf("gridMean=%.2f dlmMean=%.2f", s.GridMean, s.DLMMean)
 			},
@@ -55,7 +63,10 @@ func Claims() []Claim {
 					{Topo: ts, Workload: wl, Strategy: PaperCWNFor(ts), SampleInterval: 50, MonitorPE: true},
 					{Topo: ts, Workload: wl, Strategy: PaperGMFor(ts), SampleInterval: 50, MonitorPE: true},
 				}
-				rs := RunAll(specs, workers)
+				rs, err := RunAll(specs, workers)
+				if err != nil {
+					return false, err.Error()
+				}
 				cwn, gm := rs[0].Stats.Monitor, rs[1].Stats.Monitor
 				frame := 3 // t=200
 				if cwn.Len() <= frame || gm.Len() <= frame {
@@ -75,7 +86,10 @@ func Claims() []Claim {
 					wl = Fib(15)
 				}
 				ts := DLM(10, 5)
-				rs := RunAll(TimeSeriesSpecs(ts, wl, 50), workers)
+				rs, err := RunAll(TimeSeriesSpecs(ts, wl, 50), workers)
+				if err != nil {
+					return false, err.Error()
+				}
 				cwnPeak := rs[0].Stats.Timeline.MaxV()
 				gmPeak := rs[1].Stats.Timeline.MaxV()
 				return gmPeak >= cwnPeak-10,
@@ -86,7 +100,10 @@ func Claims() []Claim {
 			ID:        "C5-cwn-comm-3x",
 			Statement: "CWN requires roughly thrice the communication: mean goal distance ~3 hops vs <1 for GM, with a spike at the radius",
 			Check: func(quick bool, workers int) (bool, string) {
-				rs := RunAll(HopDistributionSpecs(1, quick), workers)
+				rs, err := RunAll(HopDistributionSpecs(1, quick), workers)
+				if err != nil {
+					return false, err.Error()
+				}
 				cwn, gm := rs[0], rs[1]
 				spike := cwn.Stats.GoalHops.Count(9) > 0
 				ok := cwn.AvgHops >= 2*gm.AvgHops && gm.AvgHops < 1 && spike
@@ -103,10 +120,13 @@ func Claims() []Claim {
 					wl = Fib(13)
 				}
 				ts := Grid(10)
-				rs := RunAll([]RunSpec{
+				rs, err := RunAll([]RunSpec{
 					{Topo: ts, Workload: wl, Strategy: PaperCWNFor(ts)},
 					{Topo: ts, Workload: wl, Strategy: PaperGMFor(ts)},
 				}, workers)
+				if err != nil {
+					return false, err.Error()
+				}
 				return rs[0].Util > 1.5*rs[1].Util && rs[0].Balance > rs[1].Balance,
 					fmt.Sprintf("util%%: CWN %.1f vs GM %.1f; balance: %.2f vs %.2f",
 						rs[0].Util, rs[1].Util, rs[0].Balance, rs[1].Balance)
@@ -116,7 +136,10 @@ func Claims() []Claim {
 			ID:        "C7-comm-ratio-caveat",
 			Statement: "when communication costs rise, CWN loses its edge (paper's closing caveat)",
 			Check: func(quick bool, workers int) (bool, string) {
-				rs := RunAll(CommRatioSpecs(quick), workers)
+				rs, err := RunAll(CommRatioSpecs(quick), workers)
+				if err != nil {
+					return false, err.Error()
+				}
 				cheap := rs[0].Speedup / rs[1].Speedup
 				costly := rs[len(rs)-2].Speedup / rs[len(rs)-1].Speedup
 				return costly < cheap,
@@ -143,10 +166,13 @@ func Claims() []Claim {
 				}
 				ts := Grid(10)
 				redist := ACWN(9, 2, 0, 40)
-				rs := RunAll([]RunSpec{
+				rs, err := RunAll([]RunSpec{
 					{Topo: ts, Workload: wl, Strategy: PaperCWNFor(ts)},
 					{Topo: ts, Workload: wl, Strategy: redist},
 				}, workers)
+				if err != nil {
+					return false, err.Error()
+				}
 				// At minimum, redistribution must not hurt materially.
 				return rs[1].Speedup >= rs[0].Speedup*0.95,
 					fmt.Sprintf("speedup: CWN %.2f vs ACWN-redist %.2f", rs[0].Speedup, rs[1].Speedup)

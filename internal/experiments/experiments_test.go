@@ -119,7 +119,10 @@ func TestRunAllOrderAndParallelism(t *testing.T) {
 		{Topo: Grid(4), Workload: Fib(9), Strategy: CWN(3, 1)},
 		{Topo: DLM(5, 5), Workload: DC(55), Strategy: GM(1, 1, 20)},
 	}
-	results := RunAll(specs, 4)
+	results, err := RunAll(specs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(results) != len(specs) {
 		t.Fatalf("got %d results", len(results))
 	}
@@ -138,7 +141,10 @@ func TestRunAllMatchesSequentialExecution(t *testing.T) {
 	// identical numbers for identical specs.
 	spec := RunSpec{Topo: Grid(4), Workload: Fib(10), Strategy: CWN(4, 1), Seed: 3}
 	seq := spec.Execute()
-	par := RunAll([]RunSpec{spec, spec, spec}, 3)
+	par, err := RunAll([]RunSpec{spec, spec, spec}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, r := range par {
 		if r.Makespan != seq.Makespan || r.Util != seq.Util {
 			t.Fatalf("parallel run diverged: %v vs %v", r.Makespan, seq.Makespan)
@@ -170,7 +176,10 @@ func TestPaperHeadlineAtQuickScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("quick suite still takes a few seconds")
 	}
-	results := RunAll(SpeedupSuite(true), 0)
+	results, err := RunAll(SpeedupSuite(true), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s := Summarize(results)
 	if s.Pairs != 48 {
 		t.Fatalf("pairs = %d, want 48", s.Pairs)
@@ -197,7 +206,10 @@ func TestUtilizationCurve(t *testing.T) {
 	if len(specs) != 8 {
 		t.Fatalf("curve specs = %d, want 8", len(specs))
 	}
-	results := RunAll(specs, 0)
+	results, err := RunAll(specs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ch := UtilizationChart("Plot: dc on grid-5x5", results)
 	out := ch.String()
 	if !strings.Contains(out, "CWN") || !strings.Contains(out, "GM") {
@@ -207,7 +219,10 @@ func TestUtilizationCurve(t *testing.T) {
 
 func TestTimeSeriesExperiment(t *testing.T) {
 	specs := TimeSeriesSpecs(Grid(5), Fib(11), 50)
-	results := RunAll(specs, 0)
+	results, err := RunAll(specs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, r := range results {
 		if r.Stats.Timeline.Len() == 0 {
 			t.Fatalf("%s produced no timeline", r.Spec.Name())
@@ -220,7 +235,10 @@ func TestTimeSeriesExperiment(t *testing.T) {
 }
 
 func TestHopDistributionQuick(t *testing.T) {
-	results := RunAll(HopDistributionSpecs(1, true), 0)
+	results, err := RunAll(HopDistributionSpecs(1, true), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tb := HopDistributionTable(results)
 	if tb.NumRows() != 2 {
 		t.Fatalf("table rows = %d, want 2", tb.NumRows())
@@ -245,7 +263,10 @@ func TestOptimizationSweepQuick(t *testing.T) {
 	}
 	ts, wls := SamplePoints(PaperGrids(), true)
 	radii, horizons := DefaultCWNGridSearch(true)
-	cwnOut := OptimizeCWN(ts, wls, radii, horizons, 0)
+	cwnOut, err := OptimizeCWN(ts, wls, radii, horizons, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(cwnOut) != 6 { // 3 radii x 2 horizons
 		t.Fatalf("CWN candidates = %d, want 6", len(cwnOut))
 	}
@@ -255,7 +276,10 @@ func TestOptimizationSweepQuick(t *testing.T) {
 		}
 	}
 	lows, highs, ivs := DefaultGMGridSearch(true)
-	gmOut := OptimizeGM(ts, wls, lows, highs, ivs, 0)
+	gmOut, err := OptimizeGM(ts, wls, lows, highs, ivs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(gmOut) != 2 {
 		t.Fatalf("GM candidates = %d, want 2", len(gmOut))
 	}
@@ -270,7 +294,10 @@ func TestAblationSpecsRun(t *testing.T) {
 		t.Skip("ablation runs take a few seconds")
 	}
 	specs := AblationSpecs(true)
-	results := RunAll(specs, 0)
+	results, err := RunAll(specs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tb := ResultTable("ablation", results)
 	if tb.NumRows() != len(specs) {
 		t.Fatalf("rows = %d, want %d", tb.NumRows(), len(specs))
@@ -292,7 +319,10 @@ func TestCommRatioSpecsRun(t *testing.T) {
 		t.Skip("comm-ratio runs take a few seconds")
 	}
 	specs := CommRatioSpecs(true)
-	results := RunAll(specs, 0)
+	results, err := RunAll(specs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(results) != 10 {
 		t.Fatalf("results = %d, want 10", len(results))
 	}

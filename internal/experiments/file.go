@@ -62,8 +62,17 @@ func applyDefaults(rs *RunSpec, d *RunSpec) {
 	if rs.Strategy.Kind == "" {
 		rs.Strategy = d.Strategy
 	}
+	if rs.Arrival.Kind == "" {
+		rs.Arrival = d.Arrival
+	}
 	if rs.Seed == 0 {
 		rs.Seed = d.Seed
+	}
+	if rs.Warmup == 0 {
+		rs.Warmup = d.Warmup
+	}
+	if rs.MaxTime == 0 {
+		rs.MaxTime = d.MaxTime
 	}
 	if rs.SampleInterval == 0 {
 		rs.SampleInterval = d.SampleInterval
@@ -88,7 +97,7 @@ func validateSpec(rs RunSpec) (err error) {
 		}
 	}()
 	rs.Topo.Build()
-	rs.Workload.Build()
 	rs.Strategy.Build()
+	rs.Arrival.Build(rs.Workload.Build())
 	return nil
 }

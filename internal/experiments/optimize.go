@@ -39,7 +39,7 @@ func SamplePoints(topos []TopoSpec, quick bool) (ts []TopoSpec, wls []WorkloadSp
 
 // OptimizeCWN scores every (radius, horizon) combination over the
 // sample points and returns outcomes sorted best-first.
-func OptimizeCWN(topos []TopoSpec, wls []WorkloadSpec, radii, horizons []int, workers int) []OptOutcome {
+func OptimizeCWN(topos []TopoSpec, wls []WorkloadSpec, radii, horizons []int, workers int) ([]OptOutcome, error) {
 	var cands []StrategySpec
 	for _, r := range radii {
 		for _, h := range horizons {
@@ -53,7 +53,7 @@ func OptimizeCWN(topos []TopoSpec, wls []WorkloadSpec, radii, horizons []int, wo
 
 // OptimizeGM scores every (low, high, interval) combination over the
 // sample points and returns outcomes sorted best-first.
-func OptimizeGM(topos []TopoSpec, wls []WorkloadSpec, lows, highs []int, intervals []int64, workers int) []OptOutcome {
+func OptimizeGM(topos []TopoSpec, wls []WorkloadSpec, lows, highs []int, intervals []int64, workers int) ([]OptOutcome, error) {
 	var cands []StrategySpec
 	for _, lo := range lows {
 		for _, hi := range highs {
@@ -68,7 +68,7 @@ func OptimizeGM(topos []TopoSpec, wls []WorkloadSpec, lows, highs []int, interva
 	return scoreCandidates(cands, topos, wls, workers)
 }
 
-func scoreCandidates(cands []StrategySpec, topos []TopoSpec, wls []WorkloadSpec, workers int) []OptOutcome {
+func scoreCandidates(cands []StrategySpec, topos []TopoSpec, wls []WorkloadSpec, workers int) ([]OptOutcome, error) {
 	var specs []RunSpec
 	for _, c := range cands {
 		for _, ts := range topos {
@@ -77,7 +77,10 @@ func scoreCandidates(cands []StrategySpec, topos []TopoSpec, wls []WorkloadSpec,
 			}
 		}
 	}
-	results := RunAll(specs, workers)
+	results, err := RunAll(specs, workers)
+	if err != nil {
+		return nil, err
+	}
 	perCand := len(topos) * len(wls)
 	out := make([]OptOutcome, len(cands))
 	for i, c := range cands {
@@ -88,7 +91,7 @@ func scoreCandidates(cands []StrategySpec, topos []TopoSpec, wls []WorkloadSpec,
 		out[i] = OptOutcome{Strategy: c, MeanSpeedup: sum / float64(perCand), Runs: perCand}
 	}
 	sort.SliceStable(out, func(a, b int) bool { return out[a].MeanSpeedup > out[b].MeanSpeedup })
-	return out
+	return out, nil
 }
 
 // OptimizationTable renders the Table 1 analogue: the best parameters

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -154,6 +155,63 @@ func ParseWorkload(s string) (WorkloadSpec, error) {
 		return WorkloadSpec{Kind: "random", N: n, Seed: int64(seed)}, nil
 	default:
 		return WorkloadSpec{}, fmt.Errorf("unknown workload %q", parts[0])
+	}
+}
+
+// ParseArrival parses an arrival-process argument:
+//
+//	single | interval:GAP:JOBS | poisson:MEANGAP:JOBS | burst:SIZE:GAP:BURSTS
+func ParseArrival(s string) (ArrivalSpec, error) {
+	parts := strings.Split(s, ":")
+	atoi := func(i int) (int, error) {
+		if i >= len(parts) {
+			return 0, fmt.Errorf("missing argument in %q", s)
+		}
+		return strconv.Atoi(parts[i])
+	}
+	switch parts[0] {
+	case "single":
+		if len(parts) != 1 {
+			return ArrivalSpec{}, fmt.Errorf("single takes no arguments, got %q", s)
+		}
+		return SingleArrival(), nil
+	case "interval":
+		gap, err1 := atoi(1)
+		jobs, err2 := atoi(2)
+		if err1 != nil || err2 != nil || len(parts) != 3 {
+			return ArrivalSpec{}, fmt.Errorf("usage: interval:GAP:JOBS")
+		}
+		if gap <= 0 || jobs < 1 {
+			return ArrivalSpec{}, fmt.Errorf("interval needs GAP > 0 and JOBS >= 1, got %q", s)
+		}
+		return IntervalArrivals(int64(gap), jobs), nil
+	case "poisson":
+		if len(parts) != 3 {
+			return ArrivalSpec{}, fmt.Errorf("usage: poisson:MEANGAP:JOBS")
+		}
+		mean, err1 := strconv.ParseFloat(parts[1], 64)
+		jobs, err2 := atoi(2)
+		if err1 != nil || err2 != nil {
+			return ArrivalSpec{}, fmt.Errorf("usage: poisson:MEANGAP:JOBS")
+		}
+		// !(mean > 0) also rejects NaN, which `mean <= 0` would let through.
+		if !(mean > 0) || math.IsInf(mean, 0) || jobs < 1 {
+			return ArrivalSpec{}, fmt.Errorf("poisson needs a finite MEANGAP > 0 and JOBS >= 1, got %q", s)
+		}
+		return PoissonArrivals(mean, jobs), nil
+	case "burst":
+		size, err1 := atoi(1)
+		gap, err2 := atoi(2)
+		bursts, err3 := atoi(3)
+		if err1 != nil || err2 != nil || err3 != nil || len(parts) != 4 {
+			return ArrivalSpec{}, fmt.Errorf("usage: burst:SIZE:GAP:BURSTS")
+		}
+		if size < 1 || gap <= 0 || bursts < 1 {
+			return ArrivalSpec{}, fmt.Errorf("burst needs SIZE >= 1, GAP > 0 and BURSTS >= 1, got %q", s)
+		}
+		return BurstArrivals(size, int64(gap), bursts), nil
+	default:
+		return ArrivalSpec{}, fmt.Errorf("unknown arrival process %q", parts[0])
 	}
 }
 

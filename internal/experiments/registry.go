@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cwnsim/internal/machine"
+	"cwnsim/internal/topology"
+	"cwnsim/internal/workload"
+)
+
+// The spec layer dispatches through registries rather than hard-coded
+// switches, so new topologies, workloads, strategies and arrival
+// processes plug in by name: register a builder (typically from an init
+// function) and every consumer — JSON spec files, the CLI parsers, the
+// sweep commands — can use the new kind immediately.
+//
+// Adding a kind:
+//
+//	func init() {
+//		RegisterStrategy("mystrat", func(ss StrategySpec) machine.Strategy {
+//			return newMyStrategy(ss.Interval, ss.Threshold)
+//		})
+//	}
+//
+// Builders receive the full spec value and pick the parameter fields
+// they need. Registration panics on a duplicate or empty kind; lookups
+// of unknown kinds panic with the sorted list of registered names.
+
+type registry[S any, T any] struct {
+	mu       sync.RWMutex
+	what     string
+	builders map[string]func(S) T
+}
+
+func newRegistry[S any, T any](what string) *registry[S, T] {
+	return &registry[S, T]{what: what, builders: make(map[string]func(S) T)}
+}
+
+func (r *registry[S, T]) register(kind string, build func(S) T) {
+	if kind == "" {
+		panic(fmt.Sprintf("experiments: empty %s kind", r.what))
+	}
+	if build == nil {
+		panic(fmt.Sprintf("experiments: nil builder for %s kind %q", r.what, kind))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.builders[kind]; dup {
+		panic(fmt.Sprintf("experiments: %s kind %q registered twice", r.what, kind))
+	}
+	r.builders[kind] = build
+}
+
+func (r *registry[S, T]) build(kind string, spec S) T {
+	r.mu.RLock()
+	b, ok := r.builders[kind]
+	r.mu.RUnlock()
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown %s kind %q (registered: %v)", r.what, kind, r.kinds()))
+	}
+	return b(spec)
+}
+
+func (r *registry[S, T]) kinds() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.builders))
+	for k := range r.builders {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var (
+	topoRegistry     = newRegistry[TopoSpec, *topology.Topology]("topology")
+	workloadRegistry = newRegistry[WorkloadSpec, *workload.Tree]("workload")
+	strategyRegistry = newRegistry[StrategySpec, machine.Strategy]("strategy")
+	arrivalRegistry  = newRegistry[arrivalInput, machine.JobSource]("arrival")
+)
+
+// arrivalInput bundles what an arrival builder needs: the spec and the
+// tree each injected job evaluates.
+type arrivalInput struct {
+	Spec ArrivalSpec
+	Tree *workload.Tree
+}
+
+// RegisterTopology makes a topology kind buildable by name. The builder
+// reads its dimensions from the TopoSpec fields.
+func RegisterTopology(kind string, build func(TopoSpec) *topology.Topology) {
+	topoRegistry.register(kind, build)
+}
+
+// RegisterWorkload makes a workload kind buildable by name.
+func RegisterWorkload(kind string, build func(WorkloadSpec) *workload.Tree) {
+	workloadRegistry.register(kind, build)
+}
+
+// RegisterStrategy makes a strategy kind buildable by name.
+func RegisterStrategy(kind string, build func(StrategySpec) machine.Strategy) {
+	strategyRegistry.register(kind, build)
+}
+
+// RegisterArrival makes an arrival-process kind buildable by name. The
+// builder returns a fresh JobSource emitting copies of tree.
+func RegisterArrival(kind string, build func(ArrivalSpec, *workload.Tree) machine.JobSource) {
+	arrivalRegistry.register(kind, func(in arrivalInput) machine.JobSource {
+		return build(in.Spec, in.Tree)
+	})
+}
+
+// TopologyKinds returns the registered topology kinds, sorted.
+func TopologyKinds() []string { return topoRegistry.kinds() }
+
+// WorkloadKinds returns the registered workload kinds, sorted.
+func WorkloadKinds() []string { return workloadRegistry.kinds() }
+
+// StrategyKinds returns the registered strategy kinds, sorted.
+func StrategyKinds() []string { return strategyRegistry.kinds() }
+
+// ArrivalKinds returns the registered arrival kinds, sorted.
+func ArrivalKinds() []string { return arrivalRegistry.kinds() }

@@ -62,17 +62,20 @@ func (a Aggregate) String() string {
 
 // RunReplicated executes each spec n times with consecutive seeds and
 // returns one aggregate per input spec, preserving order.
-func RunReplicated(specs []RunSpec, n, workers int) []Aggregate {
+func RunReplicated(specs []RunSpec, n, workers int) ([]Aggregate, error) {
 	var flat []RunSpec
 	for _, s := range specs {
 		flat = append(flat, s.Replicate(n)...)
 	}
-	results := RunAll(flat, workers)
+	results, err := RunAll(flat, workers)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Aggregate, len(specs))
 	for i := range specs {
 		out[i] = AggregateResults(results[i*n : (i+1)*n])
 	}
-	return out
+	return out, nil
 }
 
 // AggregateTable renders replicated outcomes with their spreads.

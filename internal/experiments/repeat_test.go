@@ -42,7 +42,10 @@ func TestRunReplicatedAggregates(t *testing.T) {
 		{Topo: Grid(4), Workload: Fib(10), Strategy: CWN(4, 1)},
 		{Topo: Grid(4), Workload: Fib(10), Strategy: GM(1, 2, 20)},
 	}
-	aggs := RunReplicated(specs, 4, 0)
+	aggs, err := RunReplicated(specs, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(aggs) != 2 {
 		t.Fatalf("got %d aggregates", len(aggs))
 	}

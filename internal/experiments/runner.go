@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -16,12 +17,15 @@ type RunSpec struct {
 	Topo           TopoSpec     `json:"topo"`
 	Workload       WorkloadSpec `json:"workload"`
 	Strategy       StrategySpec `json:"strategy"`
+	Arrival        ArrivalSpec  `json:"arrival,omitzero"`         // zero value = the paper's single job
 	Seed           int64        `json:"seed,omitempty"`           // default 1
+	Warmup         int64        `json:"warmup,omitempty"`         // steady-state warm-up exclusion; 0 = off
 	SampleInterval int64        `json:"sampleInterval,omitempty"` // time-series sampling; 0 = off
 	MonitorPE      bool         `json:"monitorPE,omitempty"`      // per-PE frames (needs SampleInterval)
 	LoadMetric     string       `json:"loadMetric,omitempty"`     // "", "queue", "queue+pending"
 	GoalHopTime    int64        `json:"goalHopTime,omitempty"`    // override; 0 = default
 	RespHopTime    int64        `json:"respHopTime,omitempty"`
+	MaxTime        int64        `json:"maxTime,omitempty"` // measurement horizon override; 0 = default
 }
 
 // Name returns a human-readable run identifier.
@@ -29,7 +33,11 @@ func (rs RunSpec) Name() string {
 	if rs.Label != "" {
 		return rs.Label
 	}
-	return fmt.Sprintf("%s | %s | %s", rs.Strategy.Label(), rs.Topo.Label(), rs.Workload.Label())
+	name := fmt.Sprintf("%s | %s | %s", rs.Strategy.Label(), rs.Topo.Label(), rs.Workload.Label())
+	if !rs.Arrival.IsSingle() {
+		name += " | " + rs.Arrival.Label()
+	}
+	return name
 }
 
 // Config materializes the machine configuration for this run.
@@ -38,6 +46,7 @@ func (rs RunSpec) Config() machine.Config {
 	if rs.Seed != 0 {
 		cfg.Seed = rs.Seed
 	}
+	cfg.Warmup = sim.Time(rs.Warmup)
 	cfg.SampleInterval = sim.Time(rs.SampleInterval)
 	cfg.MonitorPE = rs.MonitorPE
 	if rs.LoadMetric == "queue+pending" {
@@ -48,6 +57,9 @@ func (rs RunSpec) Config() machine.Config {
 	}
 	if rs.RespHopTime > 0 {
 		cfg.RespHopTime = sim.Time(rs.RespHopTime)
+	}
+	if rs.MaxTime > 0 {
+		cfg.MaxTime = sim.Time(rs.MaxTime)
 	}
 	return cfg
 }
@@ -64,6 +76,13 @@ type Result struct {
 	AvgHops  float64
 	Makespan sim.Time
 	Wall     time.Duration
+
+	// Stream metrics (single-job runs report their one job here too).
+	Jobs       int64   // completed jobs
+	MeanSoj    float64 // mean sojourn time, warm-up excluded
+	P50Soj     float64 // median sojourn
+	P99Soj     float64 // tail sojourn — the serving benchmark's headline
+	Throughput float64 // completed jobs per unit virtual time
 }
 
 // OfBound returns the measured speedup as a fraction of the workload's
@@ -75,40 +94,84 @@ func (r *Result) OfBound() float64 {
 	return r.Speedup / r.Bound
 }
 
-// Execute builds and runs the specified simulation synchronously.
-func (rs RunSpec) Execute() *Result {
+// Saturated reports whether the run hit its measurement horizon with
+// jobs still in flight — the stream outran the machine.
+func (r *Result) Saturated() bool { return !r.Stats.Completed }
+
+// ExecuteErr builds and runs the specified simulation synchronously. A
+// single-job run that hits MaxTime returns an error (a goal was lost or
+// the machine is misconfigured — the closed system must drain). An
+// arrival stream that hits MaxTime is the saturation regime: it is
+// reported as a Result with Saturated() true, not an error. Builder and
+// configuration panics (unknown registry kinds, bad arrival parameters,
+// invalid warm-up) are converted to errors, so a bad spec fails its own
+// run rather than crashing a whole sweep.
+func (rs RunSpec) ExecuteErr() (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// Name() rebuilds the strategy and would re-panic on an
+			// unknown kind; identify the run by its raw spec labels.
+			res, err = nil, fmt.Errorf("experiments: run %s|%s|%s: %v",
+				rs.Strategy.Kind, rs.Topo.Label(), rs.Workload.Label(), r)
+		}
+	}()
 	topo := rs.Topo.Build()
 	tree := rs.Workload.Build()
 	strat := rs.Strategy.Build()
 	cfg := rs.Config()
 	start := time.Now()
-	st := machine.New(topo, tree, strat, cfg).Run()
-	if !st.Completed {
-		panic(fmt.Sprintf("experiments: run %q aborted at MaxTime — a goal was lost or the machine is misconfigured", rs.Name()))
+	st := machine.NewStream(topo, rs.Arrival.Build(tree), strat, cfg).Run()
+	if !st.Completed && rs.Arrival.IsSingle() {
+		return nil, fmt.Errorf("experiments: run %q aborted at MaxTime=%d — a goal was lost or the machine is misconfigured", rs.Name(), cfg.MaxTime)
 	}
-	bound := tree.MaxSpeedup(int64(cfg.GrainTime), int64(cfg.CombineTime))
-	if p := float64(topo.Size()); bound > p {
-		bound = p
+	if st.Stalled {
+		return nil, fmt.Errorf("experiments: run %q stalled with %d job(s) in flight and no work anywhere — a goal was lost", rs.Name(), st.JobsInjected-st.JobsDone)
+	}
+	// Bound is a closed-system figure (one tree's parallelism ceiling);
+	// it has no analogue for a stream's aggregate speedup, so stream
+	// runs report 0 rather than a misleading per-job ceiling.
+	var bound float64
+	if rs.Arrival.IsSingle() {
+		bound = tree.MaxSpeedup(int64(cfg.GrainTime), int64(cfg.CombineTime))
+		if p := float64(topo.Size()); bound > p {
+			bound = p
+		}
 	}
 	return &Result{
-		Spec:     rs,
-		Stats:    st,
-		Goals:    tree.Count(),
-		Util:     st.UtilizationPercent(),
-		Speedup:  st.Speedup(),
-		Bound:    bound,
-		Balance:  st.BalanceIndex(),
-		AvgHops:  st.AvgGoalHops(),
-		Makespan: st.Makespan,
-		Wall:     time.Since(start),
+		Spec:       rs,
+		Stats:      st,
+		Goals:      st.Goals,
+		Util:       st.UtilizationPercent(),
+		Speedup:    st.Speedup(),
+		Bound:      bound,
+		Balance:    st.BalanceIndex(),
+		AvgHops:    st.AvgGoalHops(),
+		Makespan:   st.Makespan,
+		Wall:       time.Since(start),
+		Jobs:       st.JobsDone,
+		MeanSoj:    st.MeanSojourn(),
+		P50Soj:     st.SojournP50(),
+		P99Soj:     st.SojournP99(),
+		Throughput: st.Throughput(),
+	}, nil
+}
+
+// Execute is ExecuteErr for callers that treat failure as fatal.
+func (rs RunSpec) Execute() *Result {
+	r, err := rs.ExecuteErr()
+	if err != nil {
+		panic(err.Error())
 	}
+	return r
 }
 
 // RunAll executes specs concurrently on up to workers goroutines
 // (workers <= 0 selects GOMAXPROCS) and returns results in spec order.
 // Each simulation is single-threaded and independent; parallelism across
-// runs is free determinism-wise.
-func RunAll(specs []RunSpec, workers int) []*Result {
+// runs is free determinism-wise. A failing run leaves a nil slot in the
+// results and contributes to the joined error, so one bad spec no
+// longer crashes a whole sweep.
+func RunAll(specs []RunSpec, workers int) ([]*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -116,6 +179,7 @@ func RunAll(specs []RunSpec, workers int) []*Result {
 		workers = len(specs)
 	}
 	results := make([]*Result, len(specs))
+	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -123,7 +187,7 @@ func RunAll(specs []RunSpec, workers int) []*Result {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = specs[i].Execute()
+				results[i], errs[i] = specs[i].ExecuteErr()
 			}
 		}()
 	}
@@ -132,5 +196,5 @@ func RunAll(specs []RunSpec, workers int) []*Result {
 	}
 	close(next)
 	wg.Wait()
-	return results
+	return results, errors.Join(errs...)
 }

@@ -4,7 +4,13 @@
 // comparison behind Table 2, the hop-distance distribution of Table 3,
 // the utilization-versus-problem-size curves of Plots 1-10, the
 // utilization-versus-time traces of Plots 11-16, and the appendix
-// hypercube studies.
+// hypercube studies. Beyond the paper, RunSpec carries an ArrivalSpec,
+// so the same declarative layer drives open-system runs: job streams
+// with latency and throughput results (cmd/serve).
+//
+// Specs name their components by kind and are dispatched through
+// registries — see RegisterTopology, RegisterWorkload, RegisterStrategy
+// and RegisterArrival in registry.go for how to plug in new kinds.
 package experiments
 
 import (
@@ -45,7 +51,7 @@ func DLM(side, span int) TopoSpec {
 // Hypercube returns a hypercube spec of the given dimension.
 func Hypercube(dim int) TopoSpec { return TopoSpec{Kind: "hypercube", Dim: dim} }
 
-// Build constructs (and caches) the topology.
+// Build constructs (and caches) the topology via the topology registry.
 func (ts TopoSpec) Build() *topology.Topology {
 	topoCacheMu.Lock()
 	defer topoCacheMu.Unlock()
@@ -53,35 +59,23 @@ func (ts TopoSpec) Build() *topology.Topology {
 	if t, ok := topoCache[key]; ok {
 		return t
 	}
-	var t *topology.Topology
-	switch ts.Kind {
-	case "grid":
-		t = topology.NewGrid(ts.Rows, ts.Cols)
-	case "torus":
-		t = topology.NewTorus(ts.Rows, ts.Cols)
-	case "torus3d":
-		t = topology.NewTorus3D(ts.Rows, ts.Cols, ts.Z)
-	case "dlm":
-		t = topology.NewDLM(ts.Rows, ts.Cols, ts.Span)
-	case "hypercube":
-		t = topology.NewHypercube(ts.Dim)
-	case "ring":
-		t = topology.NewRing(ts.N)
-	case "chordal":
-		t = topology.NewChordalRing(ts.N, ts.Chord)
-	case "complete":
-		t = topology.NewComplete(ts.N)
-	case "star":
-		t = topology.NewStar(ts.N)
-	case "bus":
-		t = topology.NewBusGlobal(ts.N)
-	case "single":
-		t = topology.NewSingle()
-	default:
-		panic(fmt.Sprintf("experiments: unknown topology kind %q", ts.Kind))
-	}
+	t := topoRegistry.build(ts.Kind, ts)
 	topoCache[key] = t
 	return t
+}
+
+func init() {
+	RegisterTopology("grid", func(ts TopoSpec) *topology.Topology { return topology.NewGrid(ts.Rows, ts.Cols) })
+	RegisterTopology("torus", func(ts TopoSpec) *topology.Topology { return topology.NewTorus(ts.Rows, ts.Cols) })
+	RegisterTopology("torus3d", func(ts TopoSpec) *topology.Topology { return topology.NewTorus3D(ts.Rows, ts.Cols, ts.Z) })
+	RegisterTopology("dlm", func(ts TopoSpec) *topology.Topology { return topology.NewDLM(ts.Rows, ts.Cols, ts.Span) })
+	RegisterTopology("hypercube", func(ts TopoSpec) *topology.Topology { return topology.NewHypercube(ts.Dim) })
+	RegisterTopology("ring", func(ts TopoSpec) *topology.Topology { return topology.NewRing(ts.N) })
+	RegisterTopology("chordal", func(ts TopoSpec) *topology.Topology { return topology.NewChordalRing(ts.N, ts.Chord) })
+	RegisterTopology("complete", func(ts TopoSpec) *topology.Topology { return topology.NewComplete(ts.N) })
+	RegisterTopology("star", func(ts TopoSpec) *topology.Topology { return topology.NewStar(ts.N) })
+	RegisterTopology("bus", func(ts TopoSpec) *topology.Topology { return topology.NewBusGlobal(ts.N) })
+	RegisterTopology("single", func(TopoSpec) *topology.Topology { return topology.NewSingle() })
 }
 
 // Label is a short stable identifier, e.g. "grid-20x20" or "dlm-10x10-s5".
@@ -140,7 +134,7 @@ func Fib(m int) WorkloadSpec { return WorkloadSpec{Kind: "fib", M: m} }
 // DC returns the dc(1,x) workload spec.
 func DC(x int) WorkloadSpec { return WorkloadSpec{Kind: "dc", M: 1, N: x} }
 
-// Build constructs (and caches) the tree.
+// Build constructs (and caches) the tree via the workload registry.
 func (ws WorkloadSpec) Build() *workload.Tree {
 	treeCacheMu.Lock()
 	defer treeCacheMu.Unlock()
@@ -148,27 +142,21 @@ func (ws WorkloadSpec) Build() *workload.Tree {
 	if t, ok := treeCache[key]; ok {
 		return t
 	}
-	var t *workload.Tree
-	switch ws.Kind {
-	case "fib":
-		t = workload.NewFib(ws.M)
-	case "dc":
-		t = workload.NewDC(ws.M, ws.N)
-	case "binary":
-		t = workload.NewFullBinary(ws.N)
-	case "skew":
-		t = workload.NewSkewed(ws.N)
-	case "chain":
-		t = workload.NewChain(ws.N)
-	case "random":
-		t = workload.NewRandom(workload.RandomConfig{Seed: ws.Seed, Goals: ws.N, MaxKids: 4, MaxWork: 3, LeafValue: 1})
-	case "imbal":
-		t = workload.NewImbalanced(ws.N, ws.Frac)
-	default:
-		panic(fmt.Sprintf("experiments: unknown workload kind %q", ws.Kind))
-	}
+	t := workloadRegistry.build(ws.Kind, ws)
 	treeCache[key] = t
 	return t
+}
+
+func init() {
+	RegisterWorkload("fib", func(ws WorkloadSpec) *workload.Tree { return workload.NewFib(ws.M) })
+	RegisterWorkload("dc", func(ws WorkloadSpec) *workload.Tree { return workload.NewDC(ws.M, ws.N) })
+	RegisterWorkload("binary", func(ws WorkloadSpec) *workload.Tree { return workload.NewFullBinary(ws.N) })
+	RegisterWorkload("skew", func(ws WorkloadSpec) *workload.Tree { return workload.NewSkewed(ws.N) })
+	RegisterWorkload("chain", func(ws WorkloadSpec) *workload.Tree { return workload.NewChain(ws.N) })
+	RegisterWorkload("random", func(ws WorkloadSpec) *workload.Tree {
+		return workload.NewRandom(workload.RandomConfig{Seed: ws.Seed, Goals: ws.N, MaxKids: 4, MaxWork: 3, LeafValue: 1})
+	})
+	RegisterWorkload("imbal", func(ws WorkloadSpec) *workload.Tree { return workload.NewImbalanced(ws.N, ws.Frac) })
 }
 
 // Label is a short stable identifier, e.g. "fib(18)" or "dc(1,4181)".
@@ -224,38 +212,37 @@ func ACWN(radius, horizon, sat int, interval int64) StrategySpec {
 	return StrategySpec{Kind: "acwn", Radius: radius, Horizon: horizon, Sat: sat, Interval: interval, Redistribute: true}
 }
 
-// Build constructs the strategy.
+// Build constructs a fresh strategy via the strategy registry.
 func (ss StrategySpec) Build() machine.Strategy {
-	switch ss.Kind {
-	case "cwn":
+	return strategyRegistry.build(ss.Kind, ss)
+}
+
+func init() {
+	RegisterStrategy("cwn", func(ss StrategySpec) machine.Strategy {
 		c := core.NewCWN(ss.Radius, ss.Horizon)
 		c.StrictMinimum = ss.Strict
 		return c
-	case "gm":
+	})
+	RegisterStrategy("gm", func(ss StrategySpec) machine.Strategy {
 		g := core.NewGradient(ss.Low, ss.High, sim.Time(ss.Interval))
 		g.RequireTarget = ss.RequireTarget
 		g.ExportNewest = ss.ExportNewest
 		return g
-	case "acwn":
+	})
+	RegisterStrategy("acwn", func(ss StrategySpec) machine.Strategy {
 		a := core.NewACWN(ss.Radius, ss.Horizon, ss.Sat, sim.Time(ss.Interval))
 		a.Redistribute = ss.Redistribute
 		a.StrictMinimum = ss.Strict
 		return a
-	case "local":
-		return core.NewLocal()
-	case "randomwalk":
-		return core.NewRandomWalk(ss.Steps)
-	case "roundrobin":
-		return core.NewRoundRobin()
-	case "worksteal":
+	})
+	RegisterStrategy("local", func(StrategySpec) machine.Strategy { return core.NewLocal() })
+	RegisterStrategy("randomwalk", func(ss StrategySpec) machine.Strategy { return core.NewRandomWalk(ss.Steps) })
+	RegisterStrategy("roundrobin", func(StrategySpec) machine.Strategy { return core.NewRoundRobin() })
+	RegisterStrategy("worksteal", func(ss StrategySpec) machine.Strategy {
 		return core.NewWorkSteal(sim.Time(ss.Interval), ss.Threshold)
-	case "diffusion":
-		return core.NewDiffusion(sim.Time(ss.Interval))
-	case "ideal":
-		return core.NewIdeal()
-	default:
-		panic(fmt.Sprintf("experiments: unknown strategy kind %q", ss.Kind))
-	}
+	})
+	RegisterStrategy("diffusion", func(ss StrategySpec) machine.Strategy { return core.NewDiffusion(sim.Time(ss.Interval)) })
+	RegisterStrategy("ideal", func(StrategySpec) machine.Strategy { return core.NewIdeal() })
 }
 
 // Label returns the built strategy's display name.

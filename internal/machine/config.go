@@ -80,9 +80,19 @@ type Config struct {
 	// RootPE is where the root goal is injected.
 	RootPE int
 
-	// MaxTime aborts a run that has not completed by this virtual time
-	// (a safety net; completed runs stop at root-response delivery).
+	// MaxTime aborts a run that has not completed by this virtual time.
+	// For single-job runs it is a safety net (completed runs stop at
+	// root-response delivery); for arrival streams it bounds the
+	// measurement horizon — an overloaded stream legitimately runs to
+	// MaxTime with jobs still in flight (saturation).
 	MaxTime sim.Time
+
+	// Warmup excludes the stream's ramp-up from steady-state statistics:
+	// jobs injected before Warmup are left out of the steady sojourn
+	// sample, and SteadyUtilization measures busy time accrued after
+	// this instant. 0 (the default) disables the exclusion and adds no
+	// events to the run.
+	Warmup sim.Time
 
 	// StaggerTicks randomizes each periodic process's phase within its
 	// first period, so the PEs' asynchronous processes do not fire in
@@ -135,6 +145,12 @@ func (c *Config) validate(numPEs int) {
 	}
 	if c.MaxTime <= 0 {
 		panic("machine: MaxTime must be positive")
+	}
+	if c.Warmup < 0 {
+		panic("machine: Warmup must be non-negative")
+	}
+	if c.Warmup >= c.MaxTime {
+		panic("machine: Warmup must precede MaxTime")
 	}
 	if c.PESpeeds != nil {
 		if len(c.PESpeeds) != numPEs {

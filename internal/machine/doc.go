@@ -5,6 +5,30 @@
 // (point-to-point links or multi-drop buses) that carry one message at a
 // time, so both compute and communication contention are modelled.
 //
+// # Job-stream lifecycle
+//
+// Work enters the machine as jobs: root goals injected by a JobSource
+// over virtual time. The paper's closed-system experiment — one tree
+// injected at time zero, machine drains, makespan measured — is the
+// trivial SingleJob source (machine.New builds it directly). Open-system
+// runs use NewStream with a fixed-interval, Poisson or bursty source:
+// arrivals are pulled lazily, each job's root goal is accepted at
+// Config.RootPE, and the run completes when the source is exhausted and
+// every job has delivered its root response. An overloaded stream that
+// reaches Config.MaxTime with jobs still in flight is the saturation
+// regime, reported via Stats rather than treated as a failure.
+//
+// Per job, the machine records a JobRecord — injection time, completion
+// time, result — from which Stats derives sojourn-time distributions
+// (mean/p50/p99 via metrics.Sample), throughput, and steady-state
+// utilization with the ramp-up before Config.Warmup excluded.
+// Determinism is preserved: arrival randomness draws from a dedicated
+// stream derived from the run seed, disjoint from the engine's
+// tie-breaking stream, so single-job runs reproduce the paper's event
+// sequences bit for bit and equal seeds give identical streams.
+//
+// # Computation model
+//
 // The computation model follows Section 2 of the paper: a goal executes
 // for a grain time and either completes (sending a response to its
 // parent's PE) or spawns sub-goals and waits for their responses; a task

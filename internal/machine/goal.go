@@ -10,10 +10,15 @@ import (
 // strategy (possibly travelling several hops), accepted by exactly one
 // PE, executed there once, and never moved again.
 type Goal struct {
-	// ID is unique within a run, in creation order (0 = root).
+	// ID is unique within a run, in creation order (0 = the first
+	// job's root).
 	ID int64
 	// Task is the immutable tree node this goal evaluates.
 	Task *workload.Task
+	// job is the injected job this goal descends from; its tree supplies
+	// the Combine function and its injection time anchors the sojourn
+	// measurement when the root goal responds.
+	job *jobState
 	// Origin is the PE on which the goal was created.
 	Origin int
 	// ParentPE is where the parent task waits; responses are routed

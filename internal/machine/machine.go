@@ -1,26 +1,35 @@
 package machine
 
 import (
+	"math/rand"
+
 	"cwnsim/internal/sim"
 	"cwnsim/internal/topology"
 	"cwnsim/internal/trace"
 	"cwnsim/internal/workload"
 )
 
-// Machine wires a topology, a workload tree and a strategy into one
-// runnable simulation. Build with New, run once with Run.
+// Machine wires a topology, a job source and a strategy into one
+// runnable simulation. Build with New (the paper's one-tree closed
+// system) or NewStream (an open system under arrival traffic), run once
+// with Run.
 type Machine struct {
-	eng   *sim.Engine
-	topo  *topology.Topology
-	cfg   Config
-	strat Strategy
-	tree  *workload.Tree
+	eng    *sim.Engine
+	topo   *topology.Topology
+	cfg    Config
+	strat  Strategy
+	source JobSource
+	tree   *workload.Tree // the single-job tree; nil for stream machines
 
 	pes   []*PE
 	chans []*chanState
 	stats *Stats
 
 	nextGoalID int64
+	srcRng     *rand.Rand
+	srcDone    bool  // the source has been exhausted
+	inFlight   int64 // jobs injected but not yet responded
+	started    bool
 	completed  bool
 	finishedAt sim.Time
 	result     int64
@@ -28,6 +37,14 @@ type Machine struct {
 	prevBusySample sim.Time
 	prevBusyPerPE  []sim.Time
 	frameBuf       []float64
+	warmupBusy     sim.Time
+
+	// goalsInTransit/respsInTransit count payload messages currently on
+	// a channel, so a run that hits MaxTime can tell a lost goal (jobs
+	// in flight but nothing anywhere the machine can see) from genuine
+	// saturation (work still queued or moving).
+	goalsInTransit int64
+	respsInTransit int64
 }
 
 // emit records a trace event if tracing is enabled.
@@ -37,20 +54,32 @@ func (m *Machine) emit(kind trace.Kind, pe, other int, goal int64) {
 	}
 }
 
-// New constructs a machine. The tree and topology are read-only and may
-// be shared across machines; the strategy value must be fresh per run if
-// it carries mutable global state (the core package strategies are
-// stateless templates and safe to reuse).
+// New constructs a closed-system machine executing one tree to
+// completion — the paper's experiment. The tree and topology are
+// read-only and may be shared across machines; the strategy value must
+// be fresh per run if it carries mutable global state (the core package
+// strategies are stateless templates and safe to reuse).
 func New(topo *topology.Topology, tree *workload.Tree, strat Strategy, cfg Config) *Machine {
+	m := NewStream(topo, NewSingleJob(tree), strat, cfg)
+	m.tree = tree
+	return m
+}
+
+// NewStream constructs an open-system machine: source injects root
+// goals over virtual time and the run completes when the source is
+// exhausted and every injected job has delivered its root response.
+// The source must be a fresh value per run (sources are iterators).
+func NewStream(topo *topology.Topology, source JobSource, strat Strategy, cfg Config) *Machine {
 	cfg.validate(topo.Size())
 	m := &Machine{
-		eng:   sim.NewEngine(cfg.Seed),
-		topo:  topo,
-		cfg:   cfg,
-		strat: strat,
-		tree:  tree,
+		eng:    sim.NewEngine(cfg.Seed),
+		topo:   topo,
+		cfg:    cfg,
+		strat:  strat,
+		source: source,
+		srcRng: newSourceRng(cfg.Seed),
 	}
-	m.stats = newStats(topo, tree, strat.Name())
+	m.stats = newStats(topo, source.Name(), strat.Name())
 
 	m.chans = make([]*chanState, len(topo.Channels()))
 	for i, ch := range topo.Channels() {
@@ -100,6 +129,17 @@ func New(topo *topology.Topology, tree *workload.Tree, strat Strategy, cfg Confi
 		}
 		m.NewTicker(nil, cfg.SampleInterval, m.sample)
 	}
+
+	// Snapshot the busy-time accrued during warm-up so steady-state
+	// utilization can exclude the ramp. Only scheduled when a warm-up is
+	// configured, keeping the zero-warm-up event sequence untouched.
+	if cfg.Warmup > 0 {
+		m.eng.At(cfg.Warmup, func() {
+			for _, pe := range m.pes {
+				m.warmupBusy += pe.committedBusy()
+			}
+		})
+	}
 	return m
 }
 
@@ -113,8 +153,12 @@ func (m *Machine) Topology() *topology.Topology { return m.topo }
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
-// Tree returns the workload being executed.
+// Tree returns the workload of a single-job machine built with New;
+// stream machines return nil (each job carries its own tree).
 func (m *Machine) Tree() *workload.Tree { return m.tree }
+
+// Source returns the machine's job source.
+func (m *Machine) Source() JobSource { return m.source }
 
 // NumPEs returns the machine size.
 func (m *Machine) NumPEs() int { return len(m.pes) }
@@ -137,12 +181,13 @@ func (m *Machine) NewTicker(pe *PE, period sim.Time, fn func()) *sim.Ticker {
 	return sim.NewTicker(m.eng, period, phase, fn)
 }
 
-// newGoal mints a goal for task, created on PE origin for parent goal
-// parentID living on parentPE.
-func (m *Machine) newGoal(task *workload.Task, parentPE int, parentID int64) *Goal {
+// newGoal mints a goal for task belonging to job j, created on PE
+// origin for parent goal parentID living on parentPE.
+func (m *Machine) newGoal(task *workload.Task, j *jobState, parentPE int, parentID int64) *Goal {
 	g := &Goal{
 		ID:        m.nextGoalID,
 		Task:      task,
+		job:       j,
 		Origin:    parentPE,
 		ParentPE:  parentPE,
 		ParentID:  parentID,
@@ -185,17 +230,35 @@ func (m *Machine) broadcast(pe *PE, kind MsgKind, dur sim.Time, deliver func(dst
 }
 
 // respond sends goal g's computed value from the PE that executed it
-// back to the parent's PE (or completes the run for the root goal).
+// back to the parent's PE (or, for a root goal, completes its job).
 func (m *Machine) respond(fromPE int, g *Goal, value int64) {
 	if g.ParentPE < 0 {
-		m.result = value
-		m.completed = true
-		m.finishedAt = m.eng.Now()
-		m.eng.Stop()
+		m.completeJob(g.job, value)
 		return
 	}
 	m.emit(trace.RespSent, fromPE, g.ParentPE, g.ID)
 	m.routeResponse(fromPE, response{dstPE: g.ParentPE, goalID: g.ParentID, value: value})
+}
+
+// completeJob records job j's root response: its sojourn time enters the
+// latency records, and the machine stops once the source is exhausted
+// and no jobs remain in flight.
+func (m *Machine) completeJob(j *jobState, value int64) {
+	now := m.eng.Now()
+	m.result = value
+	m.inFlight--
+	m.stats.JobsDone++
+	m.stats.JobRecords = append(m.stats.JobRecords, JobRecord{
+		ID:         j.id,
+		InjectedAt: j.injectedAt,
+		DoneAt:     now,
+		Result:     value,
+	})
+	if m.srcDone && m.inFlight == 0 {
+		m.completed = true
+		m.finishedAt = now
+		m.eng.Stop()
+	}
 }
 
 // routeResponse moves a response one shortest-path hop at a time toward
@@ -214,7 +277,9 @@ func (m *Machine) routeResponse(cur int, r response) {
 	m.stats.MsgCounts[MsgResponse]++
 	r.hops++
 	sentLoad := m.pes[cur].Load()
+	m.respsInTransit++
 	m.transmit(ch, m.cfg.RespHopTime, func() {
+		m.respsInTransit--
 		if m.cfg.PiggybackLoad {
 			m.pes[next].noteLoad(cur, sentLoad)
 		}
@@ -255,24 +320,89 @@ func (pe *PE) committedBusy() sim.Time {
 	return b
 }
 
-// Run executes the simulation until the root response is delivered (or
-// MaxTime elapses) and returns the collected statistics. A machine runs
-// exactly once.
+// stalled reports whether an incomplete run is a lost-goal deadlock
+// rather than genuine saturation: jobs remain in flight but no goal or
+// response exists anywhere the machine can see — every PE idle with an
+// empty queue, nothing on a channel, and no arrivals pending. It is
+// conservative: a stall is only declared when detection is certain.
+// (Caveat: a strategy that buffers goals in private node state outside
+// the PE queues defeats the "certain" part; the shipped strategies keep
+// goals queued or in transit.)
+func (m *Machine) stalled() bool {
+	if m.completed || m.inFlight == 0 || !m.srcDone {
+		return false
+	}
+	if m.goalsInTransit != 0 || m.respsInTransit != 0 {
+		return false
+	}
+	for _, pe := range m.pes {
+		if pe.busy || pe.queueLen() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the simulation until every job the source emits has
+// delivered its root response (or MaxTime elapses — for heavy arrival
+// streams that is the saturation regime, reported rather than hidden)
+// and returns the collected statistics. A machine runs exactly once.
 func (m *Machine) Run() *Stats {
-	if m.stats.Makespan != 0 || m.eng.Now() != 0 {
+	if m.started {
 		panic("machine: Run called twice")
 	}
-	root := m.newGoal(m.tree.Root, -1, -1)
-	root.Origin = m.cfg.RootPE
-	m.emit(trace.GoalCreated, m.cfg.RootPE, -1, root.ID)
-	// The root goal arrives from the outside world: it is accepted at
-	// RootPE directly rather than placed by the strategy, so both
-	// competitors start from the identical state.
-	m.pes[m.cfg.RootPE].Accept(root)
-
+	m.started = true
+	m.pump()
 	m.eng.RunUntil(m.cfg.MaxTime)
 	m.finalize()
 	return m.stats
+}
+
+// pump pulls arrivals from the source: jobs due now are injected
+// immediately (so the first arrival and burst-mates cost no extra
+// engine events — single-job runs replay the paper's exact event
+// sequence), and the next future arrival is scheduled, re-entering pump
+// when it fires.
+func (m *Machine) pump() {
+	for {
+		delay, tree, ok := m.source.Next(m.srcRng)
+		if !ok {
+			m.srcDone = true
+			if m.inFlight == 0 && !m.completed {
+				m.completed = true
+				m.finishedAt = m.eng.Now()
+				m.eng.Stop()
+			}
+			return
+		}
+		if delay <= 0 {
+			m.inject(tree)
+			continue
+		}
+		m.eng.Schedule(delay, func() {
+			m.inject(tree)
+			m.pump()
+		})
+		return
+	}
+}
+
+// inject enters one job into the system. The root goal arrives from the
+// outside world: it is accepted at RootPE directly rather than placed
+// by the strategy, so competing strategies start from identical state.
+func (m *Machine) inject(tree *workload.Tree) {
+	j := &jobState{
+		id:         m.stats.JobsInjected,
+		tree:       tree,
+		injectedAt: m.eng.Now(),
+	}
+	m.stats.JobsInjected++
+	m.stats.Goals += tree.Count()
+	m.inFlight++
+	root := m.newGoal(tree.Root, j, -1, -1)
+	root.Origin = m.cfg.RootPE
+	m.emit(trace.GoalCreated, m.cfg.RootPE, -1, root.ID)
+	m.pes[m.cfg.RootPE].Accept(root)
 }
 
 func (m *Machine) finalize() {
@@ -285,6 +415,15 @@ func (m *Machine) finalize() {
 		s.Makespan = m.eng.Now()
 	}
 	s.Events = m.eng.Processed()
+	s.Warmup = m.cfg.Warmup
+	s.WarmupBusy = m.warmupBusy
+	s.Stalled = m.stalled()
+	for _, r := range s.JobRecords {
+		s.Sojourn.Add(float64(r.Sojourn()))
+		if r.InjectedAt >= m.cfg.Warmup {
+			s.SteadySojourn.Add(float64(r.Sojourn()))
+		}
+	}
 	for i, pe := range m.pes {
 		b := pe.committedBusy()
 		s.BusyPerPE[i] = b

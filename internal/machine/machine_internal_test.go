@@ -124,9 +124,9 @@ func TestTakeNewestQueuedGoalOrder(t *testing.T) {
 	tree := workload.NewFib(3)
 	m := New(topo, tree, keepLocal{}, DefaultConfig())
 	pe := m.pes[0]
-	g1 := m.newGoal(tree.Root, 0, -1)
-	g2 := m.newGoal(tree.Root, 0, -1)
-	g3 := m.newGoal(tree.Root, 0, -1)
+	g1 := m.newGoal(tree.Root, &jobState{tree: tree}, 0, -1)
+	g2 := m.newGoal(tree.Root, &jobState{tree: tree}, 0, -1)
+	g3 := m.newGoal(tree.Root, &jobState{tree: tree}, 0, -1)
 	// Direct queue manipulation: the PE is idle so the first enqueue
 	// starts service; g1 enters service, g2 and g3 wait.
 	m.eng.Schedule(0, func() {
@@ -154,7 +154,7 @@ func TestLoadMetrics(t *testing.T) {
 	m := New(topo, tree, keepLocal{}, cfg)
 	pe := m.pes[0]
 	pe.pending[99] = &pendingTask{}
-	g := m.newGoal(tree.Root, 0, -1)
+	g := m.newGoal(tree.Root, &jobState{tree: tree}, 0, -1)
 	m.eng.Schedule(0, func() {
 		pe.Accept(g) // goes straight into service: queue stays empty
 		if got := pe.Load(); got != 1 {
@@ -176,7 +176,7 @@ func TestCommittedBusyPartial(t *testing.T) {
 	cfg := DefaultConfig()     // grain 10
 	m := New(topo, tree, keepLocal{}, cfg)
 	pe := m.pes[0]
-	m.eng.Schedule(0, func() { pe.Accept(m.newGoal(tree.Root, -1, -1)) })
+	m.eng.Schedule(0, func() { pe.Accept(m.newGoal(tree.Root, &jobState{tree: tree}, -1, -1)) })
 	m.eng.RunUntil(4) // mid-service of the root goal
 	if got := pe.committedBusy(); got != 4 {
 		t.Fatalf("committedBusy at t=4 = %d, want 4", got)

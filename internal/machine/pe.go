@@ -169,7 +169,9 @@ func (pe *PE) SendGoal(to int, g *Goal) {
 	ch := m.pickChannel(chs)
 	sentLoad := pe.Load()
 	from := pe.id
+	m.goalsInTransit++
 	m.transmit(ch, m.cfg.GoalHopTime, func() {
+		m.goalsInTransit--
 		dst := m.pes[to]
 		if m.cfg.PiggybackLoad {
 			dst.noteLoad(from, sentLoad)
@@ -200,7 +202,9 @@ func (m *Machine) routeGoal(cur, dst int, g *Goal) {
 	m.stats.MsgCounts[MsgGoal]++
 	m.emit(trace.GoalSent, cur, next, g.ID)
 	sentLoad := m.pes[cur].Load()
+	m.goalsInTransit++
 	m.transmit(ch, m.cfg.GoalHopTime, func() {
+		m.goalsInTransit--
 		if m.cfg.PiggybackLoad {
 			m.pes[next].noteLoad(cur, sentLoad)
 		}
@@ -347,7 +351,7 @@ func (pe *PE) finish(it item) {
 			vals:      make([]int64, 0, len(task.Kids)),
 		}
 		for _, kid := range task.Kids {
-			child := pe.m.newGoal(kid, pe.id, g.ID)
+			child := pe.m.newGoal(kid, g.job, pe.id, g.ID)
 			pe.node.PlaceNewGoal(child)
 		}
 	case itemResponse:
@@ -362,7 +366,7 @@ func (pe *PE) finish(it item) {
 		p.remaining--
 		if p.remaining == 0 {
 			delete(pe.pending, r.goalID)
-			val := pe.m.tree.Combine(p.vals)
+			val := p.goal.job.tree.Combine(p.vals)
 			pe.m.respond(pe.id, p.goal, val)
 		}
 	}

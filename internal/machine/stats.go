@@ -8,7 +8,6 @@ import (
 	"cwnsim/internal/sim"
 	"cwnsim/internal/topology"
 	"cwnsim/internal/trace"
-	"cwnsim/internal/workload"
 )
 
 // Stats holds everything ORACLE reported for one run: utilization
@@ -22,11 +21,31 @@ type Stats struct {
 	P        int
 	Goals    int
 
-	// Outcome.
+	// Outcome. Completed means every injected job delivered its root
+	// response and the source was exhausted; Result is the last
+	// completed job's value (the program result for single-job runs).
+	// Stalled flags an incomplete run where jobs remained in flight but
+	// nothing was queued, executing, or on a channel — a lost goal or
+	// deadlock, as opposed to honest saturation at MaxTime.
 	Completed bool
+	Stalled   bool
 	Result    int64
 	Makespan  sim.Time
 	Events    uint64
+
+	// Job stream accounting. JobsInjected counts arrivals; JobsDone
+	// counts delivered root responses (fewer than injected when an
+	// overloaded stream hits MaxTime). JobRecords holds one latency
+	// record per completed job in completion order; Sojourn aggregates
+	// all of them and SteadySojourn only jobs injected at or after
+	// Warmup, so ramp-up transients do not pollute tail percentiles.
+	JobsInjected  int64
+	JobsDone      int64
+	JobRecords    []JobRecord
+	Sojourn       metrics.Sample
+	SteadySojourn metrics.Sample
+	Warmup        sim.Time
+	WarmupBusy    sim.Time
 
 	// PE activity.
 	TotalBusy      sim.Time
@@ -64,13 +83,12 @@ type Stats struct {
 	Monitor trace.Monitor
 }
 
-func newStats(topo *topology.Topology, tree *workload.Tree, stratName string) *Stats {
+func newStats(topo *topology.Topology, workloadName, stratName string) *Stats {
 	return &Stats{
 		Topology:    topo.Name(),
 		Strategy:    stratName,
-		Workload:    tree.Name,
+		Workload:    workloadName,
 		P:           topo.Size(),
-		Goals:       tree.Count(),
 		BusyPerPE:   make([]sim.Time, topo.Size()),
 		GoalsPerPE:  make([]int64, topo.Size()),
 		ChannelBusy: make([]sim.Time, len(topo.Channels())),
@@ -90,6 +108,46 @@ func (s *Stats) Utilization() float64 {
 
 // UtilizationPercent returns Utilization×100, the paper's y-axis.
 func (s *Stats) UtilizationPercent() float64 { return 100 * s.Utilization() }
+
+// SteadyUtilization returns average PE utilization in [0,1] over the
+// post-warm-up window only — the steady-state figure for arrival
+// streams, where the empty-machine ramp would otherwise drag the mean
+// down. With no warm-up configured it equals Utilization. Returns 0 if
+// the run ended before the warm-up elapsed.
+func (s *Stats) SteadyUtilization() float64 {
+	if s.Warmup <= 0 {
+		return s.Utilization()
+	}
+	window := s.Makespan - s.Warmup
+	if window <= 0 {
+		return 0
+	}
+	return float64(s.TotalBusy-s.WarmupBusy) / (float64(s.P) * float64(window))
+}
+
+// MeanSojourn returns the average time a completed job spent in the
+// system (injection to root response), warm-up jobs excluded. NaN when
+// no completed job survived the warm-up cutoff — no data is not zero
+// latency.
+func (s *Stats) MeanSojourn() float64 { return s.SteadySojourn.Mean() }
+
+// SojournP50 returns the median steady-state sojourn time (NaN when
+// the steady sample is empty).
+func (s *Stats) SojournP50() float64 { return s.SteadySojourn.Percentile(0.50) }
+
+// SojournP99 returns the 99th-percentile steady-state sojourn time —
+// the tail-latency figure an arrival-rate sweep plots (NaN when the
+// steady sample is empty).
+func (s *Stats) SojournP99() float64 { return s.SteadySojourn.Percentile(0.99) }
+
+// Throughput returns completed jobs per unit virtual time over the
+// whole run (0 for an empty run).
+func (s *Stats) Throughput() float64 {
+	if s.Makespan == 0 {
+		return 0
+	}
+	return float64(s.JobsDone) / float64(s.Makespan)
+}
 
 // Speedup returns total sequential work divided by makespan. At
 // completion this equals the paper's "number of PEs × average
@@ -159,6 +217,10 @@ func (s *Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s | %s | %s (%d goals)\n", s.Strategy, s.Topology, s.Workload, s.Goals)
 	fmt.Fprintf(&b, "  completed=%v result=%d makespan=%d events=%d\n", s.Completed, s.Result, s.Makespan, s.Events)
+	if s.JobsInjected > 1 {
+		fmt.Fprintf(&b, "  jobs: %d/%d done, throughput=%.4f/unit, sojourn %s\n",
+			s.JobsDone, s.JobsInjected, s.Throughput(), s.SteadySojourn.String())
+	}
 	fmt.Fprintf(&b, "  utilization=%.1f%% speedup=%.2f balance=%.2f (P=%d)\n", s.UtilizationPercent(), s.Speedup(), s.BalanceIndex(), s.P)
 	fmt.Fprintf(&b, "  goal hops: %s\n", s.GoalHops.String())
 	fmt.Fprintf(&b, "  queue delay: mean=%.1f max=%.0f\n", s.QueueDelay.Mean(), s.QueueDelay.Max())

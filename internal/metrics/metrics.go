@@ -157,6 +157,86 @@ func (s *Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f", s.n, s.Mean(), s.Stddev(), s.min, s.max)
 }
 
+// Sample retains every observation so exact order statistics can be
+// computed afterwards — the tool for latency distributions (sojourn
+// times), where tail percentiles matter and the observation count per
+// run is modest. The zero value is ready to use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the observation count.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean. Empty samples return NaN — "no
+// data" must not read as a perfect zero in latency reports.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Percentile returns the p-quantile (p in [0,1]) by the nearest-rank
+// method: the smallest observation such that at least p of the data is
+// <= it. Empty samples return NaN.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	rank := int(math.Ceil(p*float64(len(s.xs)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s.xs) {
+		rank = len(s.xs) - 1
+	}
+	return s.xs[rank]
+}
+
+// Min returns the smallest observation (NaN when empty).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	return s.xs[0]
+}
+
+// Max returns the largest observation (NaN when empty).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	return s.xs[len(s.xs)-1]
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// String renders the five-number-ish summary used in run reports.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%.0f p99=%.0f max=%.0f",
+		s.N(), s.Mean(), s.Percentile(0.50), s.Percentile(0.99), s.Max())
+}
+
 // Point is one sample of a time series.
 type Point struct {
 	T float64
