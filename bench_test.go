@@ -36,6 +36,28 @@ func benchSpecs(b *testing.B, specs []experiments.RunSpec) {
 	b.ReportMetric(util, "util%")
 }
 
+// BenchmarkLedger runs the pinned closed+open benchmark matrix behind
+// the perf ledger (BENCH_PR2.json; regenerate with `go run ./cmd/bench`).
+// Allocations are reported because the ledger tracks allocs/op across
+// PRs; events/sec is the simulator's headline throughput figure.
+func BenchmarkLedger(b *testing.B) {
+	for _, c := range experiments.BenchMatrix() {
+		c := c
+		b.Run(c.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				r, err := c.Spec.ExecuteErr()
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = r.Stats.Events
+			}
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
 // BenchmarkTable1Optimization regenerates a slice of the Table 1
 // parameter-optimization process: a CWN radius/horizon sweep at one
 // sample point.

@@ -1,0 +1,175 @@
+// Command bench runs the pinned closed+open benchmark matrix
+// (experiments.BenchMatrix) and writes the repository's performance
+// ledger — a JSON file recording ns/op, allocs/op, bytes/op and
+// events/sec per case, next to the frozen pre-optimization baseline, so
+// the perf trajectory is pinned in the tree rather than in someone's
+// terminal scrollback.
+//
+// Regenerate the committed ledger with:
+//
+//	go run ./cmd/bench -o BENCH_PR2.json
+//
+// Numbers are wall-clock and machine-dependent; allocs/op and bytes/op
+// are deterministic per Go version (the simulation itself is a pure
+// function of its seeds), which is why allocation reduction is the
+// ledger's headline acceptance figure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"cwnsim/internal/experiments"
+)
+
+// metricSet is one measured (or recorded) set of per-op figures.
+type metricSet struct {
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+type caseResult struct {
+	Name        string    `json:"name"`
+	Iterations  int       `json:"iterations"`
+	EventsPerOp uint64    `json:"events_per_op"`
+	Current     metricSet `json:"current"`
+	// Baseline is the frozen pre-PR2 measurement for this case (nil for
+	// cases added after PR 2).
+	Baseline *metricSet `json:"baseline,omitempty"`
+	// AllocsReductionPct and SpeedupX compare Current against Baseline.
+	AllocsReductionPct float64 `json:"allocs_reduction_pct,omitempty"`
+	SpeedupX           float64 `json:"speedup_x,omitempty"`
+}
+
+type ledger struct {
+	Schema   string       `json:"schema"`
+	PR       int          `json:"pr"`
+	Go       string       `json:"go"`
+	GOOS     string       `json:"goos"`
+	GOARCH   string       `json:"goarch"`
+	CPUs     int          `json:"cpus"`
+	Note     string       `json:"note"`
+	Headline string       `json:"headline_case"`
+	Results  []caseResult `json:"results"`
+}
+
+// baseline holds the pre-optimization numbers, recorded at the PR 1
+// tree (closure-per-hop transmit, per-event allocation, unpooled goals)
+// with `go test -bench BenchmarkLedger -benchtime 3x` on the reference
+// container. Frozen here so every future regeneration of the ledger
+// keeps reporting the trajectory since the optimization landed.
+var baseline = map[string]metricSet{
+	"closed/cwn-grid10-fib13": {NsPerOp: 5454257, AllocsPerOp: 40136, BytesPerOp: 1993730, EventsPerSec: 3138117},
+	"closed/gm-grid10-fib13":  {NsPerOp: 11274463, AllocsPerOp: 87071, BytesPerOp: 3794413, EventsPerSec: 3408023},
+	"open/poisson-grid8":      {NsPerOp: 256607173, AllocsPerOp: 1708389, BytesPerOp: 82558530, EventsPerSec: 2941300},
+	"open/poisson-dlm10":      {NsPerOp: 286814602, AllocsPerOp: 1600726, BytesPerOp: 75826389, EventsPerSec: 2437025},
+	"open/burst-grid10-gm":    {NsPerOp: 193647355, AllocsPerOp: 1345875, BytesPerOp: 57478608, EventsPerSec: 3102158},
+}
+
+func main() {
+	var (
+		out   = flag.String("o", "BENCH_PR2.json", "ledger output path (- for stdout)")
+		iters = flag.Int("iters", 5, "iterations per case (fixed, for comparable allocs/op)")
+	)
+	flag.Parse()
+	if *iters < 1 {
+		fail(fmt.Errorf("-iters must be >= 1, got %d", *iters))
+	}
+
+	matrix := experiments.BenchMatrix()
+	led := ledger{
+		Schema:   "cwnsim-bench/v1",
+		PR:       2,
+		Go:       runtime.Version(),
+		GOOS:     runtime.GOOS,
+		GOARCH:   runtime.GOARCH,
+		CPUs:     runtime.NumCPU(),
+		Note:     "one op = one full simulation run of the named spec; baseline frozen at the pre-PR2 tree",
+		Headline: "open/poisson-grid8",
+	}
+	for _, c := range matrix {
+		// Warm registry caches so construction of shared immutables is
+		// not billed to the first iteration.
+		c.Spec.Topo.Build()
+		c.Spec.Workload.Build()
+
+		res, err := measure(c.Spec, *iters)
+		if err != nil {
+			fail(fmt.Errorf("case %s: %v", c.Name, err))
+		}
+		res.Name = c.Name
+		if base, ok := baseline[c.Name]; ok {
+			b := base
+			res.Baseline = &b
+			if b.AllocsPerOp > 0 {
+				res.AllocsReductionPct = 100 * (1 - float64(res.Current.AllocsPerOp)/float64(b.AllocsPerOp))
+			}
+			if res.Current.NsPerOp > 0 {
+				res.SpeedupX = float64(b.NsPerOp) / float64(res.Current.NsPerOp)
+			}
+		}
+		led.Results = append(led.Results, res)
+		fmt.Fprintf(os.Stderr, "%-28s %12d ns/op %10d allocs/op %12.0f events/sec", c.Name,
+			res.Current.NsPerOp, res.Current.AllocsPerOp, res.Current.EventsPerSec)
+		if res.Baseline != nil {
+			fmt.Fprintf(os.Stderr, "   allocs %+.1f%%, %.2fx faster", -res.AllocsReductionPct, res.SpeedupX)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+
+	enc, err := json.MarshalIndent(led, "", "  ")
+	fail(err)
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(enc)
+		fail(err)
+		return
+	}
+	fail(os.WriteFile(*out, enc, 0o644))
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+// measure runs the spec iters times and reports per-op means. Mallocs
+// and bytes come from runtime.MemStats deltas (the same counters
+// testing.B uses); a GC fence before the window keeps prior garbage out
+// of the byte count.
+func measure(spec experiments.RunSpec, iters int) (caseResult, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var events uint64
+	for i := 0; i < iters; i++ {
+		r, err := spec.ExecuteErr()
+		if err != nil {
+			return caseResult{}, err
+		}
+		events = r.Stats.Events
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := uint64(iters)
+	return caseResult{
+		Iterations:  iters,
+		EventsPerOp: events,
+		Current: metricSet{
+			NsPerOp:      elapsed.Nanoseconds() / int64(iters),
+			AllocsPerOp:  int64((after.Mallocs - before.Mallocs) / n),
+			BytesPerOp:   int64((after.TotalAlloc - before.TotalAlloc) / n),
+			EventsPerSec: float64(events) * float64(iters) / elapsed.Seconds(),
+		},
+	}, nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(2)
+	}
+}

@@ -178,8 +178,12 @@ func main() {
 	}
 
 	// The flat detail table carries the full serving metrics per run.
+	// Throughput is the steady (post-warm-up) figure so it shares the
+	// measurement window with the warm-up-excluded sojourn percentiles —
+	// whole-run throughput would fold the empty-machine ramp into the
+	// knee plots the p99 columns feed.
 	detail := report.NewTable("per-run serving metrics",
-		"topology", "strategy", "gap", "jobs done", "mean soj", "p50", "p99", "tput/ku", "steady util%")
+		"topology", "strategy", "gap", "jobs done", "mean soj", "p50", "p99", "steady tput/ku", "steady util%")
 	for _, r := range results {
 		st := r.Stats
 		done := fmt.Sprintf("%d/%d", st.JobsDone, st.JobsInjected)
@@ -188,7 +192,7 @@ func main() {
 		}
 		detail.AddRow(r.Spec.Topo.Label(), r.Spec.Strategy.ShortLabel(), r.Spec.Arrival.Label(),
 			done, fmtSoj(r.MeanSoj), fmtSoj(r.P50Soj), fmtSoj(r.P99Soj),
-			1000*r.Throughput, 100*st.SteadyUtilization())
+			1000*r.SteadyTput, 100*st.SteadyUtilization())
 	}
 	detail.Render(os.Stdout)
 

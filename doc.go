@@ -36,11 +36,34 @@
 // and friends), so new kinds plug in by name and flow through JSON spec
 // files, the CLI parsers and every sweep without touching the dispatch.
 //
+// # Determinism
+//
+// A run is a pure function of its seed. Three disjoint seeded streams
+// keep that guarantee modular: the engine stream drives every choice
+// inside the simulated system (tie-breaks, simulation ticker phases),
+// the source stream drives job arrival times, and the observer stream
+// drives sampling phases — so neither changing the workload stream nor
+// turning monitoring on or off perturbs the simulated result. The seed
+// regression tests in internal/experiments pin this bit for bit.
+//
+// # Performance
+//
+// The hot path allocates nothing in steady state: events are pooled and
+// dispatched through typed actions instead of closures (internal/sim),
+// wire messages, goals, pending tasks and job states are recycled
+// through free lists, and each PE's ready queue is a ring buffer
+// (internal/machine). For unbounded job streams, Config.SojournBound
+// collapses latency samples into a fixed-memory streaming histogram.
+// The committed perf ledger BENCH_PR2.json (regenerate with `go run
+// ./cmd/bench`) pins ns/op, allocs/op and events/sec for a fixed
+// closed+open matrix against the frozen pre-optimization baseline.
+//
 // Executables: cmd/lbsim (single runs), cmd/paper (regenerate every
 // table and figure), cmd/optimize (the Table 1 parameter sweeps),
 // cmd/sweep (ad-hoc batches), cmd/validate (the paper's claims as
-// checks), and cmd/serve (arrival-rate versus tail-latency sweeps for
-// the open system). The benchmarks in bench_test.go regenerate each
-// table/figure at reduced scale and report achieved speedup/utilization
-// as custom benchmark metrics.
+// checks), cmd/serve (arrival-rate versus tail-latency sweeps for the
+// open system), and cmd/bench (the performance ledger). The benchmarks
+// in bench_test.go regenerate each table/figure at reduced scale and
+// report achieved speedup/utilization as custom benchmark metrics;
+// BenchmarkLedger tracks the allocation and event-throughput figures.
 package cwnsim

@@ -1,0 +1,63 @@
+package experiments
+
+// BenchCase is one entry of the fixed benchmark matrix the perf ledger
+// (BENCH_PR2.json, cmd/bench) and the `go test -bench` suite share. The
+// matrix is deliberately pinned — same topologies, workloads, seeds and
+// arrival streams every run — so ns/op, allocs/op and events/sec are
+// comparable across commits.
+type BenchCase struct {
+	// Name is the ledger key, stable across PRs.
+	Name string
+	// Spec is the run the case times, executed once per iteration.
+	Spec RunSpec
+}
+
+// BenchMatrix returns the pinned closed+open benchmark matrix.
+//
+// The closed cases time the paper's single-tree experiment on the two
+// headline strategies; the open cases push a Poisson job stream through
+// the machine — the steady-state regime where per-event and per-message
+// allocation costs dominate. "open/poisson-grid8" is the ledger's
+// headline case: PR 2's ≥25% allocs/op reduction is measured on it.
+func BenchMatrix() []BenchCase {
+	return []BenchCase{
+		{
+			Name: "closed/cwn-grid10-fib13",
+			Spec: RunSpec{Topo: Grid(10), Workload: Fib(13), Strategy: CWN(9, 2)},
+		},
+		{
+			Name: "closed/gm-grid10-fib13",
+			Spec: RunSpec{Topo: Grid(10), Workload: Fib(13), Strategy: GM(1, 2, 20)},
+		},
+		{
+			Name: "open/poisson-grid8",
+			Spec: RunSpec{
+				Topo:     Grid(8),
+				Workload: Fib(9),
+				Strategy: CWN(9, 2),
+				Arrival:  PoissonArrivals(60, 500),
+				Warmup:   3_000,
+			},
+		},
+		{
+			Name: "open/poisson-dlm10",
+			Spec: RunSpec{
+				Topo:     DLM(10, 5),
+				Workload: Fib(9),
+				Strategy: CWN(5, 1),
+				Arrival:  PoissonArrivals(40, 500),
+				Warmup:   2_000,
+			},
+		},
+		{
+			Name: "open/burst-grid10-gm",
+			Spec: RunSpec{
+				Topo:     Grid(10),
+				Workload: Fib(9),
+				Strategy: GM(1, 2, 20),
+				Arrival:  BurstArrivals(25, 2_000, 8),
+				Warmup:   2_000,
+			},
+		},
+	}
+}

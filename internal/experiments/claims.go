@@ -150,7 +150,10 @@ func Claims() []Claim {
 			ID:        "C8-result-correct",
 			Statement: "the simulation computes the program's actual result (ORACLE property)",
 			Check: func(quick bool, workers int) (bool, string) {
-				r := RunSpec{Topo: Grid(5), Workload: Fib(12), Strategy: CWN(5, 1)}.Execute()
+				r, err := RunSpec{Topo: Grid(5), Workload: Fib(12), Strategy: CWN(5, 1)}.ExecuteErr()
+				if err != nil {
+					return false, err.Error()
+				}
 				want := Fib(12).Build().Eval()
 				return r.Stats.Result == want,
 					fmt.Sprintf("fib(12) = %d (expected %d)", r.Stats.Result, want)
@@ -186,13 +189,20 @@ func Claims() []Claim {
 				if quick {
 					wl = Fib(13)
 				}
-				worst := 0.0
+				var specs []RunSpec
 				for _, ts := range []TopoSpec{Grid(10), DLM(10, 5)} {
 					for _, strat := range []StrategySpec{PaperCWNFor(ts), PaperGMFor(ts)} {
-						r := RunSpec{Topo: ts, Workload: wl, Strategy: strat}.Execute()
-						if u := r.Stats.MaxChannelUtilization(); u > worst {
-							worst = u
-						}
+						specs = append(specs, RunSpec{Topo: ts, Workload: wl, Strategy: strat})
+					}
+				}
+				rs, err := RunAll(specs, workers)
+				if err != nil {
+					return false, err.Error()
+				}
+				worst := 0.0
+				for _, r := range rs {
+					if u := r.Stats.MaxChannelUtilization(); u > worst {
+						worst = u
 					}
 				}
 				return worst < 0.95, fmt.Sprintf("worst channel utilization %.1f%%", 100*worst)

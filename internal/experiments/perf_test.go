@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHotPathAllocationBudget guards the PR 2 pooled paths end to end:
+// with events, wire messages, goals, pending tasks and job states all
+// recycled, a whole open-system run must average well under one
+// allocation per ten processed events (the pre-optimization hot path
+// cost ~2.3 allocations per event). The budget is deliberately loose —
+// it catches a reverted pool, not scheduler noise.
+func TestHotPathAllocationBudget(t *testing.T) {
+	spec := RunSpec{
+		Topo:     Grid(5),
+		Workload: Fib(8),
+		Strategy: CWN(3, 1),
+		Arrival:  PoissonArrivals(40, 150),
+	}
+	// Warm the topology/tree caches so they are not billed to the run.
+	spec.Topo.Build()
+	spec.Workload.Build()
+	r, err := spec.ExecuteErr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := r.Stats.Events
+	if events == 0 {
+		t.Fatal("run processed no events")
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := spec.ExecuteErr(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perEvent := allocs / float64(events)
+	if perEvent > 0.1 {
+		t.Errorf("hot path allocates %.4f per event (%.0f per run over %d events), budget 0.1 — a pool has regressed",
+			perEvent, allocs, events)
+	}
+}
+
+// TestLargeGridPoissonSmoke drives the scale regime the ROADMAP targets
+// — a 32×32 grid under a 2000-job Poisson stream — end to end, with the
+// bounded sojourn sample exercised so a 100k-job stream would not hold
+// every observation. Guarded by -short: it is the suite's one
+// deliberately big run.
+func TestLargeGridPoissonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping 32x32 2k-job smoke in -short mode")
+	}
+	spec := RunSpec{
+		Topo:         Grid(32),
+		Workload:     Fib(9),
+		Strategy:     CWN(9, 2),
+		Arrival:      PoissonArrivals(40, 2000),
+		Warmup:       4_000,
+		SojournBound: 500,
+	}
+	r, err := spec.ExecuteErr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats
+	if !st.Completed {
+		t.Fatalf("2k-job stream did not drain: %d/%d jobs done at t=%d", st.JobsDone, st.JobsInjected, st.Makespan)
+	}
+	if st.JobsDone != 2000 {
+		t.Fatalf("JobsDone = %d, want 2000", st.JobsDone)
+	}
+	if !st.Sojourn.Bounded() {
+		t.Fatal("sojourn sample did not collapse under SojournBound")
+	}
+	if len(st.JobRecords) != 500 {
+		t.Fatalf("JobRecords holds %d records under SojournBound=500 — run memory is not bounded", len(st.JobRecords))
+	}
+	if st.Sojourn.N() != 2000 {
+		t.Fatalf("bounded Sojourn sample n = %d, want all 2000 completions", st.Sojourn.N())
+	}
+	if p99 := st.SojournP99(); math.IsNaN(p99) || p99 <= 0 {
+		t.Fatalf("implausible p99 sojourn %f", p99)
+	}
+	if u := st.SteadyUtilization(); u <= 0 || u > 1 {
+		t.Fatalf("SteadyUtilization = %f, want in (0,1]", u)
+	}
+	if tput := st.SteadyThroughput(); tput <= 0 {
+		t.Fatalf("SteadyThroughput = %f, want > 0", tput)
+	}
+	if st.Events < 1_000_000 {
+		t.Fatalf("only %d events — the large grid did not actually run at scale", st.Events)
+	}
+}

@@ -25,7 +25,8 @@ type RunSpec struct {
 	LoadMetric     string       `json:"loadMetric,omitempty"`     // "", "queue", "queue+pending"
 	GoalHopTime    int64        `json:"goalHopTime,omitempty"`    // override; 0 = default
 	RespHopTime    int64        `json:"respHopTime,omitempty"`
-	MaxTime        int64        `json:"maxTime,omitempty"` // measurement horizon override; 0 = default
+	MaxTime        int64        `json:"maxTime,omitempty"`      // measurement horizon override; 0 = default
+	SojournBound   int64        `json:"sojournBound,omitempty"` // cap on retained sojourn observations; 0 = exact
 }
 
 // Name returns a human-readable run identifier.
@@ -61,6 +62,7 @@ func (rs RunSpec) Config() machine.Config {
 	if rs.MaxTime > 0 {
 		cfg.MaxTime = sim.Time(rs.MaxTime)
 	}
+	cfg.SojournBound = int(rs.SojournBound)
 	return cfg
 }
 
@@ -82,7 +84,8 @@ type Result struct {
 	MeanSoj    float64 // mean sojourn time, warm-up excluded
 	P50Soj     float64 // median sojourn
 	P99Soj     float64 // tail sojourn — the serving benchmark's headline
-	Throughput float64 // completed jobs per unit virtual time
+	Throughput float64 // completed jobs per unit virtual time, whole run
+	SteadyTput float64 // completions per unit time, post-warm-up window only
 }
 
 // OfBound returns the measured speedup as a fraction of the workload's
@@ -153,6 +156,7 @@ func (rs RunSpec) ExecuteErr() (res *Result, err error) {
 		P50Soj:     st.SojournP50(),
 		P99Soj:     st.SojournP99(),
 		Throughput: st.Throughput(),
+		SteadyTput: st.SteadyThroughput(),
 	}, nil
 }
 

@@ -12,8 +12,22 @@ type chanState struct {
 	id        int
 	members   []int
 	busyUntil sim.Time
-	busyTotal sim.Time
+	busyTotal sim.Time // scheduled occupancy, including not-yet-elapsed tail
 	messages  int64
+}
+
+// committedBusy returns the occupancy that has actually elapsed by now.
+// busyTotal is charged in full at transmit time, but a run that stops
+// with messages still on the wire (MaxTime, or completion with control
+// traffic in flight) must not report the unelapsed tail — which is
+// exactly busyUntil-now, because a backlogged channel is continuously
+// busy from now until it drains.
+func (ch *chanState) committedBusy(now sim.Time) sim.Time {
+	b := ch.busyTotal
+	if ch.busyUntil > now {
+		b -= ch.busyUntil - now
+	}
+	return b
 }
 
 // MsgKind classifies traffic for accounting.
@@ -46,10 +60,144 @@ func (k MsgKind) String() string {
 	}
 }
 
+// wireKind discriminates in-flight wire messages.
+type wireKind uint8
+
+const (
+	// wireGoal is a single goal hop whose receiver's strategy handles
+	// arrival (SendGoal).
+	wireGoal wireKind = iota
+	// wireGoalRoute is one hop of a shortest-path goal route; only the
+	// final PE's strategy sees the arrival (RouteGoal).
+	wireGoalRoute
+	// wireResp is one hop of a response travelling to its parent PE.
+	wireResp
+	// wireCtrl is a point-to-point strategy control payload.
+	wireCtrl
+	// wireLoadBcast is a load broadcast transaction on one channel.
+	wireLoadBcast
+	// wireCtrlBcast is a control broadcast transaction on one channel.
+	wireCtrlBcast
+)
+
+// wireMsg is one message occupying a channel: the typed, pooled
+// replacement for the per-hop closures the hot path used to allocate.
+// It implements sim.Action; delivery dispatches on kind. Messages are
+// recycled through the machine's free list the moment they deliver.
+type wireMsg struct {
+	m        *Machine
+	kind     wireKind
+	ch       *chanState // broadcast kinds: deliver to all other members
+	goal     *Goal
+	resp     response
+	payload  any
+	from     int // sending PE of this hop
+	to       int // receiving PE of this hop
+	dst      int // final destination (wireGoalRoute)
+	sentLoad int32
+	next     *wireMsg // free-list link
+}
+
+// newMsg pops a message from the free list (or allocates the pool's
+// next entry) with the common fields set.
+func (m *Machine) newMsg(kind wireKind, from int, sentLoad int) *wireMsg {
+	w := m.msgFree
+	if w != nil {
+		m.msgFree = w.next
+		w.next = nil
+	} else {
+		w = &wireMsg{m: m}
+	}
+	w.kind = kind
+	w.from = from
+	w.sentLoad = int32(sentLoad)
+	return w
+}
+
+// freeMsg clears the message's references and returns it to the pool.
+func (m *Machine) freeMsg(w *wireMsg) {
+	w.ch = nil
+	w.goal = nil
+	w.payload = nil
+	w.resp = response{}
+	w.next = m.msgFree
+	m.msgFree = w
+}
+
+// Act delivers the message. It copies what it needs, recycles itself,
+// then dispatches — so nested transmissions triggered by the delivery
+// (forwarded goals, next response hops) reuse this very message.
+func (w *wireMsg) Act() {
+	m, kind, ch := w.m, w.kind, w.ch
+	g, resp, payload := w.goal, w.resp, w.payload
+	from, to, dst, sentLoad := w.from, w.to, w.dst, int(w.sentLoad)
+	m.freeMsg(w)
+
+	switch kind {
+	case wireGoal:
+		m.goalsInTransit--
+		rcv := m.pes[to]
+		if m.cfg.PiggybackLoad {
+			rcv.noteLoad(from, sentLoad)
+		}
+		rcv.node.GoalArrived(g, from)
+	case wireGoalRoute:
+		m.goalsInTransit--
+		if m.cfg.PiggybackLoad {
+			m.pes[to].noteLoad(from, sentLoad)
+		}
+		if to == dst {
+			m.pes[to].node.GoalArrived(g, from)
+			return
+		}
+		m.routeGoal(to, dst, g)
+	case wireResp:
+		m.respsInTransit--
+		if m.cfg.PiggybackLoad {
+			m.pes[to].noteLoad(from, sentLoad)
+		}
+		m.routeResponse(to, resp)
+	case wireCtrl:
+		rcv := m.pes[to]
+		if m.cfg.PiggybackLoad {
+			rcv.noteLoad(from, sentLoad)
+		}
+		rcv.node.Control(from, payload)
+	case wireLoadBcast:
+		for _, member := range ch.members {
+			if member != from {
+				m.pes[member].noteLoad(from, sentLoad)
+			}
+		}
+	case wireCtrlBcast:
+		for _, member := range ch.members {
+			if member != from {
+				m.pes[member].node.Control(from, payload)
+			}
+		}
+	}
+}
+
 // transmit occupies the channel for dur units starting when it next
-// frees up, then invokes deliver. Returns the delivery time.
-func (m *Machine) transmit(ch *chanState, dur sim.Time, deliver func()) sim.Time {
-	start := m.eng.Now()
+// frees up, then delivers the message. Returns the delivery time.
+func (m *Machine) transmit(ch *chanState, dur sim.Time, w *wireMsg) sim.Time {
+	end := ch.occupy(m.eng.Now(), dur)
+	m.eng.AtAction(end, w)
+	return end
+}
+
+// transmitFunc is transmit for cold paths and tests that want a closure
+// instead of a pooled message.
+func (m *Machine) transmitFunc(ch *chanState, dur sim.Time, deliver func()) sim.Time {
+	end := ch.occupy(m.eng.Now(), dur)
+	m.eng.At(end, deliver)
+	return end
+}
+
+// occupy reserves the channel's next dur free units and returns when the
+// reservation ends.
+func (ch *chanState) occupy(now, dur sim.Time) sim.Time {
+	start := now
 	if ch.busyUntil > start {
 		start = ch.busyUntil
 	}
@@ -57,7 +205,6 @@ func (m *Machine) transmit(ch *chanState, dur sim.Time, deliver func()) sim.Time
 	ch.busyUntil = end
 	ch.busyTotal += dur
 	ch.messages++
-	m.eng.At(end, deliver)
 	return end
 }
 

@@ -96,8 +96,20 @@ type Config struct {
 
 	// StaggerTicks randomizes each periodic process's phase within its
 	// first period, so the PEs' asynchronous processes do not fire in
-	// lockstep. Drawn from the run's seeded stream.
+	// lockstep. Simulation processes draw phases from the run's seeded
+	// engine stream; observer processes (the utilization sampler) draw
+	// from a dedicated salted stream so monitoring cannot perturb the
+	// simulated result.
 	StaggerTicks bool
+
+	// SojournBound caps the run's per-job memory. Beyond the cap the
+	// sojourn samples collapse into a bounded-memory streaming
+	// histogram (mean/min/max/count stay exact, percentiles become
+	// approximate with ~3% relative error) and Stats.JobRecords stops
+	// growing — only the first SojournBound records are retained. 0
+	// (the default) keeps every observation and record: exact
+	// percentiles, memory linear in completed jobs.
+	SojournBound int
 
 	// PESpeeds optionally makes the machine heterogeneous: PE i's
 	// service times are divided by PESpeeds[i] (1.0 = nominal, 0.5 =
@@ -164,5 +176,8 @@ func (c *Config) validate(numPEs int) {
 	}
 	if c.MonitorPE && c.SampleInterval <= 0 {
 		panic("machine: MonitorPE requires SampleInterval > 0")
+	}
+	if c.SojournBound < 0 {
+		panic("machine: SojournBound must be non-negative")
 	}
 }

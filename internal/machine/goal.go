@@ -9,6 +9,12 @@ import (
 // A goal is created on the PE executing its parent, placed by the
 // strategy (possibly travelling several hops), accepted by exactly one
 // PE, executed there once, and never moved again.
+//
+// Goal objects are pooled: once a goal has executed and (for inner
+// tasks) its children's responses have been combined, the machine
+// recycles the object for a future goal. Strategies must therefore not
+// retain a *Goal after handing it back to the machine via Accept,
+// SendGoal or RouteGoal — the shipped strategies never do.
 type Goal struct {
 	// ID is unique within a run, in creation order (0 = the first
 	// job's root).
@@ -34,6 +40,8 @@ type Goal struct {
 	// CreatedAt and AcceptedAt record virtual times for agility stats.
 	CreatedAt  sim.Time
 	AcceptedAt sim.Time
+
+	nextFree *Goal // machine goal-pool link
 }
 
 // response carries a completed goal's value back to its parent task.
@@ -61,9 +69,12 @@ type item struct {
 }
 
 // pendingTask is a task that has spawned children and awaits their
-// responses. It never migrates (Section 2 of the paper).
+// responses. It never migrates (Section 2 of the paper). Pending tasks
+// are pooled alongside goals; vals keeps its backing array across
+// reuses.
 type pendingTask struct {
 	goal      *Goal
 	remaining int
 	vals      []int64
+	nextFree  *pendingTask // machine pending-pool link
 }

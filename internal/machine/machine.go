@@ -27,14 +27,26 @@ type Machine struct {
 
 	nextGoalID int64
 	srcRng     *rand.Rand
-	srcDone    bool  // the source has been exhausted
-	inFlight   int64 // jobs injected but not yet responded
+	obsRng     *rand.Rand // observer (sampling) phases; nil unless sampling
+	srcDone    bool       // the source has been exhausted
+	inFlight   int64      // jobs injected but not yet responded
 	started    bool
 	completed  bool
 	finishedAt sim.Time
 	result     int64
 
+	arrival  *sim.Timer     // reusable next-arrival event
+	nextTree *workload.Tree // the tree the armed arrival injects
+
+	// Free lists: the hot path recycles wire messages, goals, pending
+	// tasks and job states instead of allocating per message/goal.
+	msgFree     *wireMsg
+	goalFree    *Goal
+	pendingFree *pendingTask
+	jobFree     *jobState
+
 	prevBusySample sim.Time
+	prevSampleAt   sim.Time
 	prevBusyPerPE  []sim.Time
 	frameBuf       []float64
 	warmupBusy     sim.Time
@@ -79,7 +91,12 @@ func NewStream(topo *topology.Topology, source JobSource, strat Strategy, cfg Co
 		source: source,
 		srcRng: newSourceRng(cfg.Seed),
 	}
+	m.arrival = sim.NewTimer(m.eng, m.arrive)
 	m.stats = newStats(topo, source.Name(), strat.Name())
+	if cfg.SojournBound > 0 {
+		m.stats.Sojourn.Bound(cfg.SojournBound)
+		m.stats.SteadySojourn.Bound(cfg.SojournBound)
+	}
 
 	m.chans = make([]*chanState, len(topo.Channels()))
 	for i, ch := range topo.Channels() {
@@ -98,6 +115,7 @@ func NewStream(topo *topology.Topology, source JobSource, strat Strategy, cfg Co
 			nbrLoad:  make([]int32, len(nbrs)),
 			nbrSeen:  make([]sim.Time, len(nbrs)),
 		}
+		pe.svc = sim.NewTimer(m.eng, pe.serviceDone)
 		for j, nb := range nbrs {
 			pe.nbrIndex[nb] = j
 			pe.nbrSeen[j] = -1
@@ -127,7 +145,7 @@ func NewStream(topo *topology.Topology, source JobSource, strat Strategy, cfg Co
 			m.prevBusyPerPE = make([]sim.Time, len(m.pes))
 			m.frameBuf = make([]float64, len(m.pes))
 		}
-		m.NewTicker(nil, cfg.SampleInterval, m.sample)
+		m.newObserverTicker(cfg.SampleInterval, m.sample)
 	}
 
 	// Snapshot the busy-time accrued during warm-up so steady-state
@@ -169,10 +187,14 @@ func (m *Machine) PE(i int) *PE { return m.pes[i] }
 // Completed reports whether the root response has been delivered.
 func (m *Machine) Completed() bool { return m.completed }
 
-// NewTicker registers a periodic process. When StaggerTicks is set the
-// phase is drawn uniformly from the first period (per registration, from
-// the run's seeded stream) so PEs do not act in lockstep; pe is only
-// used to document ownership and may be nil for machine-level processes.
+// NewTicker registers a periodic process belonging to the simulated
+// system (load broadcasts, strategy control processes). When
+// StaggerTicks is set the phase is drawn uniformly from the first period
+// — per registration, from the run's seeded engine stream, because these
+// processes ARE part of the simulation; pe only documents ownership and
+// may be nil for machine-level processes. Measurement processes must use
+// the observer stream instead (see newObserverTicker) so that turning
+// monitoring on or off cannot change the simulated result.
 func (m *Machine) NewTicker(pe *PE, period sim.Time, fn func()) *sim.Ticker {
 	var phase sim.Time
 	if m.cfg.StaggerTicks && period > 1 {
@@ -181,10 +203,33 @@ func (m *Machine) NewTicker(pe *PE, period sim.Time, fn func()) *sim.Ticker {
 	return sim.NewTicker(m.eng, period, phase, fn)
 }
 
+// newObserverTicker registers a measurement process (the utilization
+// sampler). Its stagger phase draws from a dedicated salted stream
+// derived from the seed — not the engine stream — so that configuring
+// SampleInterval/MonitorPE never reorders the simulation's tie-break
+// draws: the observer must not perturb the observed.
+func (m *Machine) newObserverTicker(period sim.Time, fn func()) *sim.Ticker {
+	var phase sim.Time
+	if m.cfg.StaggerTicks && period > 1 {
+		if m.obsRng == nil {
+			m.obsRng = newObserverRng(m.cfg.Seed)
+		}
+		phase = sim.Time(m.obsRng.Int63n(int64(period)))
+	}
+	return sim.NewTicker(m.eng, period, phase, fn)
+}
+
 // newGoal mints a goal for task belonging to job j, created on PE
-// origin for parent goal parentID living on parentPE.
+// origin for parent goal parentID living on parentPE. Goal objects come
+// from the machine's pool; see freeGoal.
 func (m *Machine) newGoal(task *workload.Task, j *jobState, parentPE int, parentID int64) *Goal {
-	g := &Goal{
+	g := m.goalFree
+	if g != nil {
+		m.goalFree = g.nextFree
+	} else {
+		g = &Goal{}
+	}
+	*g = Goal{
 		ID:        m.nextGoalID,
 		Task:      task,
 		job:       j,
@@ -200,32 +245,64 @@ func (m *Machine) newGoal(task *workload.Task, j *jobState, parentPE int, parent
 	return g
 }
 
+// freeGoal recycles a goal whose journey is definitively over: it
+// executed, and any children's responses have been combined.
+func (m *Machine) freeGoal(g *Goal) {
+	g.Task = nil
+	g.job = nil
+	g.nextFree = m.goalFree
+	m.goalFree = g
+}
+
+// newPending allocates (or recycles) the pending-task record for a goal
+// awaiting kids child responses.
+func (m *Machine) newPending(g *Goal, kids int) *pendingTask {
+	p := m.pendingFree
+	if p != nil {
+		m.pendingFree = p.nextFree
+		p.nextFree = nil
+	} else {
+		p = &pendingTask{}
+	}
+	p.goal = g
+	p.remaining = kids
+	if cap(p.vals) < kids {
+		p.vals = make([]int64, 0, kids)
+	} else {
+		p.vals = p.vals[:0]
+	}
+	return p
+}
+
+// freePending recycles a completed pending-task record.
+func (m *Machine) freePending(p *pendingTask) {
+	p.goal = nil
+	p.vals = p.vals[:0]
+	p.nextFree = m.pendingFree
+	m.pendingFree = p
+}
+
 // broadcastLoad sends this PE's current load to all neighbors: one
 // transaction per attached channel (a single bus transaction reaches all
 // bus-mates).
 func (m *Machine) broadcastLoad(pe *PE) {
-	load := pe.Load()
-	m.broadcast(pe, MsgLoad, m.cfg.CtrlHopTime, func(dst *PE, from int) {
-		dst.noteLoad(from, load)
-	})
+	m.broadcast(pe, wireLoadBcast, MsgLoad, m.cfg.CtrlHopTime, nil)
 }
 
 // broadcast performs one transmission per channel attached to pe,
 // delivering to every other channel member. A neighbor reachable via two
 // channels (a double-lattice pair) hears the broadcast twice; deliveries
 // must therefore be idempotent, which load and proximity updates are.
-func (m *Machine) broadcast(pe *PE, kind MsgKind, dur sim.Time, deliver func(dst *PE, from int)) {
+func (m *Machine) broadcast(pe *PE, kind wireKind, msgKind MsgKind, dur sim.Time, payload any) {
 	from := pe.id
+	load := pe.Load()
 	for _, ci := range m.topo.ChannelsOf(from) {
 		ch := m.chans[ci]
-		m.stats.MsgCounts[kind]++
-		m.transmit(ch, dur, func() {
-			for _, member := range ch.members {
-				if member != from {
-					deliver(m.pes[member], from)
-				}
-			}
-		})
+		m.stats.MsgCounts[msgKind]++
+		w := m.newMsg(kind, from, load)
+		w.ch = ch
+		w.payload = payload
+		m.transmit(ch, dur, w)
 	}
 }
 
@@ -242,18 +319,32 @@ func (m *Machine) respond(fromPE int, g *Goal, value int64) {
 
 // completeJob records job j's root response: its sojourn time enters the
 // latency records, and the machine stops once the source is exhausted
-// and no jobs remain in flight.
+// and no jobs remain in flight. The jobState is recycled — every goal of
+// the job is necessarily dead once the root has responded.
 func (m *Machine) completeJob(j *jobState, value int64) {
 	now := m.eng.Now()
 	m.result = value
 	m.inFlight--
 	m.stats.JobsDone++
-	m.stats.JobRecords = append(m.stats.JobRecords, JobRecord{
-		ID:         j.id,
-		InjectedAt: j.injectedAt,
-		DoneAt:     now,
-		Result:     value,
-	})
+	// Latency statistics accrue here, streamingly — not from JobRecords
+	// at finalize — so a bounded run's memory really is bounded.
+	soj := float64(now - j.injectedAt)
+	m.stats.Sojourn.Add(soj)
+	if j.injectedAt >= m.cfg.Warmup {
+		m.stats.SteadySojourn.Add(soj)
+	}
+	if now >= m.cfg.Warmup {
+		m.stats.SteadyJobsDone++
+	}
+	if m.cfg.SojournBound <= 0 || len(m.stats.JobRecords) < m.cfg.SojournBound {
+		m.stats.JobRecords = append(m.stats.JobRecords, JobRecord{
+			ID:         j.id,
+			InjectedAt: j.injectedAt,
+			DoneAt:     now,
+			Result:     value,
+		})
+	}
+	m.freeJob(j)
 	if m.srcDone && m.inFlight == 0 {
 		m.completed = true
 		m.finishedAt = now
@@ -276,38 +367,58 @@ func (m *Machine) routeResponse(cur int, r response) {
 	ch := m.pickChannel(chs)
 	m.stats.MsgCounts[MsgResponse]++
 	r.hops++
-	sentLoad := m.pes[cur].Load()
 	m.respsInTransit++
-	m.transmit(ch, m.cfg.RespHopTime, func() {
-		m.respsInTransit--
-		if m.cfg.PiggybackLoad {
-			m.pes[next].noteLoad(cur, sentLoad)
-		}
-		m.routeResponse(next, r)
-	})
+	w := m.newMsg(wireResp, cur, m.pes[cur].Load())
+	w.resp = r
+	w.to = next
+	m.transmit(ch, m.cfg.RespHopTime, w)
+}
+
+// routeGoal advances the goal one shortest-path hop toward dst.
+func (m *Machine) routeGoal(cur, dst int, g *Goal) {
+	next := m.topo.NextHop(cur, dst)
+	chs := m.topo.ChannelsBetween(cur, next)
+	ch := m.pickChannel(chs)
+	g.Hops++
+	m.stats.MsgCounts[MsgGoal]++
+	m.emit(trace.GoalSent, cur, next, g.ID)
+	m.goalsInTransit++
+	w := m.newMsg(wireGoalRoute, cur, m.pes[cur].Load())
+	w.goal = g
+	w.to = next
+	w.dst = dst
+	m.transmit(ch, m.cfg.GoalHopTime, w)
 }
 
 // sample appends one utilization time-series point: the fraction of
 // PE-time spent busy during the window just ended, as a percentage
-// (matching the paper's plots 11-16).
+// (matching the paper's plots 11-16). The divisor is the actual elapsed
+// window since the previous sample — the staggered first window is
+// shorter than SampleInterval, and dividing by the full period there
+// distorted the first timeline point.
 func (m *Machine) sample() {
+	now := m.eng.Now()
+	window := now - m.prevSampleAt
+	if window <= 0 {
+		return // an unstaggered first firing at t=0 has no window yet
+	}
 	var busy sim.Time
 	for _, pe := range m.pes {
 		busy += pe.committedBusy()
 	}
-	window := m.cfg.SampleInterval * sim.Time(len(m.pes))
-	util := 100 * float64(busy-m.prevBusySample) / float64(window)
+	util := 100 * float64(busy-m.prevBusySample) / (float64(window) * float64(len(m.pes)))
 	m.prevBusySample = busy
-	m.stats.Timeline.Add(float64(m.eng.Now()), util)
+	m.stats.Timeline.Add(float64(now), util)
 
 	if m.prevBusyPerPE != nil {
 		for i, pe := range m.pes {
 			b := pe.committedBusy()
-			m.frameBuf[i] = float64(b-m.prevBusyPerPE[i]) / float64(m.cfg.SampleInterval)
+			m.frameBuf[i] = float64(b-m.prevBusyPerPE[i]) / float64(window)
 			m.prevBusyPerPE[i] = b
 		}
-		m.stats.Monitor.Append(m.eng.Now(), m.frameBuf)
+		m.stats.Monitor.Append(now, m.frameBuf)
 	}
+	m.prevSampleAt = now
 }
 
 // committedBusy returns busy time accrued up to now (excluding the not
@@ -361,8 +472,8 @@ func (m *Machine) Run() *Stats {
 // pump pulls arrivals from the source: jobs due now are injected
 // immediately (so the first arrival and burst-mates cost no extra
 // engine events — single-job runs replay the paper's exact event
-// sequence), and the next future arrival is scheduled, re-entering pump
-// when it fires.
+// sequence), and the next future arrival is armed on the machine's
+// reusable arrival timer, re-entering pump when it fires.
 func (m *Machine) pump() {
 	for {
 		delay, tree, ok := m.source.Next(m.srcRng)
@@ -379,19 +490,32 @@ func (m *Machine) pump() {
 			m.inject(tree)
 			continue
 		}
-		m.eng.Schedule(delay, func() {
-			m.inject(tree)
-			m.pump()
-		})
+		m.nextTree = tree
+		m.arrival.Schedule(delay)
 		return
 	}
+}
+
+// arrive fires when the armed arrival is due: inject it and pull the
+// next one.
+func (m *Machine) arrive() {
+	tree := m.nextTree
+	m.nextTree = nil
+	m.inject(tree)
+	m.pump()
 }
 
 // inject enters one job into the system. The root goal arrives from the
 // outside world: it is accepted at RootPE directly rather than placed
 // by the strategy, so competing strategies start from identical state.
 func (m *Machine) inject(tree *workload.Tree) {
-	j := &jobState{
+	j := m.jobFree
+	if j != nil {
+		m.jobFree = j.nextFree
+	} else {
+		j = &jobState{}
+	}
+	*j = jobState{
 		id:         m.stats.JobsInjected,
 		tree:       tree,
 		injectedAt: m.eng.Now(),
@@ -405,33 +529,38 @@ func (m *Machine) inject(tree *workload.Tree) {
 	m.pes[m.cfg.RootPE].Accept(root)
 }
 
+// freeJob recycles a completed job's state record.
+func (m *Machine) freeJob(j *jobState) {
+	j.tree = nil
+	j.nextFree = m.jobFree
+	m.jobFree = j
+}
+
 func (m *Machine) finalize() {
 	s := m.stats
+	now := m.eng.Now()
 	s.Completed = m.completed
 	s.Result = m.result
 	if m.completed {
 		s.Makespan = m.finishedAt
 	} else {
-		s.Makespan = m.eng.Now()
+		s.Makespan = now
 	}
 	s.Events = m.eng.Processed()
 	s.Warmup = m.cfg.Warmup
 	s.WarmupBusy = m.warmupBusy
 	s.Stalled = m.stalled()
-	for _, r := range s.JobRecords {
-		s.Sojourn.Add(float64(r.Sojourn()))
-		if r.InjectedAt >= m.cfg.Warmup {
-			s.SteadySojourn.Add(float64(r.Sojourn()))
-		}
-	}
 	for i, pe := range m.pes {
 		b := pe.committedBusy()
 		s.BusyPerPE[i] = b
 		s.TotalBusy += b
 		s.GoalsPerPE[i] = pe.goalsExecuted
 	}
+	// Channels are charged their full occupancy at transmit time; commit
+	// only the elapsed part, or a run cut off with messages on the wire
+	// would report > 100% channel utilization.
 	for i, ch := range m.chans {
-		s.ChannelBusy[i] = ch.busyTotal
+		s.ChannelBusy[i] = ch.committedBusy(now)
 		s.ChannelMsgs[i] = ch.messages
 	}
 }

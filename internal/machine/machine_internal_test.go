@@ -71,9 +71,9 @@ func TestTransmitSerializesFIFO(t *testing.T) {
 	record := func() { deliveries = append(deliveries, m.eng.Now()) }
 	// Three simultaneous 5-unit transmissions must serialize: 5, 10, 15.
 	m.eng.Schedule(0, func() {
-		m.transmit(ch, 5, record)
-		m.transmit(ch, 5, record)
-		m.transmit(ch, 5, record)
+		m.transmitFunc(ch, 5, record)
+		m.transmitFunc(ch, 5, record)
+		m.transmitFunc(ch, 5, record)
 	})
 	m.eng.RunUntil(100)
 	want := []sim.Time{5, 10, 15}
@@ -97,8 +97,8 @@ func TestTransmitAfterIdleStartsImmediately(t *testing.T) {
 	m := New(topo, workload.NewFib(2), keepLocal{}, cfg)
 	ch := m.chans[0]
 	var at sim.Time
-	m.eng.Schedule(0, func() { m.transmit(ch, 5, func() {}) })
-	m.eng.Schedule(50, func() { m.transmit(ch, 5, func() { at = m.eng.Now() }) })
+	m.eng.Schedule(0, func() { m.transmitFunc(ch, 5, func() {}) })
+	m.eng.Schedule(50, func() { m.transmitFunc(ch, 5, func() { at = m.eng.Now() }) })
 	m.eng.RunUntil(100)
 	if at != 55 {
 		t.Fatalf("second transmission delivered at %d, want 55", at)
@@ -248,25 +248,30 @@ func TestBroadcastReachesAllBusMembers(t *testing.T) {
 	cfg.LoadInterval = 0 // quiesce periodic traffic
 	m := New(topo, workload.NewFib(2), keepLocal{}, cfg)
 	pe := m.pes[2]
-	heard := 0
+	// Give the sender a distinctive load, then broadcast it.
+	g1 := m.newGoal(workload.NewFib(3).Root, &jobState{tree: workload.NewFib(3)}, 0, -1)
+	g2 := m.newGoal(workload.NewFib(3).Root, &jobState{tree: workload.NewFib(3)}, 0, -1)
 	m.eng.Schedule(0, func() {
-		m.broadcast(pe, MsgLoad, 1, func(dst *PE, from int) {
-			if from != 2 {
-				t.Errorf("broadcast from = %d, want 2", from)
-			}
-			if dst.id == 2 {
-				t.Error("broadcast delivered to its sender")
-			}
-			heard++
-		})
+		pe.Accept(g1) // enters service
+		pe.Accept(g2) // queued: load 1
+		m.broadcastLoad(pe)
 	})
 	m.eng.RunUntil(10)
-	if heard != 4 {
-		t.Fatalf("broadcast heard by %d PEs, want 4", heard)
+	for _, other := range m.pes {
+		if other.id == 2 {
+			continue
+		}
+		load, seenAt := other.KnownLoad(2)
+		if load != 1 || seenAt < 0 {
+			t.Fatalf("PE %d heard load %d (seen %d), want 1 from the broadcast", other.id, load, seenAt)
+		}
 	}
 	// One bus transaction, not four.
 	if m.chans[0].messages != 1 {
 		t.Fatalf("bus carried %d messages, want 1", m.chans[0].messages)
+	}
+	if m.stats.MsgCounts[MsgLoad] != 1 {
+		t.Fatalf("load message count = %d, want 1", m.stats.MsgCounts[MsgLoad])
 	}
 }
 

@@ -7,6 +7,74 @@ import (
 	"cwnsim/internal/trace"
 )
 
+// itemRing is a growable circular FIFO of ready-queue items. It replaces
+// the old append-and-compact slice: pushes and pops are O(1) with no
+// copying, and the mid-queue removals TakeNewest/OldestQueuedGoal need
+// shift only the shorter side of the removal point. Capacity is always a
+// power of two (index arithmetic by mask).
+type itemRing struct {
+	buf  []item
+	head int
+	n    int
+}
+
+func (r *itemRing) len() int { return r.n }
+
+// at returns the item at logical position i (0 = front). Callers must
+// keep i < len.
+func (r *itemRing) at(i int) *item {
+	return &r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+func (r *itemRing) push(it item) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = it
+	r.n++
+}
+
+func (r *itemRing) popFront() item {
+	it := r.buf[r.head]
+	r.buf[r.head] = item{} // drop references so pooled objects are not pinned
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return it
+}
+
+// removeAt deletes the item at logical position i, preserving FIFO order
+// of the rest by shifting the shorter side.
+func (r *itemRing) removeAt(i int) {
+	mask := len(r.buf) - 1
+	if i < r.n-1-i {
+		for j := i; j > 0; j-- {
+			r.buf[(r.head+j)&mask] = r.buf[(r.head+j-1)&mask]
+		}
+		r.buf[r.head] = item{}
+		r.head = (r.head + 1) & mask
+	} else {
+		for j := i; j < r.n-1; j++ {
+			r.buf[(r.head+j)&mask] = r.buf[(r.head+j+1)&mask]
+		}
+		r.buf[(r.head+r.n-1)&mask] = item{}
+	}
+	r.n--
+}
+
+func (r *itemRing) grow() {
+	oldCap := len(r.buf)
+	newCap := 16
+	if oldCap > 0 {
+		newCap = oldCap * 2
+	}
+	nb := make([]item, newCap)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(oldCap-1)]
+	}
+	r.buf = nb
+	r.head = 0
+}
+
 // PE is one processing element. It serves one ready-queue message at a
 // time (goal execution or response integration); all fields are managed
 // by the machine, and strategies interact through the exported methods.
@@ -14,10 +82,11 @@ type PE struct {
 	m  *Machine
 	id int
 
-	ready      []item // FIFO ready queue; index 0 is the head
-	head       int    // index of the queue head within ready
+	ready      itemRing // FIFO ready queue of waiting messages
 	busy       bool
-	serviceEnd sim.Time // when the in-service message finishes (valid while busy)
+	serviceEnd sim.Time   // when the in-service message finishes (valid while busy)
+	inService  item       // the message in service (valid while busy)
+	svc        *sim.Timer // reusable service-completion event
 	pending    map[int64]*pendingTask
 
 	nbrs     []int       // cached topology neighbors, ascending
@@ -57,15 +126,15 @@ func (pe *PE) Load() int {
 
 // queueLen returns the number of messages waiting (not counting one in
 // service) — the paper's base load measure.
-func (pe *PE) queueLen() int { return len(pe.ready) - pe.head }
+func (pe *PE) queueLen() int { return pe.ready.len() }
 
 // QueuedGoals returns how many ready-queue entries are unstarted goals
 // (exportable work, as opposed to responses which must be handled
 // locally).
 func (pe *PE) QueuedGoals() int {
 	n := 0
-	for i := pe.head; i < len(pe.ready); i++ {
-		if pe.ready[i].kind == itemGoal {
+	for i := 0; i < pe.ready.len(); i++ {
+		if pe.ready.at(i).kind == itemGoal {
 			n++
 		}
 	}
@@ -167,17 +236,11 @@ func (pe *PE) SendGoal(to int, g *Goal) {
 	m.stats.MsgCounts[MsgGoal]++
 	m.emit(trace.GoalSent, pe.id, to, g.ID)
 	ch := m.pickChannel(chs)
-	sentLoad := pe.Load()
-	from := pe.id
 	m.goalsInTransit++
-	m.transmit(ch, m.cfg.GoalHopTime, func() {
-		m.goalsInTransit--
-		dst := m.pes[to]
-		if m.cfg.PiggybackLoad {
-			dst.noteLoad(from, sentLoad)
-		}
-		dst.node.GoalArrived(g, from)
-	})
+	w := m.newMsg(wireGoal, pe.id, pe.Load())
+	w.goal = g
+	w.to = to
+	m.transmit(ch, m.cfg.GoalHopTime, w)
 }
 
 // RouteGoal ships the goal to an arbitrary destination PE along a
@@ -193,29 +256,6 @@ func (pe *PE) RouteGoal(dst int, g *Goal) {
 	pe.m.routeGoal(pe.id, dst, g)
 }
 
-// routeGoal advances the goal one shortest-path hop toward dst.
-func (m *Machine) routeGoal(cur, dst int, g *Goal) {
-	next := m.topo.NextHop(cur, dst)
-	chs := m.topo.ChannelsBetween(cur, next)
-	ch := m.pickChannel(chs)
-	g.Hops++
-	m.stats.MsgCounts[MsgGoal]++
-	m.emit(trace.GoalSent, cur, next, g.ID)
-	sentLoad := m.pes[cur].Load()
-	m.goalsInTransit++
-	m.transmit(ch, m.cfg.GoalHopTime, func() {
-		m.goalsInTransit--
-		if m.cfg.PiggybackLoad {
-			m.pes[next].noteLoad(cur, sentLoad)
-		}
-		if next == dst {
-			m.pes[next].node.GoalArrived(g, cur)
-			return
-		}
-		m.routeGoal(next, dst, g)
-	})
-}
-
 // SendControl delivers an opaque strategy payload to neighbor `to`,
 // charging CtrlHopTime on the connecting channel.
 func (pe *PE) SendControl(to int, payload any) {
@@ -226,15 +266,10 @@ func (pe *PE) SendControl(to int, payload any) {
 	}
 	m.stats.MsgCounts[MsgControl]++
 	ch := m.pickChannel(chs)
-	sentLoad := pe.Load()
-	from := pe.id
-	m.transmit(ch, m.cfg.CtrlHopTime, func() {
-		dst := m.pes[to]
-		if m.cfg.PiggybackLoad {
-			dst.noteLoad(from, sentLoad)
-		}
-		dst.node.Control(from, payload)
-	})
+	w := m.newMsg(wireCtrl, pe.id, pe.Load())
+	w.to = to
+	w.payload = payload
+	m.transmit(ch, m.cfg.CtrlHopTime, w)
 }
 
 // BroadcastControl delivers a payload to every neighbor. On a bus each
@@ -243,9 +278,7 @@ func (pe *PE) SendControl(to int, payload any) {
 // mesh; on point-to-point topologies it degenerates to one message per
 // link.
 func (pe *PE) BroadcastControl(payload any) {
-	pe.m.broadcast(pe, MsgControl, pe.m.cfg.CtrlHopTime, func(dst *PE, from int) {
-		dst.node.Control(from, payload)
-	})
+	pe.m.broadcast(pe, wireCtrlBcast, MsgControl, pe.m.cfg.CtrlHopTime, payload)
 }
 
 // TakeNewestQueuedGoal removes and returns the most recently enqueued
@@ -254,10 +287,10 @@ func (pe *PE) BroadcastControl(payload any) {
 // the newest goal tends to be the smallest remaining subtree, so this
 // policy keeps big work local and exports crumbs.
 func (pe *PE) TakeNewestQueuedGoal() *Goal {
-	for i := len(pe.ready) - 1; i >= pe.head; i-- {
-		if pe.ready[i].kind == itemGoal {
-			g := pe.ready[i].goal
-			pe.ready = append(pe.ready[:i], pe.ready[i+1:]...)
+	for i := pe.ready.len() - 1; i >= 0; i-- {
+		if it := pe.ready.at(i); it.kind == itemGoal {
+			g := it.goal
+			pe.ready.removeAt(i)
 			return g
 		}
 	}
@@ -269,10 +302,10 @@ func (pe *PE) TakeNewestQueuedGoal() *Goal {
 // is typically the largest waiting subtree. Exporting it lets the
 // receiver become a self-sustaining source of further work.
 func (pe *PE) TakeOldestQueuedGoal() *Goal {
-	for i := pe.head; i < len(pe.ready); i++ {
-		if pe.ready[i].kind == itemGoal {
-			g := pe.ready[i].goal
-			pe.ready = append(pe.ready[:i], pe.ready[i+1:]...)
+	for i := 0; i < pe.ready.len(); i++ {
+		if it := pe.ready.at(i); it.kind == itemGoal {
+			g := it.goal
+			pe.ready.removeAt(i)
 			return g
 		}
 	}
@@ -281,7 +314,7 @@ func (pe *PE) TakeOldestQueuedGoal() *Goal {
 
 // enqueue appends a message to the ready queue and wakes the PE if idle.
 func (pe *PE) enqueue(it item) {
-	pe.ready = append(pe.ready, it)
+	pe.ready.push(it)
 	if !pe.busy {
 		pe.startNext()
 	}
@@ -289,21 +322,11 @@ func (pe *PE) enqueue(it item) {
 
 // startNext begins service of the queue head.
 func (pe *PE) startNext() {
-	if pe.head >= len(pe.ready) {
-		// Queue drained: reset storage so it can be reused.
-		pe.ready = pe.ready[:0]
-		pe.head = 0
+	if pe.ready.len() == 0 {
 		pe.busy = false
 		return
 	}
-	it := pe.ready[pe.head]
-	pe.head++
-	// Compact occasionally so memory does not grow with total traffic.
-	if pe.head > 64 && pe.head*2 > len(pe.ready) {
-		n := copy(pe.ready, pe.ready[pe.head:])
-		pe.ready = pe.ready[:n]
-		pe.head = 0
-	}
+	it := pe.ready.popFront()
 	pe.busy = true
 	var dur sim.Time
 	switch it.kind {
@@ -322,10 +345,18 @@ func (pe *PE) startNext() {
 	}
 	pe.busyTime += dur
 	pe.serviceEnd = pe.m.eng.Now() + dur
-	pe.m.eng.Schedule(dur, func() {
-		pe.finish(it)
-		pe.startNext()
-	})
+	pe.inService = it
+	pe.svc.Schedule(dur)
+}
+
+// serviceDone fires when the in-service message completes: apply its
+// effects, then start the next one. It is the PE's reusable Timer
+// callback, so steady-state service costs no event allocations.
+func (pe *PE) serviceDone() {
+	it := pe.inService
+	pe.inService = item{}
+	pe.finish(it)
+	pe.startNext()
 }
 
 // finish applies the effects of a completed service.
@@ -343,13 +374,10 @@ func (pe *PE) finish(it item) {
 		task := g.Task
 		if task.IsLeaf() {
 			pe.m.respond(pe.id, g, task.Value)
+			pe.m.freeGoal(g)
 			return
 		}
-		pe.pending[g.ID] = &pendingTask{
-			goal:      g,
-			remaining: len(task.Kids),
-			vals:      make([]int64, 0, len(task.Kids)),
-		}
+		pe.pending[g.ID] = pe.m.newPending(g, len(task.Kids))
 		for _, kid := range task.Kids {
 			child := pe.m.newGoal(kid, g.job, pe.id, g.ID)
 			pe.node.PlaceNewGoal(child)
@@ -368,6 +396,8 @@ func (pe *PE) finish(it item) {
 			delete(pe.pending, r.goalID)
 			val := p.goal.job.tree.Combine(p.vals)
 			pe.m.respond(pe.id, p.goal, val)
+			pe.m.freeGoal(p.goal)
+			pe.m.freePending(p)
 		}
 	}
 }

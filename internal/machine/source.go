@@ -32,11 +32,21 @@ type JobSource interface {
 }
 
 // srcSeedSalt decorrelates the arrival stream from the engine stream
-// while keeping both pure functions of the run seed.
-const srcSeedSalt = 0x5DEECE66D
+// while keeping both pure functions of the run seed; obsSeedSalt does
+// the same for the observer (sampling) stream. All three streams are
+// pairwise disjoint, so neither feeding jobs nor watching utilization
+// perturbs the simulation's own tie-break draws.
+const (
+	srcSeedSalt = 0x5DEECE66D
+	obsSeedSalt = 0x2545F4914F6CDD1D
+)
 
 func newSourceRng(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed ^ srcSeedSalt))
+}
+
+func newObserverRng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ obsSeedSalt))
 }
 
 // singleJob emits one job at time zero: the paper's closed-system
@@ -176,11 +186,13 @@ func (s *burst) Next(*rand.Rand) (sim.Time, *workload.Tree, bool) {
 
 // jobState is the machine's record of one injected job: the root goal's
 // tree (per-job, so heterogeneous streams are possible) and the times
-// bounding its sojourn in the system.
+// bounding its sojourn in the system. Job states are pooled — recycled
+// when the root response is delivered.
 type jobState struct {
 	id         int64
 	tree       *workload.Tree
 	injectedAt sim.Time
+	nextFree   *jobState // machine job-pool link
 }
 
 // JobRecord is one completed job's latency record, the per-job datum an

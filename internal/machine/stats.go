@@ -36,16 +36,23 @@ type Stats struct {
 	// Job stream accounting. JobsInjected counts arrivals; JobsDone
 	// counts delivered root responses (fewer than injected when an
 	// overloaded stream hits MaxTime). JobRecords holds one latency
-	// record per completed job in completion order; Sojourn aggregates
-	// all of them and SteadySojourn only jobs injected at or after
-	// Warmup, so ramp-up transients do not pollute tail percentiles.
-	JobsInjected  int64
-	JobsDone      int64
-	JobRecords    []JobRecord
-	Sojourn       metrics.Sample
-	SteadySojourn metrics.Sample
-	Warmup        sim.Time
-	WarmupBusy    sim.Time
+	// record per completed job in completion order — capped at
+	// Config.SojournBound records when a bound is set, so long streams
+	// stay in bounded memory. Sojourn aggregates every completion and
+	// SteadySojourn only jobs injected at or after Warmup, so ramp-up
+	// transients do not pollute tail percentiles; both accrue
+	// streamingly and are complete even when JobRecords is capped.
+	// SteadyJobsDone counts root responses delivered at or after Warmup
+	// — the completion count SteadyThroughput divides by, so throughput
+	// and sojourn percentiles describe the same post-warm-up window.
+	JobsInjected   int64
+	JobsDone       int64
+	SteadyJobsDone int64
+	JobRecords     []JobRecord
+	Sojourn        metrics.Sample
+	SteadySojourn  metrics.Sample
+	Warmup         sim.Time
+	WarmupBusy     sim.Time
 
 	// PE activity.
 	TotalBusy      sim.Time
@@ -147,6 +154,23 @@ func (s *Stats) Throughput() float64 {
 		return 0
 	}
 	return float64(s.JobsDone) / float64(s.Makespan)
+}
+
+// SteadyThroughput returns completed jobs per unit virtual time over
+// the post-warm-up window only — the figure to plot against the
+// warm-up-excluded sojourn percentiles, so a knee plot compares like
+// with like (whole-run Throughput drags the empty-machine ramp into the
+// denominator). With no warm-up configured it equals Throughput; it
+// returns 0 if the run ended before the warm-up elapsed.
+func (s *Stats) SteadyThroughput() float64 {
+	if s.Warmup <= 0 {
+		return s.Throughput()
+	}
+	window := s.Makespan - s.Warmup
+	if window <= 0 {
+		return 0
+	}
+	return float64(s.SteadyJobsDone) / float64(window)
 }
 
 // Speedup returns total sequential work divided by makespan. At

@@ -1,0 +1,128 @@
+package metrics
+
+import "math"
+
+// logHist is the bounded-memory streaming form a Sample collapses into:
+// a log-linear histogram over non-negative values, HDR-histogram style.
+// Each power-of-two range [2^e, 2^(e+1)) splits into 32 equal
+// sub-buckets, so a bucket's representative value is within 1/32 (~3%)
+// of any observation it holds; values below 1 share one underflow
+// bucket (absolute error < 1 — sojourn times are integers ≥ 0). Memory
+// is a fixed ~16 KB regardless of stream length, and the structure is
+// fully deterministic: no sampling, no randomness.
+type logHist struct {
+	counts []int64
+	n      int64
+	sum    float64
+	lo, hi float64 // exact min/max
+}
+
+const (
+	histSubBits = 5
+	histSubs    = 1 << histSubBits // sub-buckets per octave
+	histOctaves = 63               // covers [1, 2^63)
+	histBuckets = 1 + histOctaves*histSubs
+)
+
+func newLogHist() *logHist {
+	return &logHist{counts: make([]int64, histBuckets)}
+}
+
+// bucket maps a value to its bucket index. Negative values clamp to the
+// underflow bucket (latency-style data is non-negative by construction).
+func bucket(x float64) int {
+	if x < 1 || math.IsNaN(x) {
+		return 0
+	}
+	frac, exp := math.Frexp(x) // x = frac * 2^exp, frac in [0.5, 1)
+	if exp > histOctaves {
+		return histBuckets - 1
+	}
+	sub := int((frac - 0.5) * (2 * histSubs))
+	if sub >= histSubs { // frac == nextafter(1, 0) rounding guard
+		sub = histSubs - 1
+	}
+	return 1 + (exp-1)*histSubs + sub
+}
+
+// value returns the bucket's representative (its geometric middle).
+func value(idx int) float64 {
+	if idx == 0 {
+		return 0.5
+	}
+	e := (idx-1)/histSubs + 1
+	sub := (idx - 1) % histSubs
+	frac := 0.5 + (float64(sub)+0.5)/(2*histSubs)
+	return math.Ldexp(frac, e)
+}
+
+func (h *logHist) add(x float64) {
+	h.counts[bucket(x)]++
+	if h.n == 0 {
+		h.lo, h.hi = x, x
+	} else {
+		if x < h.lo {
+			h.lo = x
+		}
+		if x > h.hi {
+			h.hi = x
+		}
+	}
+	h.n++
+	h.sum += x
+}
+
+func (h *logHist) mean() float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	return h.sum / float64(h.n)
+}
+
+func (h *logHist) min() float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	return h.lo
+}
+
+func (h *logHist) max() float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	return h.hi
+}
+
+// percentile answers the nearest-rank quantile from the histogram,
+// clamped to the exact observed range so p→0 and p→1 stay honest.
+func (h *logHist) percentile(p float64) float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	need := int64(math.Ceil(p * float64(h.n)))
+	if need < 1 {
+		need = 1
+	}
+	// The extreme ranks are known exactly.
+	if need == 1 {
+		return h.lo
+	}
+	if need == h.n {
+		return h.hi
+	}
+	var cum int64
+	for idx, c := range h.counts {
+		cum += c
+		if cum >= need {
+			v := value(idx)
+			if v < h.lo {
+				v = h.lo
+			}
+			if v > h.hi {
+				v = h.hi
+			}
+			return v
+		}
+	}
+	return h.hi
+}

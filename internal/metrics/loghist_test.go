@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBoundedSampleStaysExactBelowLimit(t *testing.T) {
+	var s Sample
+	s.Bound(100)
+	for i := 1; i <= 50; i++ {
+		s.Add(float64(i))
+	}
+	if s.Bounded() {
+		t.Fatal("sample collapsed below its limit")
+	}
+	if got := s.Percentile(0.5); got != 25 {
+		t.Fatalf("p50 = %f, want exact 25", got)
+	}
+	if got := s.Mean(); got != 25.5 {
+		t.Fatalf("mean = %f, want exact 25.5", got)
+	}
+}
+
+func TestBoundedSampleCollapsesAndApproximates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var exact, bounded Sample
+	bounded.Bound(1000)
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		// Latency-shaped data: lognormal-ish positive heavy tail.
+		x := math.Exp(rng.NormFloat64()*1.2 + 6)
+		exact.Add(x)
+		bounded.Add(x)
+	}
+	if !bounded.Bounded() {
+		t.Fatal("sample did not collapse past its limit")
+	}
+	if exact.N() != n || bounded.N() != n {
+		t.Fatalf("counts %d/%d, want %d", exact.N(), bounded.N(), n)
+	}
+	// Mean, min and max stay exact.
+	if bounded.Mean() != exact.Mean() {
+		t.Fatalf("bounded mean %f != exact %f", bounded.Mean(), exact.Mean())
+	}
+	if bounded.Min() != exact.Min() || bounded.Max() != exact.Max() {
+		t.Fatalf("bounded min/max %f/%f != exact %f/%f",
+			bounded.Min(), bounded.Max(), exact.Min(), exact.Max())
+	}
+	// Percentiles carry bounded relative error (sub-bucket width 1/32,
+	// so the representative is within ~3.2% of any bucket member).
+	for _, p := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999} {
+		e, b := exact.Percentile(p), bounded.Percentile(p)
+		if rel := math.Abs(b-e) / e; rel > 0.04 {
+			t.Errorf("p%.3f: bounded %f vs exact %f (rel err %.4f > 4%%)", p, b, e, rel)
+		}
+	}
+}
+
+func TestBoundRetroactivelyCollapses(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 500; i++ {
+		s.Add(float64(i))
+	}
+	s.Bound(100)
+	if !s.Bounded() {
+		t.Fatal("Bound below the current count did not collapse")
+	}
+	if s.N() != 500 {
+		t.Fatalf("N = %d after collapse, want 500", s.N())
+	}
+	if got, want := s.Percentile(0.5), 250.0; math.Abs(got-want)/want > 0.04 {
+		t.Fatalf("post-collapse p50 = %f, want ~%f", got, want)
+	}
+	if s.Min() != 1 || s.Max() != 500 {
+		t.Fatalf("min/max %f/%f, want 1/500", s.Min(), s.Max())
+	}
+}
+
+func TestBoundedSampleEmptyAndEdges(t *testing.T) {
+	var s Sample
+	s.Bound(2)
+	for name, v := range map[string]float64{
+		"mean": s.Mean(), "p50": s.Percentile(0.5), "min": s.Min(), "max": s.Max(),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s of empty bounded sample = %f, want NaN", name, v)
+		}
+	}
+	// Force a collapse with sub-1 and zero values: they share the
+	// underflow bucket but min/max stay exact.
+	s.Add(0)
+	s.Add(0.25)
+	s.Add(8)
+	if !s.Bounded() {
+		t.Fatal("not collapsed")
+	}
+	if s.Min() != 0 || s.Max() != 8 || s.N() != 3 {
+		t.Fatalf("min/max/n = %f/%f/%d, want 0/8/3", s.Min(), s.Max(), s.N())
+	}
+	if p := s.Percentile(1); p != 8 {
+		t.Fatalf("p100 = %f, want clamped to exact max 8", p)
+	}
+	if p := s.Percentile(0); p != 0 {
+		t.Fatalf("p0 = %f, want clamped to exact min 0", p)
+	}
+}
+
+func TestBoundValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bound(0) did not panic")
+		}
+	}()
+	var s Sample
+	s.Bound(0)
+}
+
+func TestBucketRoundTripMonotone(t *testing.T) {
+	// Bucket indexes must be monotone in the value and the
+	// representative must sit inside its bucket's relative-error band.
+	prev := -1
+	for _, x := range []float64{0, 0.5, 1, 1.5, 2, 3, 7, 8, 1000, 12345.678, 1e9, 1e18} {
+		idx := bucket(x)
+		if idx < prev {
+			t.Fatalf("bucket(%g) = %d < previous %d: not monotone", x, idx, prev)
+		}
+		prev = idx
+		if x >= 1 && x < math.Ldexp(1, 62) {
+			rep := value(idx)
+			if rel := math.Abs(rep-x) / x; rel > 1.0/histSubs {
+				t.Fatalf("value(bucket(%g)) = %g, rel err %.4f > 1/%d", x, rep, rel, histSubs)
+			}
+		}
+	}
+}

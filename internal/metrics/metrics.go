@@ -157,27 +157,75 @@ func (s *Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f", s.n, s.Mean(), s.Stddev(), s.min, s.max)
 }
 
-// Sample retains every observation so exact order statistics can be
-// computed afterwards — the tool for latency distributions (sojourn
-// times), where tail percentiles matter and the observation count per
-// run is modest. The zero value is ready to use.
+// Sample accumulates a latency-style distribution (sojourn times). By
+// default it retains every observation so exact order statistics can be
+// computed afterwards — right when tail percentiles matter and the
+// observation count per run is modest. For unbounded streams (100k-job
+// arrival runs), Bound caps memory: past the cap the sample collapses
+// into a streaming log-linear histogram whose percentiles carry ~3%
+// relative error while mean, min, max and count stay exact. The zero
+// value is ready to use (exact mode).
 type Sample struct {
 	xs     []float64
 	sorted bool
+	limit  int      // 0 = exact mode; otherwise collapse past this count
+	h      *logHist // non-nil once collapsed
+}
+
+// Bound caps the sample at limit raw observations (limit must be
+// positive). If the cap is already exceeded the sample collapses
+// immediately. Bounded samples answer Percentile approximately (~3%
+// relative error, non-negative observations only); N, Mean, Min and Max
+// remain exact.
+func (s *Sample) Bound(limit int) {
+	if limit <= 0 {
+		panic("metrics: Sample.Bound needs a positive limit")
+	}
+	s.limit = limit
+	if len(s.xs) > limit {
+		s.collapse()
+	}
+}
+
+// Bounded reports whether the sample has collapsed to streaming form.
+func (s *Sample) Bounded() bool { return s.h != nil }
+
+func (s *Sample) collapse() {
+	s.h = newLogHist()
+	for _, x := range s.xs {
+		s.h.add(x)
+	}
+	s.xs, s.sorted = nil, false
 }
 
 // Add records one observation.
 func (s *Sample) Add(x float64) {
+	if s.h != nil {
+		s.h.add(x)
+		return
+	}
 	s.xs = append(s.xs, x)
 	s.sorted = false
+	if s.limit > 0 && len(s.xs) > s.limit {
+		s.collapse()
+	}
 }
 
 // N returns the observation count.
-func (s *Sample) N() int { return len(s.xs) }
+func (s *Sample) N() int {
+	if s.h != nil {
+		return int(s.h.n)
+	}
+	return len(s.xs)
+}
 
-// Mean returns the arithmetic mean. Empty samples return NaN — "no
-// data" must not read as a perfect zero in latency reports.
+// Mean returns the arithmetic mean (exact in both modes). Empty samples
+// return NaN — "no data" must not read as a perfect zero in latency
+// reports.
 func (s *Sample) Mean() float64 {
+	if s.h != nil {
+		return s.h.mean()
+	}
 	if len(s.xs) == 0 {
 		return math.NaN()
 	}
@@ -190,8 +238,12 @@ func (s *Sample) Mean() float64 {
 
 // Percentile returns the p-quantile (p in [0,1]) by the nearest-rank
 // method: the smallest observation such that at least p of the data is
-// <= it. Empty samples return NaN.
+// <= it. Empty samples return NaN. Bounded samples answer from the
+// streaming histogram (~3% relative error).
 func (s *Sample) Percentile(p float64) float64 {
+	if s.h != nil {
+		return s.h.percentile(p)
+	}
 	if len(s.xs) == 0 {
 		return math.NaN()
 	}
@@ -208,6 +260,9 @@ func (s *Sample) Percentile(p float64) float64 {
 
 // Min returns the smallest observation (NaN when empty).
 func (s *Sample) Min() float64 {
+	if s.h != nil {
+		return s.h.min()
+	}
 	if len(s.xs) == 0 {
 		return math.NaN()
 	}
@@ -217,6 +272,9 @@ func (s *Sample) Min() float64 {
 
 // Max returns the largest observation (NaN when empty).
 func (s *Sample) Max() float64 {
+	if s.h != nil {
+		return s.h.max()
+	}
 	if len(s.xs) == 0 {
 		return math.NaN()
 	}

@@ -4,12 +4,39 @@
 // run on.
 //
 // The engine maintains a virtual clock and a pending-event set ordered by
-// (time, insertion sequence). Events are plain closures; resources such as
-// processing elements and communication channels are modelled by the
-// machine package as state machines that schedule their own continuation
-// events. Determinism is guaranteed: two events at the same virtual time
-// fire in the order they were scheduled, and all randomness flows from a
-// single seeded generator owned by the engine.
+// (time, insertion sequence). Resources such as processing elements and
+// communication channels are modelled by the machine package as state
+// machines that schedule their own continuation events.
+//
+// # Determinism
+//
+// A run is a pure function of its seed: two events at the same virtual
+// time fire in the order they were scheduled, and every stochastic choice
+// inside the simulated system draws from the engine's single seeded
+// generator (Rng). Streams that merely feed or observe the system — job
+// arrival processes, utilization samplers — draw from their own salted
+// generators derived from the same seed, so turning a workload stream or
+// a monitor on or off never perturbs the system's tie-break draws.
+//
+// # Performance model
+//
+// A full comparison run of the paper's suite pops a few hundred million
+// events, so the hot path is engineered to allocate nothing in steady
+// state:
+//
+//   - The pending set is a hand-rolled indexed binary heap ([]*Event with
+//     each Event carrying its heap position), avoiding container/heap's
+//     interface boxing and enabling O(log n) removal.
+//   - Schedule/At allocate one Event per call and return it as a
+//     cancellable handle; those handles are never recycled, so a stale
+//     handle is always safe.
+//   - ScheduleAction/AtAction take an Action value instead of a closure,
+//     return no handle, and recycle the backing Event through a free
+//     list: steady-state messaging costs zero allocations per event.
+//   - Timer owns one embedded Event it re-arms for every firing — the
+//     building block for tickers, PE service completions and arrival
+//     pumps. Ticker is built on Timer, so periodic processes allocate
+//     only at construction.
 //
 // The engine is intentionally single-goroutine: one simulation run is a
 // sequential computation over virtual time. Parallelism belongs one level

@@ -20,9 +20,19 @@ type Event struct {
 	at       Time
 	seq      uint64
 	fn       func()
+	act      Action
 	canceled bool
-	index    int // position in the heap, -1 once popped
+	pooled   bool // owned by the engine free list; recycled after firing
+	index    int  // position in the heap, -1 once popped
 }
+
+// Action is a schedulable behavior: the allocation-free alternative to a
+// closure. Hot-path callers embed their state in a value implementing
+// Action and hand it to ScheduleAction/AtAction; the engine recycles the
+// backing Event through an internal free list. No handle is returned, so
+// a recycled Event can never be reached through a stale *Event — pooled
+// events are therefore uncancellable by construction.
+type Action interface{ Act() }
 
 // At reports the virtual time the event is scheduled for.
 func (ev *Event) At() Time { return ev.at }
@@ -43,6 +53,7 @@ type Engine struct {
 	now       Time
 	seq       uint64
 	heap      eventHeap
+	free      []*Event // recycled pooled events (ScheduleAction/AtAction)
 	rng       *rand.Rand
 	seed      int64
 	stopped   bool
@@ -99,6 +110,44 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	return ev
 }
 
+// ScheduleAction runs a.Act() after delay units of virtual time. It is
+// the pooled, closure-free analogue of Schedule: no Event handle is
+// returned and the backing Event is recycled after firing.
+func (e *Engine) ScheduleAction(delay Time, a Action) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: ScheduleAction with negative delay %d at t=%d", delay, e.now))
+	}
+	e.AtAction(e.now+delay, a)
+}
+
+// AtAction runs a.Act() at absolute virtual time t (t must not precede
+// Now). See ScheduleAction.
+func (e *Engine) AtAction(t Time, a Action) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: AtAction(%d) before now=%d", t, e.now))
+	}
+	if a == nil {
+		panic("sim: AtAction with nil Action")
+	}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.at, ev.seq, ev.act, ev.pooled = t, e.seq, a, true
+	e.seq++
+	e.heap.push(ev)
+}
+
+// recycle returns a pooled event to the free list.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn, ev.act, ev.canceled, ev.pooled = nil, nil, false, false
+	e.free = append(e.free, ev)
+}
+
 // Step fires the single next event. It returns false when no events
 // remain or the engine has been stopped.
 func (e *Engine) Step() bool {
@@ -111,6 +160,9 @@ func (e *Engine) Step() bool {
 			return false
 		}
 		if ev.canceled {
+			if ev.pooled {
+				e.recycle(ev)
+			}
 			continue
 		}
 		if ev.at < e.now {
@@ -118,7 +170,17 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.processed++
-		ev.fn()
+		// Copy the behavior out and recycle before firing, so a handler
+		// that schedules new actions reuses this very Event.
+		fn, act := ev.fn, ev.act
+		if ev.pooled {
+			e.recycle(ev)
+		}
+		if act != nil {
+			act.Act()
+		} else {
+			fn()
+		}
 		return true
 	}
 }
@@ -130,12 +192,15 @@ func (e *Engine) Run() {
 }
 
 // RunUntil fires events with timestamps <= deadline, then sets the clock
-// to deadline (if it has not passed it already). It returns true if events
-// remain pending afterwards.
+// to deadline (if it has not passed it already). It returns true if live
+// (uncancelled) events remain pending afterwards — whether they lie
+// beyond the deadline or Stop froze the run with work outstanding; use
+// Stopped to distinguish. When Stop fires mid-run the clock stays at the
+// stopping event's time rather than jumping to the deadline.
 func (e *Engine) RunUntil(deadline Time) bool {
 	for {
 		if e.stopped {
-			return false
+			return e.heap.peek() != nil
 		}
 		ev := e.heap.peek()
 		if ev == nil {

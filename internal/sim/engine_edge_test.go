@@ -111,10 +111,26 @@ func TestStopInsideRunUntil(t *testing.T) {
 	e.Schedule(1, func() { n++; e.Stop() })
 	e.Schedule(2, func() { n++ })
 	more := e.RunUntil(100)
-	if more {
-		t.Fatal("RunUntil should report stopped as no-more")
+	// The event at t=2 is still pending: RunUntil reports it truthfully
+	// (its documented contract), and Stopped says why it will not fire.
+	if !more {
+		t.Fatal("RunUntil = false with a live event still pending")
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() = false after Stop fired")
 	}
 	if n != 1 {
 		t.Fatalf("fired %d, want 1", n)
+	}
+	if e.Now() != 1 {
+		t.Fatalf("clock advanced to %d after Stop, want 1", e.Now())
+	}
+}
+
+func TestStopInsideRunUntilDrainedHeap(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(1, func() { e.Stop() })
+	if more := e.RunUntil(100); more {
+		t.Fatal("RunUntil = true with nothing pending after Stop")
 	}
 }

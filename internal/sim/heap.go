@@ -61,6 +61,23 @@ func (h *eventHeap) popTop() *Event {
 	return top
 }
 
+// removeAt deletes the event at heap position i in O(log n) using the
+// index field events carry. Timer.Stop uses it so a stopped timer leaves
+// no cancelled tombstone behind and can re-arm its one Event at once.
+func (h *eventHeap) removeAt(i int) {
+	old := *h
+	n := len(old)
+	ev := old[i]
+	old.swap(i, n-1)
+	old[n-1] = nil
+	*h = old[:n-1]
+	if i < n-1 {
+		h.down(i)
+		h.up(i)
+	}
+	ev.index = -1
+}
+
 func (h eventHeap) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2

@@ -7,12 +7,15 @@ package sim
 // The first firing happens at phase (an offset into the first period) so
 // that the PEs' periodic processes are not artificially synchronized — on
 // real hardware they would drift; the machine staggers phases from the
-// engine's random stream.
+// run's seeded streams.
+//
+// Internally a Ticker re-arms one Timer, so steady-state ticking
+// allocates no events: construction costs two small objects, firings
+// cost zero.
 type Ticker struct {
-	eng     *Engine
+	timer   *Timer
 	period  Time
 	fn      func()
-	next    *Event
 	stopped bool
 	firings uint64
 }
@@ -26,8 +29,9 @@ func NewTicker(eng *Engine, period, phase Time, fn func()) *Ticker {
 	if phase < 0 {
 		panic("sim: NewTicker with negative phase")
 	}
-	t := &Ticker{eng: eng, period: period, fn: fn}
-	t.next = eng.Schedule(phase, t.fire)
+	t := &Ticker{period: period, fn: fn}
+	t.timer = NewTimer(eng, t.fire)
+	t.timer.Schedule(phase)
 	return t
 }
 
@@ -38,16 +42,14 @@ func (t *Ticker) fire() {
 	t.firings++
 	t.fn()
 	if !t.stopped { // fn may have stopped us
-		t.next = t.eng.Schedule(t.period, t.fire)
+		t.timer.Schedule(t.period)
 	}
 }
 
 // Stop cancels future firings.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.next != nil {
-		t.next.Cancel()
-	}
+	t.timer.Stop()
 }
 
 // Firings returns how many times the ticker has fired.
