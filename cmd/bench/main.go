@@ -7,7 +7,7 @@
 //
 // Regenerate the committed ledger with:
 //
-//	go run ./cmd/bench -o BENCH_PR2.json
+//	go run ./cmd/bench -o BENCH_PR3.json
 //
 // Numbers are wall-clock and machine-dependent; allocs/op and bytes/op
 // are deterministic per Go version (the simulation itself is a pure
@@ -48,15 +48,52 @@ type caseResult struct {
 }
 
 type ledger struct {
-	Schema   string       `json:"schema"`
-	PR       int          `json:"pr"`
-	Go       string       `json:"go"`
-	GOOS     string       `json:"goos"`
-	GOARCH   string       `json:"goarch"`
-	CPUs     int          `json:"cpus"`
-	Note     string       `json:"note"`
-	Headline string       `json:"headline_case"`
-	Results  []caseResult `json:"results"`
+	Schema   string `json:"schema"`
+	PR       int    `json:"pr"`
+	Go       string `json:"go"`
+	GOOS     string `json:"goos"`
+	GOARCH   string `json:"goarch"`
+	CPUs     int    `json:"cpus"`
+	Note     string `json:"note"`
+	Headline string `json:"headline_case"`
+	// Experiments records one-off measured comparisons whose losing
+	// side is not in the tree anymore (e.g. the PR 3 heap-arity trial),
+	// so the decision stays auditable from the ledger alone.
+	Experiments []experimentRecord `json:"experiments,omitempty"`
+	Results     []caseResult       `json:"results"`
+}
+
+// experimentRecord pins an A/B decision: what was tried, on which
+// case, what each side measured and where, and what was kept. Unlike
+// the per-case results, these numbers are NOT re-measured when the
+// ledger regenerates (the losing side is no longer in the tree);
+// MeasuredOn carries their provenance so a ledger produced on other
+// hardware does not misattribute them.
+type experimentRecord struct {
+	Name       string  `json:"name"`
+	Case       string  `json:"case"`
+	AName      string  `json:"a"`
+	AEvtSec    float64 `json:"a_events_per_sec"`
+	BName      string  `json:"b"`
+	BEvtSec    float64 `json:"b_events_per_sec"`
+	Kept       string  `json:"kept"`
+	Decision   string  `json:"decision"`
+	MeasuredOn string  `json:"measured_on"`
+}
+
+// heapExperiment is the PR 3 heap-arity trial. The 4-ary heap lost and
+// was removed; the binary heap stays, parameterized (sim/heap.go
+// heapArity).
+var heapExperiment = experimentRecord{
+	Name:       "engine-heap-arity",
+	Case:       "open/ctrl-grid32-gm",
+	AName:      "binary heap (kept)",
+	AEvtSec:    4437829,
+	BName:      "4-ary heap",
+	BEvtSec:    4200984,
+	Kept:       "binary",
+	Decision:   "4-ary measured ~5% fewer events/sec: the standing heap is shallow (thousands of events) so halved depth does not repay 3 extra sibling comparisons per down-level; Timer re-arm/removeAt traffic leans on up(), which arity does not help",
+	MeasuredOn: "PR 3 reference container, go1.24.0 linux/amd64, 6 interleaved iterations per side (mean events/sec); frozen, not re-measured on regeneration",
 }
 
 // baseline holds the pre-optimization numbers, recorded at the PR 1
@@ -74,7 +111,7 @@ var baseline = map[string]metricSet{
 
 func main() {
 	var (
-		out   = flag.String("o", "BENCH_PR2.json", "ledger output path (- for stdout)")
+		out   = flag.String("o", "BENCH_PR3.json", "ledger output path (- for stdout)")
 		iters = flag.Int("iters", 5, "iterations per case (fixed, for comparable allocs/op)")
 	)
 	flag.Parse()
@@ -84,14 +121,15 @@ func main() {
 
 	matrix := experiments.BenchMatrix()
 	led := ledger{
-		Schema:   "cwnsim-bench/v1",
-		PR:       2,
-		Go:       runtime.Version(),
-		GOOS:     runtime.GOOS,
-		GOARCH:   runtime.GOARCH,
-		CPUs:     runtime.NumCPU(),
-		Note:     "one op = one full simulation run of the named spec; baseline frozen at the pre-PR2 tree",
-		Headline: "open/poisson-grid8",
+		Schema:      "cwnsim-bench/v1",
+		PR:          3,
+		Go:          runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		Note:        "one op = one full simulation run of the named spec; baseline frozen at the pre-PR2 tree (cases added later carry none)",
+		Headline:    "open/poisson-grid8",
+		Experiments: []experimentRecord{heapExperiment},
 	}
 	for _, c := range matrix {
 		// Warm registry caches so construction of shared immutables is

@@ -48,6 +48,8 @@ func main() {
 		maxTime  = flag.Int64("maxtime", 0, "measurement horizon override (0 = machine default)")
 		workers  = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 		csvPath  = flag.String("csv", "", "also write the flat result table as CSV")
+		scenArg  = flag.String("scenario", "", `scripted environment applied to every run, e.g. "fail:pes=25%@t=5000,recover@t=10000"`)
+		sample   = flag.Int64("sample", 0, "sampling interval for recovery metrics (0 = auto when -scenario is set)")
 	)
 	flag.Parse()
 
@@ -119,19 +121,29 @@ func main() {
 		return 1000 * perGap / float64(gap)
 	}
 
+	// Under a scenario, recovery metrics need the sampling timeline; an
+	// unset -sample defaults to a window that gives a few hundred points
+	// over the default horizon.
+	sampleIvl := *sample
+	if *scenArg != "" && sampleIvl <= 0 {
+		sampleIvl = 250
+	}
+
 	var specs []experiments.RunSpec
 	for _, gap := range gaps {
 		for _, ts := range topos {
 			for _, ss := range strats {
 				as, span := makeArrival(gap)
 				specs = append(specs, experiments.RunSpec{
-					Topo:     ts,
-					Workload: wl,
-					Strategy: ss,
-					Arrival:  as,
-					Seed:     *seed,
-					Warmup:   int64(*warmFrac * float64(span)),
-					MaxTime:  *maxTime,
+					Topo:           ts,
+					Workload:       wl,
+					Strategy:       ss,
+					Arrival:        as,
+					Seed:           *seed,
+					Warmup:         int64(*warmFrac * float64(span)),
+					MaxTime:        *maxTime,
+					Scenario:       *scenArg,
+					SampleInterval: sampleIvl,
 				})
 			}
 		}
@@ -195,6 +207,20 @@ func main() {
 			1000*r.SteadyTput, 100*st.SteadyUtilization())
 	}
 	detail.Render(os.Stdout)
+
+	// Under a scripted environment, append the recovery metrics the
+	// scenario subsystem computes per run.
+	if *scenArg != "" {
+		rec := report.NewTable("scenario recovery",
+			"topology", "strategy", "gap", "requeued", "baseline p99", "peak p99", "time to steady", "eff util%")
+		for _, r := range results {
+			base, peak, settle := r.Recovery.TableCells()
+			rec.AddRow(r.Spec.Topo.Label(), r.Spec.Strategy.ShortLabel(), r.Spec.Arrival.Label(),
+				r.Requeued, base, peak, settle, fmt.Sprintf("%.1f", r.EffUtil))
+		}
+		fmt.Println()
+		rec.Render(os.Stdout)
+	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

@@ -20,11 +20,20 @@
 //     job is just the trivial stream, so paper results are preserved
 //     bit for bit.
 //
+// Either lifecycle can run through a scripted dynamic environment
+// (internal/scenario): a deterministic timeline of PE slowdowns,
+// compute blackouts with evacuation/requeue semantics, link
+// degradation and outages, and arrival-rate shocks, with recovery
+// metrics — time to restore steady p99, queue-imbalance curves,
+// requeued-goal counts — reported per run. An empty scenario is free:
+// unscripted runs stay bit-for-bit identical.
+//
 // The library layers, bottom-up:
 //
 //	internal/sim         deterministic discrete-event engine (ORACLE's kernel)
 //	internal/topology    grids, tori, double-lattice-meshes, hypercubes, ...
 //	internal/workload    fib/dc/random task trees (the simulated programs)
+//	internal/scenario    scripted perturbation timelines + recovery analysis
 //	internal/machine     PEs, channels with contention, job streams, routing
 //	internal/core        CWN, GM, ACWN, and baseline strategies
 //	internal/metrics     histograms, summaries, exact-percentile samples
@@ -53,10 +62,14 @@
 // wire messages, goals, pending tasks and job states are recycled
 // through free lists, and each PE's ready queue is a ring buffer
 // (internal/machine). For unbounded job streams, Config.SojournBound
-// collapses latency samples into a fixed-memory streaming histogram.
-// The committed perf ledger BENCH_PR2.json (regenerate with `go run
+// collapses latency samples into a fixed-memory streaming histogram,
+// and Config.TrackGoalDetail gates the per-goal hop/queue-delay
+// bookkeeping off for sweeps that only read latency and throughput.
+// The committed perf ledger BENCH_PR3.json (regenerate with `go run
 // ./cmd/bench`) pins ns/op, allocs/op and events/sec for a fixed
-// closed+open matrix against the frozen pre-optimization baseline.
+// closed+open matrix against the frozen pre-optimization baseline,
+// and records one-off A/B decisions such as the rejected 4-ary engine
+// heap.
 //
 // Executables: cmd/lbsim (single runs), cmd/paper (regenerate every
 // table and figure), cmd/optimize (the Table 1 parameter sweeps),

@@ -81,12 +81,16 @@ func (n *stealNode) tick() {
 
 // pickVictim chooses the neighbor with the largest known positive load
 // (ties broken randomly); -1 when no neighbor is known to have work.
+// Loads at or above machine.FailedLoad advertise a blacked-out PE
+// (scenario runs) whose queue was evacuated — the worst possible
+// victim, skipped so thieves keep targeting real work during an
+// outage.
 func (n *stealNode) pickVictim() int {
 	best, choice, count := 0, -1, 0
 	rng := n.pe.Machine().Engine().Rng()
 	for _, nb := range n.pe.Neighbors() {
 		load, seen := n.pe.KnownLoad(nb)
-		if seen < 0 || load <= 0 {
+		if seen < 0 || load <= 0 || load >= machine.FailedLoad {
 			continue
 		}
 		switch {

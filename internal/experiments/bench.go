@@ -59,5 +59,21 @@ func BenchMatrix() []BenchCase {
 				Warmup:   2_000,
 			},
 		},
+		{
+			// The heap-heavy case (PR 3): 1024 PEs each running a load
+			// ticker and a gradient process put thousands of timers in
+			// the event heap at all times, with GM's proximity
+			// broadcasts layering control traffic on top — the regime
+			// where heap pop cost dominates and heap-arity experiments
+			// are decided.
+			Name: "open/ctrl-grid32-gm",
+			Spec: RunSpec{
+				Topo:     Grid(32),
+				Workload: Fib(9),
+				Strategy: GM(1, 2, 20),
+				Arrival:  PoissonArrivals(30, 400),
+				Warmup:   2_000,
+			},
+		},
 	}
 }

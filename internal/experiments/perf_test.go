@@ -10,34 +10,48 @@ import (
 // recycled, a whole open-system run must average well under one
 // allocation per ten processed events (the pre-optimization hot path
 // cost ~2.3 allocations per event). The budget is deliberately loose —
-// it catches a reverted pool, not scheduler noise.
+// it catches a reverted pool, not scheduler noise. The gated-off
+// variant (Config.TrackGoalDetail off via NoGoalDetail) must meet the
+// same budget and never allocate more than the detailed path.
 func TestHotPathAllocationBudget(t *testing.T) {
+	measure := func(t *testing.T, spec RunSpec) float64 {
+		t.Helper()
+		// Warm the topology/tree caches so they are not billed to the run.
+		spec.Topo.Build()
+		spec.Workload.Build()
+		r, err := spec.ExecuteErr()
+		if err != nil {
+			t.Fatal(err)
+		}
+		events := r.Stats.Events
+		if events == 0 {
+			t.Fatal("run processed no events")
+		}
+		allocs := testing.AllocsPerRun(3, func() {
+			if _, err := spec.ExecuteErr(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if perEvent := allocs / float64(events); perEvent > 0.1 {
+			t.Errorf("hot path allocates %.4f per event (%.0f per run over %d events), budget 0.1 — a pool has regressed",
+				perEvent, allocs, events)
+		}
+		return allocs
+	}
 	spec := RunSpec{
 		Topo:     Grid(5),
 		Workload: Fib(8),
 		Strategy: CWN(3, 1),
 		Arrival:  PoissonArrivals(40, 150),
 	}
-	// Warm the topology/tree caches so they are not billed to the run.
-	spec.Topo.Build()
-	spec.Workload.Build()
-	r, err := spec.ExecuteErr()
-	if err != nil {
-		t.Fatal(err)
-	}
-	events := r.Stats.Events
-	if events == 0 {
-		t.Fatal("run processed no events")
-	}
-	allocs := testing.AllocsPerRun(3, func() {
-		if _, err := spec.ExecuteErr(); err != nil {
-			t.Fatal(err)
-		}
-	})
-	perEvent := allocs / float64(events)
-	if perEvent > 0.1 {
-		t.Errorf("hot path allocates %.4f per event (%.0f per run over %d events), budget 0.1 — a pool has regressed",
-			perEvent, allocs, events)
+	detailed := measure(t, spec)
+	gatedSpec := spec
+	gatedSpec.NoGoalDetail = true
+	gated := measure(t, gatedSpec)
+	// The gate exists to shed work; it must never add allocations. A
+	// small slack absorbs AllocsPerRun jitter.
+	if gated > detailed+8 {
+		t.Errorf("gated-off path allocates more than the detailed one: %.0f vs %.0f per run", gated, detailed)
 	}
 }
 

@@ -63,19 +63,29 @@ func (a Aggregate) String() string {
 // RunReplicated executes each spec n times with consecutive seeds and
 // returns one aggregate per input spec, preserving order.
 func RunReplicated(specs []RunSpec, n, workers int) ([]Aggregate, error) {
+	aggs, _, err := RunReplicatedResults(specs, n, workers)
+	return aggs, err
+}
+
+// RunReplicatedResults is RunReplicated for callers that also need the
+// individual runs: results holds n consecutive entries per input spec
+// (seeds base..base+n-1, spec order preserved), so spec i's first-seed
+// run is results[i*n]. The aggregate table and any per-run reporting
+// (e.g. cmd/sweep's scenario recovery table) share one simulation pass.
+func RunReplicatedResults(specs []RunSpec, n, workers int) ([]Aggregate, []*Result, error) {
 	var flat []RunSpec
 	for _, s := range specs {
 		flat = append(flat, s.Replicate(n)...)
 	}
 	results, err := RunAll(flat, workers)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := make([]Aggregate, len(specs))
 	for i := range specs {
 		out[i] = AggregateResults(results[i*n : (i+1)*n])
 	}
-	return out, nil
+	return out, results, nil
 }
 
 // AggregateTable renders replicated outcomes with their spreads.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cwnsim/internal/machine"
+	"cwnsim/internal/scenario"
 	"cwnsim/internal/sim"
 )
 
@@ -27,6 +28,15 @@ type RunSpec struct {
 	RespHopTime    int64        `json:"respHopTime,omitempty"`
 	MaxTime        int64        `json:"maxTime,omitempty"`      // measurement horizon override; 0 = default
 	SojournBound   int64        `json:"sojournBound,omitempty"` // cap on retained sojourn observations; 0 = exact
+
+	// Scenario scripts a dynamic environment into the run, in the
+	// compact text form of scenario.Parse — e.g.
+	// "fail:pes=25%@t=5000,recover@t=10000". Empty = static machine.
+	Scenario string `json:"scenario,omitempty"`
+	// NoGoalDetail switches off the per-goal QueueDelay/GoalHops/
+	// GoalDist bookkeeping (machine.Config.TrackGoalDetail) for sweeps
+	// that only read latency and throughput.
+	NoGoalDetail bool `json:"noGoalDetail,omitempty"`
 }
 
 // Name returns a human-readable run identifier.
@@ -37,6 +47,9 @@ func (rs RunSpec) Name() string {
 	name := fmt.Sprintf("%s | %s | %s", rs.Strategy.Label(), rs.Topo.Label(), rs.Workload.Label())
 	if !rs.Arrival.IsSingle() {
 		name += " | " + rs.Arrival.Label()
+	}
+	if rs.Scenario != "" {
+		name += " | " + rs.Scenario
 	}
 	return name
 }
@@ -63,6 +76,14 @@ func (rs RunSpec) Config() machine.Config {
 		cfg.MaxTime = sim.Time(rs.MaxTime)
 	}
 	cfg.SojournBound = int(rs.SojournBound)
+	cfg.TrackGoalDetail = !rs.NoGoalDetail
+	if rs.Scenario != "" {
+		sc, err := scenario.Parse(rs.Scenario)
+		if err != nil {
+			panic(err.Error()) // ExecuteErr converts spec panics to errors
+		}
+		cfg.Scenario = sc
+	}
 	return cfg
 }
 
@@ -86,6 +107,14 @@ type Result struct {
 	P99Soj     float64 // tail sojourn — the serving benchmark's headline
 	Throughput float64 // completed jobs per unit virtual time, whole run
 	SteadyTput float64 // completions per unit time, post-warm-up window only
+
+	// Scenario metrics (zero / nil on static runs). EffUtil is busy
+	// time over the capacity that actually existed (blackout time
+	// excluded); Recovery is the tail-latency recovery report, present
+	// when the run sampled (SampleInterval > 0).
+	Requeued int64
+	EffUtil  float64
+	Recovery *scenario.Recovery
 }
 
 // OfBound returns the measured speedup as a fraction of the workload's
@@ -140,7 +169,7 @@ func (rs RunSpec) ExecuteErr() (res *Result, err error) {
 			bound = p
 		}
 	}
-	return &Result{
+	res = &Result{
 		Spec:       rs,
 		Stats:      st,
 		Goals:      st.Goals,
@@ -157,7 +186,15 @@ func (rs RunSpec) ExecuteErr() (res *Result, err error) {
 		P99Soj:     st.SojournP99(),
 		Throughput: st.Throughput(),
 		SteadyTput: st.SteadyThroughput(),
-	}, nil
+		Requeued:   st.GoalsRequeued,
+		EffUtil:    100 * st.EffectiveUtilization(),
+	}
+	if !cfg.Scenario.Empty() && cfg.SampleInterval > 0 {
+		rec := scenario.AnalyzeRecovery(cfg.Scenario, st.SojournWindows,
+			st.GoalsRequeued, st.ServiceAborts, scenario.AnalyzeConfig{})
+		res.Recovery = &rec
+	}
+	return res, nil
 }
 
 // Execute is ExecuteErr for callers that treat failure as fatal.

@@ -14,6 +14,20 @@ type chanState struct {
 	busyUntil sim.Time
 	busyTotal sim.Time // scheduled occupancy, including not-yet-elapsed tail
 	messages  int64
+
+	// Scenario state. degrade multiplies occupancy durations (0 =
+	// nominal, the untouched fast path). down marks a full outage:
+	// messages hold at the channel in arrival order and flush when the
+	// link is restored.
+	degrade float64
+	down    bool
+	held    []heldMsg
+}
+
+// heldMsg is one transmission parked at a downed channel.
+type heldMsg struct {
+	w   *wireMsg
+	dur sim.Time
 }
 
 // committedBusy returns the occupancy that has actually elapsed by now.
@@ -140,6 +154,10 @@ func (w *wireMsg) Act() {
 		if m.cfg.PiggybackLoad {
 			rcv.noteLoad(from, sentLoad)
 		}
+		if rcv.failed {
+			m.requeueGoal(to, g)
+			return
+		}
 		rcv.node.GoalArrived(g, from)
 	case wireGoalRoute:
 		m.goalsInTransit--
@@ -147,6 +165,10 @@ func (w *wireMsg) Act() {
 			m.pes[to].noteLoad(from, sentLoad)
 		}
 		if to == dst {
+			if m.pes[to].failed {
+				m.requeueGoal(to, g)
+				return
+			}
 			m.pes[to].node.GoalArrived(g, from)
 			return
 		}
@@ -179,15 +201,21 @@ func (w *wireMsg) Act() {
 }
 
 // transmit occupies the channel for dur units starting when it next
-// frees up, then delivers the message. Returns the delivery time.
-func (m *Machine) transmit(ch *chanState, dur sim.Time, w *wireMsg) sim.Time {
+// frees up, then delivers the message. On a downed channel the message
+// holds at the sender instead, transmitting (in arrival order) when the
+// link is restored.
+func (m *Machine) transmit(ch *chanState, dur sim.Time, w *wireMsg) {
+	if ch.down {
+		ch.held = append(ch.held, heldMsg{w: w, dur: dur})
+		return
+	}
 	end := ch.occupy(m.eng.Now(), dur)
 	m.eng.AtAction(end, w)
-	return end
 }
 
 // transmitFunc is transmit for cold paths and tests that want a closure
-// instead of a pooled message.
+// instead of a pooled message. It ignores link outages (no caller
+// transmits closures on a scripted channel).
 func (m *Machine) transmitFunc(ch *chanState, dur sim.Time, deliver func()) sim.Time {
 	end := ch.occupy(m.eng.Now(), dur)
 	m.eng.At(end, deliver)
@@ -195,8 +223,15 @@ func (m *Machine) transmitFunc(ch *chanState, dur sim.Time, deliver func()) sim.
 }
 
 // occupy reserves the channel's next dur free units and returns when the
-// reservation ends.
+// reservation ends. A degraded channel stretches the occupancy by its
+// factor (floor one unit, so a message never becomes free).
 func (ch *chanState) occupy(now, dur sim.Time) sim.Time {
+	if ch.degrade != 0 {
+		dur = sim.Time(float64(dur) * ch.degrade)
+		if dur < 1 {
+			dur = 1
+		}
+	}
 	start := now
 	if ch.busyUntil > start {
 		start = ch.busyUntil
@@ -210,12 +245,21 @@ func (ch *chanState) occupy(now, dur sim.Time) sim.Time {
 
 // pickChannel returns the least-backlogged channel among the candidates
 // (channel IDs), breaking ties toward the lower ID. Bus topologies give
-// a PE pair up to two parallel buses; links give exactly one.
+// a PE pair up to two parallel buses; links give exactly one. A downed
+// channel is chosen only when every candidate is down (the message then
+// holds at it until restore).
 func (m *Machine) pickChannel(candidates []int) *chanState {
 	best := m.chans[candidates[0]]
 	for _, ci := range candidates[1:] {
-		if m.chans[ci].busyUntil < best.busyUntil {
-			best = m.chans[ci]
+		ch := m.chans[ci]
+		if best.down != ch.down {
+			if best.down {
+				best = ch
+			}
+			continue
+		}
+		if ch.busyUntil < best.busyUntil {
+			best = ch
 		}
 	}
 	return best

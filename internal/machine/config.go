@@ -2,7 +2,9 @@ package machine
 
 import (
 	"fmt"
+	"math"
 
+	"cwnsim/internal/scenario"
 	"cwnsim/internal/sim"
 	"cwnsim/internal/trace"
 )
@@ -116,6 +118,22 @@ type Config struct {
 	// half speed). nil means uniform speed — the paper's setting. An
 	// extension knob: load balancing on heterogeneous machines.
 	PESpeeds []float64
+
+	// TrackGoalDetail enables the per-goal bookkeeping behind
+	// Stats.QueueDelay, GoalHops and GoalDist (paper Table 3).
+	// DefaultConfig sets it true; large open-system sweeps that only
+	// read latency and throughput can switch it off to trim per-goal
+	// work from the hot path. CAUTION: a Config built literally (not
+	// via DefaultConfig) leaves it false and records no goal detail —
+	// as with every other field, start from DefaultConfig.
+	TrackGoalDetail bool
+
+	// Scenario optionally scripts a dynamic environment into the run:
+	// PE slowdowns and failures, link degradation and outages, and
+	// arrival-rate shocks, replayed deterministically at their scripted
+	// virtual times. nil (or an empty script) leaves the run bit-for-bit
+	// identical to an unscripted one.
+	Scenario *scenario.Script
 }
 
 // DefaultConfig returns the parameters used for the paper reproduction:
@@ -124,19 +142,20 @@ type Config struct {
 // execution times of 1000-23000), piggybacking on.
 func DefaultConfig() Config {
 	return Config{
-		Seed:           1,
-		GrainTime:      10,
-		CombineTime:    5,
-		GoalHopTime:    2,
-		RespHopTime:    2,
-		CtrlHopTime:    1,
-		LoadInterval:   20,
-		PiggybackLoad:  true,
-		LoadMetric:     LoadQueue,
-		SampleInterval: 0,
-		RootPE:         0,
-		MaxTime:        2_000_000,
-		StaggerTicks:   true,
+		Seed:            1,
+		GrainTime:       10,
+		CombineTime:     5,
+		GoalHopTime:     2,
+		RespHopTime:     2,
+		CtrlHopTime:     1,
+		LoadInterval:    20,
+		PiggybackLoad:   true,
+		LoadMetric:      LoadQueue,
+		SampleInterval:  0,
+		RootPE:          0,
+		MaxTime:         2_000_000,
+		StaggerTicks:    true,
+		TrackGoalDetail: true,
 	}
 }
 
@@ -169,10 +188,14 @@ func (c *Config) validate(numPEs int) {
 			panic(fmt.Sprintf("machine: PESpeeds has %d entries for %d PEs", len(c.PESpeeds), numPEs))
 		}
 		for i, s := range c.PESpeeds {
-			if s <= 0 {
-				panic(fmt.Sprintf("machine: PESpeeds[%d] = %f must be positive", i, s))
+			// !(s > 0) also rejects NaN, which `s <= 0` lets through.
+			if !(s > 0) || math.IsInf(s, 0) {
+				panic(fmt.Sprintf("machine: PESpeeds[%d] = %v must be finite and positive", i, s))
 			}
 		}
+	}
+	if err := c.Scenario.Validate(numPEs); err != nil {
+		panic(err.Error())
 	}
 	if c.MonitorPE && c.SampleInterval <= 0 {
 		panic("machine: MonitorPE requires SampleInterval > 0")

@@ -44,4 +44,21 @@
 // paper's conclusions). Load information travels to neighbors through
 // periodic short broadcasts and, optionally, piggybacked on every
 // regular message.
+//
+// # Dynamic environments
+//
+// Config.Scenario attaches a scripted timeline of perturbations
+// (internal/scenario) that the machine replays at their virtual times:
+// PE speed changes rescale in-flight service proportionally; a PE
+// failure is a compute blackout — service stops, the in-service goal
+// aborts and queued goals evacuate to the nearest live PE, arriving
+// goals redirect, responses and pending tasks freeze in place until
+// recovery, while the communication co-processor stays up and the PE
+// advertises a sentinel load that steers strategies away; channels
+// degrade (occupancy stretched) or go down entirely (messages hold at
+// the sender and flush in order on restore); and load shocks multiply
+// the arrival process's offered rate. Scenario accounting lands in
+// Stats (GoalsRequeued, ServiceAborts, DownPETime, the queue-imbalance
+// and windowed-p99 series) and an empty scenario leaves runs
+// bit-for-bit identical to unscripted ones.
 package machine

@@ -1,0 +1,260 @@
+package machine
+
+import (
+	"fmt"
+
+	"cwnsim/internal/scenario"
+	"cwnsim/internal/sim"
+)
+
+// This file applies scripted environment events (internal/scenario) to
+// a running machine: PE speed changes with in-flight rescaling, compute
+// blackouts with drain/requeue semantics, link degradation and outages,
+// and arrival-rate shocks. Nothing here runs unless Config.Scenario is
+// non-empty.
+
+// applyScenarioEvent dispatches one scripted event at its firing time.
+func (m *Machine) applyScenarioEvent(ev scenario.Event) {
+	switch ev.Kind {
+	case scenario.SlowPE:
+		for _, id := range ev.Targets(len(m.pes)) {
+			pe := m.pes[id]
+			m.setSpeed(pe, pe.nominalSpeed()*ev.Factor)
+		}
+	case scenario.RestorePE:
+		targets := ev.Targets(len(m.pes))
+		if targets == nil {
+			for _, pe := range m.pes {
+				if pe.Speed() != pe.nominalSpeed() {
+					m.setSpeed(pe, pe.nominalSpeed())
+				}
+			}
+			return
+		}
+		for _, id := range targets {
+			m.setSpeed(m.pes[id], m.pes[id].nominalSpeed())
+		}
+	case scenario.FailPE:
+		for _, id := range ev.Targets(len(m.pes)) {
+			m.failPE(m.pes[id])
+		}
+	case scenario.RecoverPE:
+		targets := ev.Targets(len(m.pes))
+		if targets == nil {
+			for _, pe := range m.pes {
+				if pe.failed {
+					m.recoverPE(pe)
+				}
+			}
+			return
+		}
+		for _, id := range targets {
+			m.recoverPE(m.pes[id])
+		}
+	case scenario.DegradeLink:
+		m.setLink(ev.A, ev.B, ev.Factor, ev.Factor == 0)
+	case scenario.RestoreLink:
+		m.restoreLink(ev.A, ev.B)
+	case scenario.LoadShock:
+		m.rateMul = ev.Factor
+	}
+}
+
+// nominalSpeed is the PE's configured base speed: PESpeeds[i] on a
+// heterogeneous machine, 1 otherwise.
+func (pe *PE) nominalSpeed() float64 {
+	if s := pe.m.cfg.PESpeeds; s != nil {
+		return s[pe.id]
+	}
+	return 1
+}
+
+// setSpeed changes the PE's service speed, rescaling any in-flight
+// service proportionally: the remaining duration stretches or shrinks
+// by oldSpeed/newSpeed, so work already performed is kept rather than
+// restarted. Busy-time accounting is adjusted to the new completion.
+func (m *Machine) setSpeed(pe *PE, speed float64) {
+	old := pe.Speed()
+	pe.speed = speed
+	if !pe.busy || old == speed {
+		return
+	}
+	now := m.eng.Now()
+	remaining := pe.serviceEnd - now
+	if remaining <= 0 {
+		return // completion already due this instant
+	}
+	scaled := sim.Time(float64(remaining) * old / speed)
+	if scaled < 1 {
+		scaled = 1
+	}
+	if scaled == remaining {
+		return
+	}
+	pe.svc.Stop()
+	pe.busyTime += scaled - remaining
+	pe.serviceEnd = now + scaled
+	pe.svc.Schedule(scaled)
+}
+
+// failPE blacks out a PE's compute. The in-service message is cut off:
+// a goal is evacuated (its partial work lost), an interrupted response
+// goes back to the queue head to be combined first on recovery. Queued
+// goals are evacuated to the nearest live PE in queue order; queued
+// responses and pending tasks freeze in place, because the tasks
+// awaiting them live here. The communication co-processor stays up —
+// routing through the PE and control handling still work — and the PE
+// advertises FailedLoad so load-comparing strategies steer around it.
+func (m *Machine) failPE(pe *PE) {
+	if pe.failed {
+		return
+	}
+	live := 0
+	for _, p := range m.pes {
+		if !p.failed {
+			live++
+		}
+	}
+	if live <= 1 {
+		panic("machine: scenario would fail every PE")
+	}
+	now := m.eng.Now()
+	pe.failed = true
+	pe.failedAt = now
+
+	// The refuge is invariant across this evacuation (liveness only
+	// changes between events): resolve it once, not per goal.
+	refuge := m.nearestLive(pe.id)
+
+	if pe.busy {
+		it := pe.inService
+		pe.inService = item{}
+		remaining := pe.serviceEnd - now
+		pe.svc.Stop()
+		pe.busy = false
+		if remaining > 0 {
+			pe.busyTime -= remaining // the cut-off tail never happens
+		}
+		switch it.kind {
+		case itemGoal:
+			m.stats.ServiceAborts++
+			m.evacuateGoal(pe.id, refuge, it.goal)
+		case itemResponse:
+			pe.ready.pushFront(it)
+		}
+	}
+
+	// Evacuate queued goals in FIFO order, preserving their relative
+	// ages at the refuge PE.
+	for i := 0; i < pe.ready.len(); {
+		if it := pe.ready.at(i); it.kind == itemGoal {
+			g := it.goal
+			pe.ready.removeAt(i)
+			m.evacuateGoal(pe.id, refuge, g)
+		} else {
+			i++
+		}
+	}
+
+	// Tell the neighborhood immediately (one broadcast per attached
+	// channel, charged like any load word) rather than waiting for the
+	// next periodic tick to advertise FailedLoad.
+	m.broadcastLoad(pe)
+}
+
+// recoverPE ends a blackout: frozen responses resume service and the
+// PE re-advertises its real load.
+func (m *Machine) recoverPE(pe *PE) {
+	if !pe.failed {
+		return
+	}
+	pe.failed = false
+	pe.downTime += m.eng.Now() - pe.failedAt
+	if !pe.busy && pe.ready.len() > 0 {
+		pe.startNext()
+	}
+	m.broadcastLoad(pe)
+}
+
+// requeueGoal evacuates a goal arriving at failed PE `from` to the
+// nearest live PE, travelling hop by hop on the co-processors like any
+// routed goal. Arrival-time redirects resolve the refuge per call —
+// liveness genuinely varies between deliveries; batch evacuations in
+// failPE resolve it once and use evacuateGoal directly.
+func (m *Machine) requeueGoal(from int, g *Goal) {
+	m.evacuateGoal(from, m.nearestLive(from), g)
+}
+
+// evacuateGoal ships one goal off failed PE `from` to the chosen
+// refuge, counting it.
+func (m *Machine) evacuateGoal(from, refuge int, g *Goal) {
+	m.stats.GoalsRequeued++
+	m.routeGoal(from, refuge, g)
+}
+
+// nearestLive returns the live PE topologically closest to `from`
+// (lowest id on ties). Panics when every PE is failed — scripts cannot
+// reach that state (failPE refuses to kill the last live PE).
+func (m *Machine) nearestLive(from int) int {
+	best, bestDist := -1, int(^uint(0)>>1)
+	for i, p := range m.pes {
+		if p.failed || i == from {
+			continue
+		}
+		if d := m.topo.Dist(from, i); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if best < 0 {
+		panic("machine: no live PE to requeue onto")
+	}
+	return best
+}
+
+// setLink applies a degradation factor (or outage) to every channel
+// between a and b. A positive factor on a downed channel brings it
+// back up degraded — the scripted state is absolute, not sticky — so
+// messages held during the outage flush at the new (stretched) pace.
+func (m *Machine) setLink(a, b int, factor float64, down bool) {
+	for _, ci := range m.linkChannels(a, b) {
+		ch := m.chans[ci]
+		if down {
+			ch.down = true
+			continue
+		}
+		ch.degrade = factor
+		m.bringUp(ch)
+	}
+}
+
+// restoreLink returns every channel between a and b to nominal,
+// flushing messages held during an outage in arrival order.
+func (m *Machine) restoreLink(a, b int) {
+	for _, ci := range m.linkChannels(a, b) {
+		ch := m.chans[ci]
+		ch.degrade = 0
+		m.bringUp(ch)
+	}
+}
+
+// bringUp ends a channel outage, transmitting the held messages in
+// arrival order; a channel that is not down is untouched.
+func (m *Machine) bringUp(ch *chanState) {
+	if !ch.down {
+		return
+	}
+	ch.down = false
+	held := ch.held
+	ch.held = nil
+	for _, h := range held {
+		m.transmit(ch, h.dur, h.w)
+	}
+}
+
+func (m *Machine) linkChannels(a, b int) []int {
+	chs := m.topo.ChannelsBetween(a, b)
+	if len(chs) == 0 {
+		panic(fmt.Sprintf("machine: scenario link event: PEs %d and %d share no channel", a, b))
+	}
+	return chs
+}

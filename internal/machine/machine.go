@@ -1,7 +1,9 @@
 package machine
 
 import (
+	"math"
 	"math/rand"
+	"sort"
 
 	"cwnsim/internal/sim"
 	"cwnsim/internal/topology"
@@ -37,6 +39,13 @@ type Machine struct {
 
 	arrival  *sim.Timer     // reusable next-arrival event
 	nextTree *workload.Tree // the tree the armed arrival injects
+	rateMul  float64        // scenario LoadShock multiplier on the offered rate (1 = nominal)
+
+	// winSoj collects the sojourns completing inside the current
+	// sampling window; non-nil only for scenario runs with sampling
+	// enabled, where each window's p99 feeds Stats.SojournWindows — the
+	// series recovery analysis reads.
+	winSoj []float64
 
 	// Free lists: the hot path recycles wire messages, goals, pending
 	// tasks and job states instead of allocating per message/goal.
@@ -84,12 +93,13 @@ func New(topo *topology.Topology, tree *workload.Tree, strat Strategy, cfg Confi
 func NewStream(topo *topology.Topology, source JobSource, strat Strategy, cfg Config) *Machine {
 	cfg.validate(topo.Size())
 	m := &Machine{
-		eng:    sim.NewEngine(cfg.Seed),
-		topo:   topo,
-		cfg:    cfg,
-		strat:  strat,
-		source: source,
-		srcRng: newSourceRng(cfg.Seed),
+		eng:     sim.NewEngine(cfg.Seed),
+		topo:    topo,
+		cfg:     cfg,
+		strat:   strat,
+		source:  source,
+		srcRng:  newSourceRng(cfg.Seed),
+		rateMul: 1,
 	}
 	m.arrival = sim.NewTimer(m.eng, m.arrive)
 	m.stats = newStats(topo, source.Name(), strat.Name())
@@ -116,6 +126,9 @@ func NewStream(topo *topology.Topology, source JobSource, strat Strategy, cfg Co
 			nbrSeen:  make([]sim.Time, len(nbrs)),
 		}
 		pe.svc = sim.NewTimer(m.eng, pe.serviceDone)
+		if cfg.PESpeeds != nil {
+			pe.speed = cfg.PESpeeds[i]
+		}
 		for j, nb := range nbrs {
 			pe.nbrIndex[nb] = j
 			pe.nbrSeen[j] = -1
@@ -157,6 +170,19 @@ func NewStream(topo *topology.Topology, source JobSource, strat Strategy, cfg Co
 				m.warmupBusy += pe.committedBusy()
 			}
 		})
+	}
+
+	// Replay the scripted environment, if any. An empty scenario
+	// schedules nothing — the run stays bit-for-bit identical to an
+	// unscripted one (pinned by regression test).
+	if !cfg.Scenario.Empty() {
+		for _, ev := range cfg.Scenario.Events {
+			ev := ev
+			m.eng.At(ev.At, func() { m.applyScenarioEvent(ev) })
+		}
+		if cfg.SampleInterval > 0 {
+			m.winSoj = make([]float64, 0, 64)
+		}
 	}
 	return m
 }
@@ -330,6 +356,9 @@ func (m *Machine) completeJob(j *jobState, value int64) {
 	// at finalize — so a bounded run's memory really is bounded.
 	soj := float64(now - j.injectedAt)
 	m.stats.Sojourn.Add(soj)
+	if m.winSoj != nil {
+		m.winSoj = append(m.winSoj, soj)
+	}
 	if j.injectedAt >= m.cfg.Warmup {
 		m.stats.SteadySojourn.Add(soj)
 	}
@@ -418,6 +447,39 @@ func (m *Machine) sample() {
 		}
 		m.stats.Monitor.Append(now, m.frameBuf)
 	}
+
+	// Queue balance at the sample instant: mean ready-queue length and
+	// Jain's fairness index over per-PE queue lengths — the imbalance
+	// curve a scenario run's recovery is read from. Pure observation:
+	// no events, no random draws.
+	var qsum, qsq float64
+	for _, pe := range m.pes {
+		q := float64(pe.queueLen())
+		qsum += q
+		qsq += q * q
+	}
+	m.stats.QueueLen.Add(float64(now), qsum/float64(len(m.pes)))
+	imb := 1.0
+	if qsq > 0 {
+		imb = qsum * qsum / (float64(len(m.pes)) * qsq)
+	}
+	m.stats.QueueImbalance.Add(float64(now), imb)
+
+	// Windowed sojourn p99 (scenario runs): one point per window that
+	// completed at least one job. Windows ending inside the warm-up are
+	// dropped — the empty-machine ramp's short sojourns would bias the
+	// recovery baseline low, exactly as they would bias SteadySojourn.
+	if len(m.winSoj) > 0 {
+		if now >= m.cfg.Warmup {
+			sort.Float64s(m.winSoj)
+			rank := int(math.Ceil(0.99*float64(len(m.winSoj)))) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			m.stats.SojournWindows.Add(float64(now), m.winSoj[rank])
+		}
+		m.winSoj = m.winSoj[:0]
+	}
 	m.prevSampleAt = now
 }
 
@@ -486,6 +548,15 @@ func (m *Machine) pump() {
 			}
 			return
 		}
+		if delay > 0 && m.rateMul != 1 {
+			// A LoadShock multiplies the offered rate: divide the drawn
+			// gap, floor one unit. Applied to gaps drawn after the shock;
+			// an already-armed arrival fires as scheduled.
+			delay = sim.Time(float64(delay) / m.rateMul)
+			if delay < 1 {
+				delay = 1
+			}
+		}
 		if delay <= 0 {
 			m.inject(tree)
 			continue
@@ -523,10 +594,17 @@ func (m *Machine) inject(tree *workload.Tree) {
 	m.stats.JobsInjected++
 	m.stats.Goals += tree.Count()
 	m.inFlight++
+	// The outside world delivers to a live ingress: a blacked-out root
+	// PE redirects injection to the nearest live PE.
+	rootPE := m.cfg.RootPE
+	if m.pes[rootPE].failed {
+		rootPE = m.nearestLive(rootPE)
+		m.stats.RootRedirects++
+	}
 	root := m.newGoal(tree.Root, j, -1, -1)
-	root.Origin = m.cfg.RootPE
-	m.emit(trace.GoalCreated, m.cfg.RootPE, -1, root.ID)
-	m.pes[m.cfg.RootPE].Accept(root)
+	root.Origin = rootPE
+	m.emit(trace.GoalCreated, rootPE, -1, root.ID)
+	m.pes[rootPE].Accept(root)
 }
 
 // freeJob recycles a completed job's state record.
@@ -555,6 +633,13 @@ func (m *Machine) finalize() {
 		s.BusyPerPE[i] = b
 		s.TotalBusy += b
 		s.GoalsPerPE[i] = pe.goalsExecuted
+		if pe.failed {
+			// Close the open blackout at the horizon so capacity
+			// accounting covers the whole run.
+			pe.downTime += now - pe.failedAt
+			pe.failedAt = now
+		}
+		s.DownPETime += pe.downTime
 	}
 	// Channels are charged their full occupancy at transmit time; commit
 	// only the elapsed part, or a run cut off with messages on the wire

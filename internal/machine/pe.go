@@ -34,6 +34,18 @@ func (r *itemRing) push(it item) {
 	r.n++
 }
 
+// pushFront prepends an item, making it the next to be served. The
+// failure path uses it to put an interrupted response back at the head
+// of the queue so it is combined first on recovery.
+func (r *itemRing) pushFront(it item) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.head = (r.head - 1) & (len(r.buf) - 1)
+	r.buf[r.head] = it
+	r.n++
+}
+
 func (r *itemRing) popFront() item {
 	it := r.buf[r.head]
 	r.buf[r.head] = item{} // drop references so pooled objects are not pinned
@@ -96,12 +108,32 @@ type PE struct {
 
 	node NodeStrategy // strategy state for this PE (set after construction)
 
+	// Dynamic environment state (internal/scenario). speed divides
+	// service durations; 0 means nominal — the untouched fast path,
+	// which keeps unscripted homogeneous runs off the float math
+	// entirely. failed marks a compute blackout: service stops and
+	// queued goals are evacuated, but the communication co-processor
+	// stays up (routing, control handling, load words still work).
+	speed    float64
+	failed   bool
+	failedAt sim.Time
+	downTime sim.Time // accumulated blackout time (closed on recovery/finalize)
+
 	// accounting
 	busyTime       sim.Time
 	goalsExecuted  int64
 	goalsAccepted  int64
 	respIntegrated int64
 }
+
+// FailedLoad is the load a blacked-out PE advertises: large enough
+// that push strategies (which seek the least-loaded PE) steer away,
+// small enough that int32 neighbor tables and strategy arithmetic
+// cannot overflow. Pull strategies that hunt for the MOST-loaded
+// neighbor must treat loads at or above this value as "unavailable,
+// not a victim" — a failed PE's queue has been evacuated, and stealing
+// from it yields only refusals until recovery.
+const FailedLoad = 1 << 30
 
 // ID returns the PE's index, 0..P-1.
 func (pe *PE) ID() int { return pe.id }
@@ -116,12 +148,28 @@ func (pe *PE) Machine() *Machine { return pe.m }
 func (pe *PE) Now() sim.Time { return pe.m.eng.Now() }
 
 // Load returns this PE's advertised load under the configured metric.
+// A failed PE advertises FailedLoad, steering every load-comparing
+// strategy away from it until recovery.
 func (pe *PE) Load() int {
+	if pe.failed {
+		return FailedLoad
+	}
 	load := pe.queueLen()
 	if pe.m.cfg.LoadMetric == LoadQueuePlusPending {
 		load += len(pe.pending)
 	}
 	return load
+}
+
+// Failed reports whether the PE is currently blacked out by a scenario.
+func (pe *PE) Failed() bool { return pe.failed }
+
+// Speed returns the PE's current service-speed multiplier (1 nominal).
+func (pe *PE) Speed() float64 {
+	if pe.speed == 0 {
+		return 1
+	}
+	return pe.speed
 }
 
 // queueLen returns the number of messages waiting (not counting one in
@@ -312,10 +360,12 @@ func (pe *PE) TakeOldestQueuedGoal() *Goal {
 	return nil
 }
 
-// enqueue appends a message to the ready queue and wakes the PE if idle.
+// enqueue appends a message to the ready queue and wakes the PE if
+// idle. A failed PE only queues — responses freeze there until
+// recovery restarts service.
 func (pe *PE) enqueue(it item) {
 	pe.ready.push(it)
-	if !pe.busy {
+	if !pe.busy && !pe.failed {
 		pe.startNext()
 	}
 }
@@ -332,12 +382,14 @@ func (pe *PE) startNext() {
 	switch it.kind {
 	case itemGoal:
 		dur = pe.m.cfg.GrainTime * sim.Time(it.goal.Task.Work)
-		pe.m.stats.QueueDelay.Add(float64(pe.m.eng.Now() - it.goal.AcceptedAt))
+		if pe.m.cfg.TrackGoalDetail {
+			pe.m.stats.QueueDelay.Add(float64(pe.m.eng.Now() - it.goal.AcceptedAt))
+		}
 	case itemResponse:
 		dur = pe.m.cfg.CombineTime
 	}
-	if s := pe.m.cfg.PESpeeds; s != nil {
-		scaled := sim.Time(float64(dur) / s[pe.id])
+	if s := pe.speed; s != 0 {
+		scaled := sim.Time(float64(dur) / s)
 		if scaled < 1 {
 			scaled = 1
 		}
@@ -368,8 +420,10 @@ func (pe *PE) finish(it item) {
 		g := it.goal
 		// The goal's journey is definitively over: record the travel
 		// distance (paper Table 3) and the net displacement.
-		pe.m.stats.GoalHops.Add(g.Hops)
-		pe.m.stats.GoalDist.Add(pe.m.topo.Dist(g.Origin, pe.id))
+		if pe.m.cfg.TrackGoalDetail {
+			pe.m.stats.GoalHops.Add(g.Hops)
+			pe.m.stats.GoalDist.Add(pe.m.topo.Dist(g.Origin, pe.id))
+		}
 		pe.m.emit(trace.GoalExecuted, pe.id, -1, g.ID)
 		task := g.Task
 		if task.IsLeaf() {

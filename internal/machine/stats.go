@@ -85,9 +85,30 @@ type Stats struct {
 	// empty unless Config.SampleInterval > 0.
 	Timeline metrics.Series
 
+	// QueueLen and QueueImbalance sample the ready queues alongside the
+	// utilization timeline: mean queue length across PEs, and Jain's
+	// fairness index over per-PE queue lengths (1 = perfectly even).
+	// Empty unless Config.SampleInterval > 0.
+	QueueLen       metrics.Series
+	QueueImbalance metrics.Series
+
 	// Monitor holds the per-PE utilization frames of ORACLE's load
 	// monitor; empty unless Config.MonitorPE and SampleInterval are set.
 	Monitor trace.Monitor
+
+	// Scenario accounting (internal/scenario); all zero on unscripted
+	// runs. GoalsRequeued counts goals evacuated from failed PEs or
+	// redirected away on arrival; ServiceAborts the executions cut off
+	// mid-service (their partial work was lost); RootRedirects the
+	// injections diverted off a failed root PE. DownPETime integrates
+	// PE-blackout time over the run, and SojournWindows records each
+	// sampling window's p99 sojourn (scenario runs with sampling on) —
+	// the series recovery analysis reads.
+	GoalsRequeued  int64
+	ServiceAborts  int64
+	RootRedirects  int64
+	DownPETime     sim.Time
+	SojournWindows metrics.Series
 }
 
 func newStats(topo *topology.Topology, workloadName, stratName string) *Stats {
@@ -115,6 +136,19 @@ func (s *Stats) Utilization() float64 {
 
 // UtilizationPercent returns Utilization×100, the paper's y-axis.
 func (s *Stats) UtilizationPercent() float64 { return 100 * s.Utilization() }
+
+// EffectiveUtilization returns busy time over the capacity that
+// actually existed: P×makespan minus PE-blackout time. On unscripted
+// runs it equals Utilization; under a scenario it answers "how well was
+// the surviving capacity used" where Utilization would charge the dead
+// PEs' idle time against the strategy.
+func (s *Stats) EffectiveUtilization() float64 {
+	cap := float64(s.P)*float64(s.Makespan) - float64(s.DownPETime)
+	if cap <= 0 {
+		return 0
+	}
+	return float64(s.TotalBusy) / cap
+}
 
 // SteadyUtilization returns average PE utilization in [0,1] over the
 // post-warm-up window only — the steady-state figure for arrival
@@ -251,5 +285,9 @@ func (s *Stats) String() string {
 	fmt.Fprintf(&b, "  messages: goal=%d resp=%d load=%d ctrl=%d maxChanUtil=%.1f%%",
 		s.MsgCounts[MsgGoal], s.MsgCounts[MsgResponse], s.MsgCounts[MsgLoad], s.MsgCounts[MsgControl],
 		100*s.MaxChannelUtilization())
+	if s.DownPETime > 0 || s.GoalsRequeued > 0 {
+		fmt.Fprintf(&b, "\n  scenario: requeued=%d aborts=%d rootRedirects=%d downPEtime=%d effUtil=%.1f%%",
+			s.GoalsRequeued, s.ServiceAborts, s.RootRedirects, s.DownPETime, 100*s.EffectiveUtilization())
+	}
 	return b.String()
 }

@@ -1,0 +1,42 @@
+// Package scenario scripts dynamic-environment perturbations into a
+// run: a deterministic timeline of events the machine replays during
+// the simulation. The paper compares CWN and the Gradient Model on a
+// uniform, static machine; this package supplies the missing axis —
+// how a *dynamic* load-distribution method re-distributes after the
+// environment shifts under it.
+//
+// A Script is an ordered list of Events, each firing at a virtual
+// time:
+//
+//   - SlowPE / RestorePE   rescale PE service speed mid-run (in-flight
+//     service is rescaled proportionally, not restarted)
+//   - FailPE / RecoverPE   compute blackout: the PE stops serving, its
+//     queued goals are evacuated to the nearest live PE, and arriving
+//     goals are redirected; pending tasks and queued responses freeze
+//     in place until recovery (the communication co-processor stays
+//     up, so routing through a failed PE still works)
+//   - DegradeLink / RestoreLink   multiply a link's occupancy time, or
+//     (factor 0) take it down entirely — messages queue at the sender
+//     and flush in order on restore
+//   - LoadShock   multiply the arrival process's offered rate for all
+//     subsequently drawn inter-arrival gaps
+//
+// Scripts are plain data: build them programmatically or parse the
+// compact text form used by spec files and the CLI, e.g.
+//
+//	fail:pes=25%@t=5000,recover@t=10000
+//	slow:pes=0+1:x=0.5@t=2000,restore:pes=0+1@t=4000
+//	degradelink:a=0:b=1:x=0@t=100,restorelink:a=0:b=1@t=300
+//	shock:x=3@t=1000,shock:x=1@t=2000
+//
+// An empty (or nil) Script schedules nothing and leaves a run
+// bit-for-bit identical to one without a scenario — pinned by
+// regression test — so the scripted machinery costs nothing when
+// unused.
+//
+// Recovery analysis: AnalyzeRecovery turns the windowed sojourn-p99
+// series a scenario run records into the subsystem's headline metrics
+// — the pre-disruption baseline p99, the peak during the disruption,
+// and the time after the last restore event until the p99 holds
+// steady at baseline again.
+package scenario

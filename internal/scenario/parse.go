@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cwnsim/internal/sim"
+)
+
+// Parse reads the compact text form of a script: comma-separated
+// events, each `kind[:key=value...]@t=TIME`.
+//
+//	fail:pes=25%@t=5000,recover@t=10000
+//	slow:pes=0+1:x=0.5@t=2000,restore@t=4000
+//	degradelink:a=0:b=1:x=0@t=100,restorelink:a=0:b=1@t=300
+//	shock:x=3@t=1000,shock:x=1@t=2000
+//
+// Keys: pes= targets a percentage ("25%") or a +-separated PE list
+// ("3+7+9"); x= the factor (speed multiplier for slow, occupancy
+// multiplier for degradelink with 0 meaning outage, rate multiplier
+// for shock); a=/b= the link endpoints. droplink is shorthand for
+// degradelink with x=0. An empty string parses to nil — the empty
+// scenario.
+func Parse(s string) (*Script, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var sc Script
+	for _, part := range strings.Split(s, ",") {
+		ev, err := parseEvent(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		sc.Events = append(sc.Events, ev)
+	}
+	return &sc, nil
+}
+
+// MustParse is Parse for trusted literals; it panics on error.
+func MustParse(s string) *Script {
+	sc, err := Parse(s)
+	if err != nil {
+		panic(err.Error())
+	}
+	return sc
+}
+
+func parseEvent(s string) (Event, error) {
+	body, at, ok := strings.Cut(s, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("scenario: event %q has no @t=TIME", s)
+	}
+	tStr, ok := strings.CutPrefix(at, "t=")
+	if !ok {
+		return Event{}, fmt.Errorf("scenario: event %q: want @t=TIME, got %q", s, at)
+	}
+	t, err := strconv.ParseInt(tStr, 10, 64)
+	if err != nil || t < 0 {
+		return Event{}, fmt.Errorf("scenario: event %q: bad time %q", s, tStr)
+	}
+
+	fields := strings.Split(body, ":")
+	ev := Event{At: sim.Time(t), A: -1, B: -1}
+	switch fields[0] {
+	case "slow":
+		ev.Kind = SlowPE
+	case "restore":
+		ev.Kind = RestorePE
+	case "fail":
+		ev.Kind = FailPE
+	case "recover":
+		ev.Kind = RecoverPE
+	case "degradelink", "droplink":
+		ev.Kind = DegradeLink
+	case "restorelink", "fixlink":
+		ev.Kind = RestoreLink
+	case "shock":
+		ev.Kind = LoadShock
+	default:
+		return Event{}, fmt.Errorf("scenario: unknown event kind %q in %q", fields[0], s)
+	}
+
+	var haveFactor bool
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return Event{}, fmt.Errorf("scenario: event %q: want key=value, got %q", s, f)
+		}
+		switch key {
+		case "pes":
+			if err := parseTargets(&ev, val); err != nil {
+				return Event{}, fmt.Errorf("scenario: event %q: %v", s, err)
+			}
+		case "x":
+			x, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Event{}, fmt.Errorf("scenario: event %q: bad factor %q", s, val)
+			}
+			ev.Factor = x
+			haveFactor = true
+		case "a", "b":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return Event{}, fmt.Errorf("scenario: event %q: bad endpoint %s=%q", s, key, val)
+			}
+			if key == "a" {
+				ev.A = n
+			} else {
+				ev.B = n
+			}
+		default:
+			return Event{}, fmt.Errorf("scenario: event %q: unknown key %q", s, key)
+		}
+	}
+
+	switch ev.Kind {
+	case SlowPE:
+		if !haveFactor {
+			return Event{}, fmt.Errorf("scenario: event %q: slow needs x=FACTOR", s)
+		}
+	case LoadShock:
+		if !haveFactor {
+			return Event{}, fmt.Errorf("scenario: event %q: shock needs x=MULTIPLIER", s)
+		}
+	case DegradeLink, RestoreLink:
+		if ev.A < 0 || ev.B < 0 {
+			return Event{}, fmt.Errorf("scenario: event %q: link events need a= and b=", s)
+		}
+	}
+	if ev.Kind != DegradeLink && ev.Kind != RestoreLink {
+		ev.A, ev.B = 0, 0 // only link events carry endpoints
+	}
+	return ev, nil
+}
+
+// parseTargets fills PEs or Frac from a pes= value: "25%" or "3+7+9".
+func parseTargets(ev *Event, val string) error {
+	if pct, ok := strings.CutSuffix(val, "%"); ok {
+		f, err := strconv.ParseFloat(pct, 64)
+		if err != nil || f <= 0 || f > 100 {
+			return fmt.Errorf("bad percentage %q", val)
+		}
+		ev.Frac = f / 100
+		return nil
+	}
+	for _, id := range strings.Split(val, "+") {
+		n, err := strconv.Atoi(id)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad PE id %q", id)
+		}
+		ev.PEs = append(ev.PEs, n)
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cwnsim/internal/metrics"
+	"cwnsim/internal/sim"
+)
+
+// Recovery is the headline report of a scenario run: how far the
+// disruption pushed tail latency and how long the system took to find
+// its way back after the environment was restored.
+type Recovery struct {
+	// DisruptAt and RestoreAt bracket the scripted disturbance: the
+	// first and last event times.
+	DisruptAt sim.Time
+	RestoreAt sim.Time
+
+	// BaselineP99 is the median of the windowed sojourn p99 before the
+	// disruption — the steady state to restore. NaN when no window
+	// completed before DisruptAt.
+	BaselineP99 float64
+	// PeakP99 is the worst windowed p99 observed at or after the
+	// disruption. NaN when no window completed after it.
+	PeakP99 float64
+
+	// SteadyAgainAt is the end of the first window at or after RestoreAt
+	// from which the windowed p99 stays within Tolerance of baseline for
+	// the remainder of the run, confirmed by at least Consecutive
+	// in-band windows (sim.Never when the p99 never settles or the run
+	// ends before confirmation).
+	SteadyAgainAt sim.Time
+	// TimeToSteady is SteadyAgainAt − RestoreAt (sim.Never when p99
+	// never settles).
+	TimeToSteady sim.Time
+
+	// GoalsRequeued counts goals evacuated from failed PEs or redirected
+	// away from them on arrival; ServiceAborts counts executions cut off
+	// mid-service by a failure (their work was lost and redone).
+	GoalsRequeued int64
+	ServiceAborts int64
+}
+
+// Recovered reports whether the tail latency settled back to baseline
+// within the measured horizon.
+func (r Recovery) Recovered() bool { return r.SteadyAgainAt != sim.Never }
+
+// TableCells renders the recovery triple the CLI tables share:
+// baseline and peak windowed p99 ("-" when no window produced a
+// datum) and time-to-steady ("never" when the p99 did not settle). A
+// nil receiver — no recovery report, e.g. an unsampled run — yields
+// all dashes.
+func (r *Recovery) TableCells() (baseline, peak, settle string) {
+	if r == nil {
+		return "-", "-", "-"
+	}
+	f := func(v float64) string {
+		if math.IsNaN(v) {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f", v)
+	}
+	settle = "never"
+	if r.Recovered() {
+		settle = fmt.Sprintf("%d", r.TimeToSteady)
+	}
+	return f(r.BaselineP99), f(r.PeakP99), settle
+}
+
+// String renders a one-line recovery summary.
+func (r Recovery) String() string {
+	settle := "never settled"
+	if r.Recovered() {
+		settle = fmt.Sprintf("steady again at t=%d (+%d after restore)", r.SteadyAgainAt, r.TimeToSteady)
+	}
+	return fmt.Sprintf("disrupt@%d restore@%d p99 %.0f→%.0f peak, %s, %d goals requeued (%d aborts)",
+		r.DisruptAt, r.RestoreAt, r.BaselineP99, r.PeakP99, settle, r.GoalsRequeued, r.ServiceAborts)
+}
+
+// AnalyzeConfig tunes steadiness detection.
+type AnalyzeConfig struct {
+	// Tolerance is the relative band around baseline that counts as
+	// "restored" (1 = within 2× baseline). The default is 1: windowed
+	// p99 of a healthy system already fluctuates tens of percent at
+	// practical window sizes, and jobs injected during the disruption
+	// keep echoing into completion-time windows long after restore — a
+	// tighter band mostly measures that noise. Default 1.
+	Tolerance float64
+	// Consecutive is the minimum number of in-band windows that must
+	// confirm the return to baseline — a guard against a single lucky
+	// final window. Default 2.
+	Consecutive int
+}
+
+func (c *AnalyzeConfig) defaults() {
+	if c.Tolerance <= 0 {
+		c.Tolerance = 1
+	}
+	if c.Consecutive <= 0 {
+		c.Consecutive = 2
+	}
+}
+
+// AnalyzeRecovery computes the recovery report for script from the
+// windowed sojourn-p99 series a scenario run records (one point per
+// sampling window that completed at least one job). The requeue and
+// abort counts are passed through from the run's stats. cfg may be
+// zero for defaults.
+func AnalyzeRecovery(script *Script, p99 metrics.Series, requeued, aborts int64, cfg AnalyzeConfig) Recovery {
+	cfg.defaults()
+	r := Recovery{
+		DisruptAt:     script.DisruptAt(),
+		RestoreAt:     script.RestoreAt(),
+		BaselineP99:   math.NaN(),
+		PeakP99:       math.NaN(),
+		SteadyAgainAt: sim.Never,
+		TimeToSteady:  sim.Never,
+		GoalsRequeued: requeued,
+		ServiceAborts: aborts,
+	}
+	if script.Empty() {
+		return r
+	}
+
+	var before []float64
+	for _, p := range p99.Points {
+		if sim.Time(p.T) <= r.DisruptAt {
+			before = append(before, p.V)
+		} else if math.IsNaN(r.PeakP99) || p.V > r.PeakP99 {
+			r.PeakP99 = p.V
+		}
+	}
+	if len(before) == 0 {
+		return r // no pre-disruption window: nothing to measure against
+	}
+	sort.Float64s(before)
+	r.BaselineP99 = before[len(before)/2]
+
+	// The restore point is the start of the last in-band stretch that
+	// holds through the end of the run: a strategy that dips back to
+	// baseline and blows up again later has not recovered.
+	band := r.BaselineP99 * (1 + cfg.Tolerance)
+	candidate, inBand := sim.Never, 0
+	for _, p := range p99.Points {
+		if sim.Time(p.T) < r.RestoreAt {
+			continue
+		}
+		if p.V <= band {
+			if candidate == sim.Never {
+				candidate = sim.Time(p.T)
+			}
+			inBand++
+		} else {
+			candidate, inBand = sim.Never, 0
+		}
+	}
+	if candidate != sim.Never && inBand >= cfg.Consecutive {
+		r.SteadyAgainAt = candidate
+		r.TimeToSteady = candidate - r.RestoreAt
+		if r.TimeToSteady < 0 {
+			r.TimeToSteady = 0
+		}
+	}
+	return r
+}

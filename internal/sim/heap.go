@@ -1,10 +1,24 @@
 package sim
 
-// eventHeap is a binary min-heap of events ordered by (at, seq). It is
+// eventHeap is a min-heap of events ordered by (at, seq). It is
 // hand-rolled rather than built on container/heap to avoid interface
 // boxing on the hot path: a full comparison run of the paper's suite pops
 // a few hundred million events.
+//
+// The branching factor is a parameter because the obvious d-ary-heap
+// optimization was tried and rejected: arity 4 halves the tree depth
+// but pays ≤3 sibling comparisons per level on the way down, and on
+// the heap-heaviest case in the ledger (open/ctrl-grid32-gm — 1024
+// PEs' tickers and timers resident in the heap) it measured ~5% FEWER
+// events/sec than the binary heap (see the heap_experiment record in
+// BENCH_PR3.json). The standing heap here is thousands of events, so
+// depth is cheap, while Timer.Stop's removeAt and every re-arm push
+// lean on up(), which arity only makes shallower at the cost of wider
+// down() — the trade does not pay at this heap shape. Re-measure with
+// cmd/bench before changing heapArity.
 type eventHeap []*Event
+
+const heapArity = 2
 
 func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
@@ -80,7 +94,7 @@ func (h *eventHeap) removeAt(i int) {
 
 func (h eventHeap) up(i int) {
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / heapArity
 		if !h.less(i, parent) {
 			break
 		}
@@ -92,13 +106,19 @@ func (h eventHeap) up(i int) {
 func (h eventHeap) down(i int) {
 	n := len(h)
 	for {
-		l := 2*i + 1
-		if l >= n {
+		first := heapArity*i + 1
+		if first >= n {
 			return
 		}
-		smallest := l
-		if r := l + 1; r < n && h.less(r, l) {
-			smallest = r
+		smallest := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h.less(c, smallest) {
+				smallest = c
+			}
 		}
 		if !h.less(smallest, i) {
 			return
