@@ -7,7 +7,7 @@
 //
 // Regenerate the committed ledger with:
 //
-//	go run ./cmd/bench -o BENCH_PR3.json
+//	go run ./cmd/bench -o BENCH_PR4.json
 //
 // Numbers are wall-clock and machine-dependent; allocs/op and bytes/op
 // are deterministic per Go version (the simulation itself is a pure
@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"cwnsim/internal/experiments"
+	"cwnsim/internal/machine"
 )
 
 // metricSet is one measured (or recorded) set of per-op figures.
@@ -60,7 +61,23 @@ type ledger struct {
 	// side is not in the tree anymore (e.g. the PR 3 heap-arity trial),
 	// so the decision stays auditable from the ledger alone.
 	Experiments []experimentRecord `json:"experiments,omitempty"`
-	Results     []caseResult       `json:"results"`
+	// Pooling is the PR 4 replication-pooling A/B: the same spec run
+	// repeatedly with and without a shared machine.Pool (the
+	// cross-run free-list reuse RunAll workers use). Re-measured live
+	// on every regeneration — both sides are in the tree.
+	Pooling *poolingResult `json:"pooling,omitempty"`
+	Results []caseResult   `json:"results"`
+}
+
+// poolingResult is the before/after of machine-object reuse across
+// replications (ROADMAP: "machine-object reuse across runs in sweeps").
+type poolingResult struct {
+	Case               string    `json:"case"`
+	RunsPerSide        int       `json:"runs_per_side"`
+	Without            metricSet `json:"without_pool"`
+	With               metricSet `json:"with_pool"`
+	AllocsReductionPct float64   `json:"allocs_reduction_pct"`
+	SpeedupX           float64   `json:"speedup_x"`
 }
 
 // experimentRecord pins an A/B decision: what was tried, on which
@@ -111,7 +128,7 @@ var baseline = map[string]metricSet{
 
 func main() {
 	var (
-		out   = flag.String("o", "BENCH_PR3.json", "ledger output path (- for stdout)")
+		out   = flag.String("o", "BENCH_PR4.json", "ledger output path (- for stdout)")
 		iters = flag.Int("iters", 5, "iterations per case (fixed, for comparable allocs/op)")
 	)
 	flag.Parse()
@@ -122,7 +139,7 @@ func main() {
 	matrix := experiments.BenchMatrix()
 	led := ledger{
 		Schema:      "cwnsim-bench/v1",
-		PR:          3,
+		PR:          4,
 		Go:          runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
@@ -160,6 +177,25 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr)
 	}
+
+	// The pooling A/B: replicate the headline case's spec with and
+	// without a shared pool. More sides-by-side runs than -iters so the
+	// pool's steady state (second run onward) dominates the mean.
+	headline := matrix[0]
+	for _, c := range matrix {
+		if c.Name == led.Headline {
+			headline = c
+		}
+	}
+	poolRuns := 2 * *iters
+	pr, err := measurePooling(headline.Spec, headline.Name, poolRuns)
+	if err != nil {
+		fail(fmt.Errorf("pooling A/B: %v", err))
+	}
+	led.Pooling = &pr
+	fmt.Fprintf(os.Stderr, "%-28s %12d -> %d allocs/op with pool (%.1f%% fewer), %.0f -> %.0f events/sec\n",
+		"pooling:"+pr.Case, pr.Without.AllocsPerOp, pr.With.AllocsPerOp,
+		pr.AllocsReductionPct, pr.Without.EventsPerSec, pr.With.EventsPerSec)
 
 	enc, err := json.MarshalIndent(led, "", "  ")
 	fail(err)
@@ -203,6 +239,45 @@ func measure(spec experiments.RunSpec, iters int) (caseResult, error) {
 			EventsPerSec: float64(events) * float64(iters) / elapsed.Seconds(),
 		},
 	}, nil
+}
+
+// measurePooling runs the spec `runs` times per side — fresh execution
+// versus a shared machine.Pool carried across the runs (what each
+// RunAll worker does in a sweep) — and reports both per-op metric sets.
+func measurePooling(spec experiments.RunSpec, name string, runs int) (poolingResult, error) {
+	sides := []*machine.Pool{nil, {}}
+	var sets [2]metricSet
+	for side, pool := range sides {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		var events uint64
+		for i := 0; i < runs; i++ {
+			r, err := spec.ExecuteWithPool(pool)
+			if err != nil {
+				return poolingResult{}, err
+			}
+			events = r.Stats.Events
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		n := uint64(runs)
+		sets[side] = metricSet{
+			NsPerOp:      elapsed.Nanoseconds() / int64(runs),
+			AllocsPerOp:  int64((after.Mallocs - before.Mallocs) / n),
+			BytesPerOp:   int64((after.TotalAlloc - before.TotalAlloc) / n),
+			EventsPerSec: float64(events) * float64(runs) / elapsed.Seconds(),
+		}
+	}
+	pr := poolingResult{Case: name, RunsPerSide: runs, Without: sets[0], With: sets[1]}
+	if pr.Without.AllocsPerOp > 0 {
+		pr.AllocsReductionPct = 100 * (1 - float64(pr.With.AllocsPerOp)/float64(pr.Without.AllocsPerOp))
+	}
+	if pr.With.NsPerOp > 0 {
+		pr.SpeedupX = float64(pr.Without.NsPerOp) / float64(pr.With.NsPerOp)
+	}
+	return pr, nil
 }
 
 func fail(err error) {

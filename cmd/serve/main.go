@@ -209,14 +209,17 @@ func main() {
 	detail.Render(os.Stdout)
 
 	// Under a scripted environment, append the recovery metrics the
-	// scenario subsystem computes per run.
+	// scenario subsystem computes per run — both windowed-p99 keyings
+	// ("t2s done" completion-keyed, "t2s inj" injection-keyed) plus the
+	// state-loss counters for crash scripts.
 	if *scenArg != "" {
 		rec := report.NewTable("scenario recovery",
-			"topology", "strategy", "gap", "requeued", "baseline p99", "peak p99", "time to steady", "eff util%")
+			"topology", "strategy", "gap", "requeued", "lost", "baseline p99", "peak p99", "t2s done", "t2s inj", "eff util%")
 		for _, r := range results {
 			base, peak, settle := r.Recovery.TableCells()
+			_, _, settleInj := r.RecoveryInj.TableCells()
 			rec.AddRow(r.Spec.Topo.Label(), r.Spec.Strategy.ShortLabel(), r.Spec.Arrival.Label(),
-				r.Requeued, base, peak, settle, fmt.Sprintf("%.1f", r.EffUtil))
+				r.Requeued, r.GoalsLost, base, peak, settle, settleInj, fmt.Sprintf("%.1f", r.EffUtil))
 		}
 		fmt.Println()
 		rec.Render(os.Stdout)

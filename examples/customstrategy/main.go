@@ -40,10 +40,26 @@ type thresholdNode struct {
 	pe *machine.PE
 }
 
-// PlaceNewGoal keeps the goal unless the local queue is past the
+// HandleEvent implements machine.NodeStrategy — the event-driven API: a
+// node receives a typed event stream and reacts to the kinds it cares
+// about. Threshold keeps a new goal unless the local queue is past the
 // threshold; then it probes K random neighbors for one believed to be
 // below the threshold and pushes the goal there (or to the last probe).
-func (n *thresholdNode) PlaceNewGoal(g *machine.Goal) {
+// Transferred goals are accepted unconditionally (one-hop transfers
+// only, like the Gradient Model's); everything else — control payloads,
+// environment notifications — is ignored. (A strategy written against
+// the pre-event three-method shape still runs via machine.AdaptNode /
+// machine.Adapt.)
+func (n *thresholdNode) HandleEvent(ev machine.Event) {
+	switch ev.Kind {
+	case machine.GoalCreated:
+		n.place(ev.Goal)
+	case machine.GoalArrived:
+		n.pe.Accept(ev.Goal)
+	}
+}
+
+func (n *thresholdNode) place(g *machine.Goal) {
 	if n.pe.Load() <= n.s.T {
 		n.pe.Accept(g)
 		return
@@ -64,13 +80,6 @@ func (n *thresholdNode) PlaceNewGoal(g *machine.Goal) {
 	}
 	n.pe.SendGoal(target, g)
 }
-
-// GoalArrived accepts transferred goals unconditionally (one-hop
-// transfers only, like the Gradient Model's).
-func (n *thresholdNode) GoalArrived(g *machine.Goal, from int) { n.pe.Accept(g) }
-
-// Control implements machine.NodeStrategy; no control traffic is used.
-func (n *thresholdNode) Control(from int, payload any) {}
 
 func main() {
 	topo := topology.NewGrid(10, 10)

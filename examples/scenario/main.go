@@ -1,10 +1,24 @@
-// Example scenario drives three load-distribution strategies through
-// the same scripted disaster: a Poisson job stream on a 10×10 grid
-// loses 25% of its PEs at t=5000 (a compute blackout — queued goals
-// evacuate to the nearest live PE, arriving goals are redirected) and
-// gets them back at t=10000. The comparison the static paper cannot
-// express: which strategy re-distributes fastest when the environment
-// shifts under it.
+// Example scenario drives load-distribution strategies through the
+// same scripted disaster: a Poisson job stream on a 10×10 grid loses
+// 25% of its PEs at t=5000 and gets them back at t=10000. The
+// comparison the static paper cannot express: which strategy
+// re-distributes fastest when the environment shifts under it.
+//
+// Two fault modes and two strategy generations meet here:
+//
+//   - fail: (blackout) — queued goals evacuate to the nearest live PE,
+//     arriving goals are redirected, nothing is lost;
+//   - crash: (state loss) — queued and in-flight goals vanish, every
+//     affected job aborts and retries from its root (GoalsLost /
+//     JobsAborted / JobsRetried accounting);
+//   - sentinel-only strategies react through load words alone, while
+//     the +fa variants subscribe to the machine's PEFailed/PERecovered
+//     events — shedding queue ahead of the evacuation flood and
+//     backfilling recovered PEs immediately.
+//
+// Recovery is reported in both windowed-p99 keyings: completion-time
+// (stragglers echo past the restore) and injection-time ("t2s inj" —
+// what newly arriving jobs saw).
 //
 // Run with: go run ./examples/scenario
 package main
@@ -15,58 +29,90 @@ import (
 
 	"cwnsim/internal/experiments"
 	"cwnsim/internal/report"
+	"cwnsim/internal/scenario"
 )
 
+func run(ss experiments.StrategySpec, script string) *experiments.Result {
+	spec := experiments.RunSpec{
+		Topo:           experiments.Grid(10),
+		Workload:       experiments.Fib(9),
+		Strategy:       ss,
+		Arrival:        experiments.PoissonArrivals(25, 600),
+		Warmup:         1000,
+		SampleInterval: 250,
+		Scenario:       script,
+	}
+	r, err := spec.ExecuteErr()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scenario example:", err)
+		os.Exit(1)
+	}
+	return r
+}
+
+func settleCell(rec *scenario.Recovery) string {
+	if rec.Recovered() {
+		return fmt.Sprintf("%d", rec.TimeToSteady)
+	}
+	return "never"
+}
+
 func main() {
-	const script = "fail:pes=25%@t=5000,recover@t=10000"
+	const blackout = "fail:pes=25%@t=5000,recover@t=10000"
+	const crash = "crash:pes=25%@t=5000,recover@t=10000"
+
 	strategies := []experiments.StrategySpec{
 		experiments.CWN(9, 2),
+		{Kind: "cwn", Radius: 9, Horizon: 2, FailureAware: true},
 		experiments.GM(1, 2, 20),
+		{Kind: "gm", Low: 1, High: 2, Interval: 20, FailureAware: true},
 		{Kind: "worksteal", Interval: 20, Threshold: 2},
+		{Kind: "worksteal", Interval: 20, Threshold: 2, FailureAware: true},
 	}
 
 	fmt.Printf("25%%-PE blackout on grid-10x10, fib(9) jobs, Poisson arrivals (gap 25)\n")
-	fmt.Printf("scenario: %s\n\n", script)
+	fmt.Printf("scenario: %s\n\n", blackout)
 
-	tb := report.NewTable("recovery through the blackout",
-		"strategy", "jobs done", "requeued", "aborts", "baseline p99", "peak p99", "time to steady", "eff util%")
+	tb := report.NewTable("recovery through the blackout (fail: evacuating)",
+		"strategy", "jobs done", "requeued", "baseline p99", "peak p99", "t2s done", "t2s inj", "eff util%")
 	util := report.NewChart("mean ready-queue length over time (blackout t=5000..10000)", "virtual time", "mean queue length")
-	markers := []rune{'c', 'g', 'w'}
+	markers := []rune{'c', 'C', 'g', 'G', 'w', 'W'}
 
 	for i, ss := range strategies {
-		spec := experiments.RunSpec{
-			Topo:           experiments.Grid(10),
-			Workload:       experiments.Fib(9),
-			Strategy:       ss,
-			Arrival:        experiments.PoissonArrivals(25, 600),
-			Warmup:         1000,
-			SampleInterval: 250,
-			Scenario:       script,
-		}
-		r, err := spec.ExecuteErr()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "scenario example:", err)
-			os.Exit(1)
-		}
-		rec := r.Recovery
-		settle := "never"
-		if rec.Recovered() {
-			settle = fmt.Sprintf("%d", rec.TimeToSteady)
-		}
+		r := run(ss, blackout)
 		done := fmt.Sprintf("%d/%d", r.Stats.JobsDone, r.Stats.JobsInjected)
 		if r.Saturated() {
 			done += "*"
 		}
-		tb.AddRow(ss.Label(), done, rec.GoalsRequeued, rec.ServiceAborts,
-			fmt.Sprintf("%.0f", rec.BaselineP99), fmt.Sprintf("%.0f", rec.PeakP99),
-			settle, fmt.Sprintf("%.1f", r.EffUtil))
+		tb.AddRow(ss.Label(), done, r.Requeued,
+			fmt.Sprintf("%.0f", r.Recovery.BaselineP99), fmt.Sprintf("%.0f", r.Recovery.PeakP99),
+			settleCell(r.Recovery), settleCell(r.RecoveryInj), fmt.Sprintf("%.1f", r.EffUtil))
 
 		q := r.Stats.QueueLen
-		q.Label = ss.ShortLabel()
+		q.Label = ss.Label()
 		util.Add(&q, markers[i])
 	}
-
 	tb.Render(os.Stdout)
 	fmt.Println()
 	util.Render(os.Stdout)
+
+	// The same disaster as a crash: state is lost, jobs abort and
+	// retry, and the jobs-lost accounting becomes non-trivial.
+	fmt.Printf("\nsame disaster with state loss\nscenario: %s\n\n", crash)
+	ct := report.NewTable("recovery through the crash (crash: state loss)",
+		"strategy", "jobs done", "lost goals", "aborted", "retried", "peak p99", "t2s done", "t2s inj")
+	for _, ss := range []experiments.StrategySpec{
+		experiments.CWN(9, 2),
+		{Kind: "cwn", Radius: 9, Horizon: 2, FailureAware: true},
+	} {
+		r := run(ss, crash)
+		done := fmt.Sprintf("%d/%d", r.Stats.JobsDone, r.Stats.JobsInjected)
+		if r.Saturated() {
+			done += "*"
+		}
+		ct.AddRow(ss.Label(), done, r.GoalsLost, r.JobsAborted, r.JobsRetried,
+			fmt.Sprintf("%.0f", r.Recovery.PeakP99),
+			settleCell(r.Recovery), settleCell(r.RecoveryInj))
+	}
+	ct.Render(os.Stdout)
 }

@@ -83,9 +83,19 @@ type acwnNode struct {
 	pe *machine.PE
 }
 
-// PlaceNewGoal behaves like CWN unless the neighborhood is saturated, in
+// HandleEvent implements machine.NodeStrategy.
+func (n *acwnNode) HandleEvent(ev machine.Event) {
+	switch ev.Kind {
+	case machine.GoalCreated:
+		n.place(ev.Goal)
+	case machine.GoalArrived:
+		n.arrived(ev.Goal)
+	}
+}
+
+// place behaves like CWN unless the neighborhood is saturated, in
 // which case the goal stays local and the contraction traffic is saved.
-func (n *acwnNode) PlaceNewGoal(g *machine.Goal) {
+func (n *acwnNode) place(g *machine.Goal) {
 	nbr, least := n.pe.LeastLoadedNeighbor()
 	if nbr < 0 {
 		n.pe.Accept(g)
@@ -98,8 +108,8 @@ func (n *acwnNode) PlaceNewGoal(g *machine.Goal) {
 	n.pe.SendGoal(nbr, g)
 }
 
-// GoalArrived is CWN's contraction walk, unchanged.
-func (n *acwnNode) GoalArrived(g *machine.Goal, from int) {
+// arrived is CWN's contraction walk, unchanged.
+func (n *acwnNode) arrived(g *machine.Goal) {
 	if g.Hops >= n.s.Radius {
 		n.pe.Accept(g)
 		return
@@ -142,6 +152,3 @@ func (n *acwnNode) tick() {
 		n.pe.SendGoal(target, g)
 	}
 }
-
-// Control implements machine.NodeStrategy; ACWN uses no control traffic.
-func (n *acwnNode) Control(from int, payload any) {}

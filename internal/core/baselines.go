@@ -26,9 +26,12 @@ func (s *Local) NewNode(pe *machine.PE) machine.NodeStrategy { return localNode{
 
 type localNode struct{ pe *machine.PE }
 
-func (n localNode) PlaceNewGoal(g *machine.Goal)          { n.pe.Accept(g) }
-func (n localNode) GoalArrived(g *machine.Goal, from int) { n.pe.Accept(g) }
-func (n localNode) Control(from int, payload any)         {}
+func (n localNode) HandleEvent(ev machine.Event) {
+	switch ev.Kind {
+	case machine.GoalCreated, machine.GoalArrived:
+		n.pe.Accept(ev.Goal)
+	}
+}
 
 // RandomWalk places each new goal at the end of a fixed-length uniform
 // random walk, ignoring load entirely. It isolates how much of CWN's
@@ -73,17 +76,18 @@ func (n *randomWalkNode) hop(g *machine.Goal) {
 	n.pe.SendGoal(to, g)
 }
 
-func (n *randomWalkNode) PlaceNewGoal(g *machine.Goal) { n.hop(g) }
-
-func (n *randomWalkNode) GoalArrived(g *machine.Goal, from int) {
-	if g.Hops >= n.s.Steps {
-		n.pe.Accept(g)
-		return
+func (n *randomWalkNode) HandleEvent(ev machine.Event) {
+	switch ev.Kind {
+	case machine.GoalCreated:
+		n.hop(ev.Goal)
+	case machine.GoalArrived:
+		if ev.Goal.Hops >= n.s.Steps {
+			n.pe.Accept(ev.Goal)
+			return
+		}
+		n.hop(ev.Goal)
 	}
-	n.hop(g)
 }
-
-func (n *randomWalkNode) Control(from int, payload any) {}
 
 // RoundRobin scatters each PE's new goals over its neighbors in strict
 // rotation, one hop, load-blind: the cheapest conceivable sender-
@@ -109,16 +113,18 @@ type roundRobinNode struct {
 	next int
 }
 
-func (n *roundRobinNode) PlaceNewGoal(g *machine.Goal) {
-	nbrs := n.pe.Neighbors()
-	if len(nbrs) == 0 {
-		n.pe.Accept(g)
-		return
+func (n *roundRobinNode) HandleEvent(ev machine.Event) {
+	switch ev.Kind {
+	case machine.GoalCreated:
+		nbrs := n.pe.Neighbors()
+		if len(nbrs) == 0 {
+			n.pe.Accept(ev.Goal)
+			return
+		}
+		to := nbrs[n.next%len(nbrs)]
+		n.next++
+		n.pe.SendGoal(to, ev.Goal)
+	case machine.GoalArrived:
+		n.pe.Accept(ev.Goal)
 	}
-	to := nbrs[n.next%len(nbrs)]
-	n.next++
-	n.pe.SendGoal(to, g)
 }
-
-func (n *roundRobinNode) GoalArrived(g *machine.Goal, from int) { n.pe.Accept(g) }
-func (n *roundRobinNode) Control(from int, payload any)         {}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"cwnsim/internal/machine"
+	"cwnsim/internal/sim"
+	"cwnsim/internal/topology"
+	"cwnsim/internal/workload"
+)
+
+// viaClassic forces a strategy's nodes through the full compat round
+// trip: the event-driven node is exposed in the classic three-method
+// shape (machine.ClassicView) and re-adapted back into the event API
+// (machine.AdaptNode) — the path a strategy written against the old
+// interface takes, in both directions at once.
+type viaClassic struct{ machine.Strategy }
+
+func (v viaClassic) NewNode(pe *machine.PE) machine.NodeStrategy {
+	return machine.AdaptNode(machine.ClassicView(v.Strategy.NewNode(pe)))
+}
+
+// compatFingerprint captures everything a divergence would disturb.
+type compatFingerprint struct {
+	makespan  sim.Time
+	events    uint64
+	result    int64
+	totalBusy sim.Time
+	goalMsgs  int64
+	ctrlMsgs  int64
+	jobsDone  int64
+	sojMean   float64
+}
+
+func compatFP(st *machine.Stats) compatFingerprint {
+	return compatFingerprint{
+		makespan:  st.Makespan,
+		events:    st.Events,
+		result:    st.Result,
+		totalBusy: st.TotalBusy,
+		goalMsgs:  st.MsgCounts[machine.MsgGoal],
+		ctrlMsgs:  st.MsgCounts[machine.MsgControl],
+		jobsDone:  st.JobsDone,
+		sojMean:   st.Sojourn.Mean(),
+	}
+}
+
+// TestClassicAdapterBitForBit pins the compat guarantee alongside the
+// empty-scenario regression: every shipped strategy produces bit-for-
+// bit identical results when its nodes are driven through the
+// old-shaped entry points, on both the closed single-tree run and an
+// open Poisson stream. (Environment events do not survive the classic
+// shape, so the scenario here is empty — exactly the regime the old
+// interface covered.)
+func TestClassicAdapterBitForBit(t *testing.T) {
+	strategies := []func() machine.Strategy{
+		func() machine.Strategy { return NewCWN(9, 2) },
+		func() machine.Strategy { return NewGradient(1, 2, 20) },
+		func() machine.Strategy { return NewACWN(9, 2, 3, 40) },
+		func() machine.Strategy { return NewWorkSteal(20, 2) },
+		func() machine.Strategy { return NewDiffusion(20) },
+		func() machine.Strategy { return NewLocal() },
+		func() machine.Strategy { return NewRandomWalk(3) },
+		func() machine.Strategy { return NewRoundRobin() },
+		func() machine.Strategy { return NewIdeal() },
+	}
+	topo := topology.NewGrid(4, 4)
+	tree := workload.NewFib(10)
+	for _, mk := range strategies {
+		name := mk().Name()
+		closed := func(s machine.Strategy) compatFingerprint {
+			return compatFP(machine.New(topo, tree, s, machine.DefaultConfig()).Run())
+		}
+		open := func(s machine.Strategy) compatFingerprint {
+			src := machine.NewPoisson(workload.NewFib(7), 80, 40)
+			return compatFP(machine.NewStream(topo, src, s, machine.DefaultConfig()).Run())
+		}
+		if native, adapted := closed(mk()), closed(viaClassic{mk()}); native != adapted {
+			t.Errorf("%s closed run diverged through the classic shape:\n native %+v\nadapted %+v", name, native, adapted)
+		}
+		if native, adapted := open(mk()), open(viaClassic{mk()}); native != adapted {
+			t.Errorf("%s open run diverged through the classic shape:\n native %+v\nadapted %+v", name, native, adapted)
+		}
+	}
+}

@@ -288,7 +288,7 @@ func TestGradientIgnoresForeignControl(t *testing.T) {
 	if !ok {
 		t.Fatal("node is not a gmNode")
 	}
-	n.Control(1, "garbage") // must not panic
+	n.HandleEvent(machine.Event{Kind: machine.Control, From: 1, Payload: "garbage"}) // must not panic
 	st := m.Run()
 	if !st.Completed {
 		t.Fatal("incomplete")

@@ -30,7 +30,20 @@ type CWN struct {
 	// accepting on ties, so the default is the non-strict test; set
 	// StrictMinimum for the literal reading. See EXPERIMENTS.md.
 	StrictMinimum bool
+	// FailureAware opts the nodes into PEFailed/PERecovered events
+	// (machine.FailureAware): on a neighbor's failure a node sheds part
+	// of its queue to its least-loaded live neighbor before the
+	// evacuation flood lands, and on a neighbor's recovery it backfills
+	// the empty PE with queued goals immediately — instead of waiting
+	// for new goals to contract there. Off (sentinel-only, the PR 3
+	// behaviour) by default.
+	FailureAware bool
 }
+
+// shedBatch caps how many queued goals one availability event may move:
+// enough to matter (a recovered PE gets real work at once), small
+// enough that one event cannot stampede a queue onto a single neighbor.
+const shedBatch = 8
 
 // NewCWN returns a CWN strategy. The paper's tuned parameters are
 // radius 9 / horizon 2 on grids and radius 5 / horizon 1 on
@@ -46,7 +59,12 @@ func NewCWN(radius, horizon int) *CWN {
 }
 
 // Name implements machine.Strategy.
-func (s *CWN) Name() string { return fmt.Sprintf("CWN(r=%d,h=%d)", s.Radius, s.Horizon) }
+func (s *CWN) Name() string {
+	if s.FailureAware {
+		return fmt.Sprintf("CWN+fa(r=%d,h=%d)", s.Radius, s.Horizon)
+	}
+	return fmt.Sprintf("CWN(r=%d,h=%d)", s.Radius, s.Horizon)
+}
 
 // Setup implements machine.Strategy.
 func (s *CWN) Setup(m *machine.Machine) {}
@@ -61,11 +79,35 @@ type cwnNode struct {
 	pe *machine.PE
 }
 
-// PlaceNewGoal contracts every new goal out to the least-loaded
-// neighbor ("this scheme sends every subgoal out to another PE as soon
-// as it is created"). On a machine with a single PE it degenerates to
-// local execution.
-func (n *cwnNode) PlaceNewGoal(g *machine.Goal) {
+// WantsFailureEvents implements machine.FailureAware, gated on the
+// strategy flag so sentinel-only and failure-aware CWN compare head to
+// head through identical machinery.
+func (n *cwnNode) WantsFailureEvents() bool { return n.s.FailureAware }
+
+// HandleEvent implements machine.NodeStrategy.
+func (n *cwnNode) HandleEvent(ev machine.Event) {
+	switch ev.Kind {
+	case machine.GoalCreated:
+		n.place(ev.Goal)
+	case machine.GoalArrived:
+		n.arrived(ev.Goal)
+	case machine.PEFailed:
+		// A neighbor died: its evacuees are about to land here. Make
+		// room by spreading part of the standing queue one hop down the
+		// load gradient now, not after the flood has serialized.
+		n.shed(n.pe.QueuedGoals() / 2)
+	case machine.PERecovered:
+		// The neighbor came back empty. Backfill it immediately — new
+		// goals alone would take a full contraction cycle to find it.
+		n.backfill(ev.From)
+	}
+}
+
+// place contracts every new goal out to the least-loaded neighbor
+// ("this scheme sends every subgoal out to another PE as soon as it is
+// created"). On a machine with a single PE it degenerates to local
+// execution.
+func (n *cwnNode) place(g *machine.Goal) {
 	nbr, _ := n.pe.LeastLoadedNeighbor()
 	if nbr < 0 {
 		n.pe.Accept(g)
@@ -74,12 +116,12 @@ func (n *cwnNode) PlaceNewGoal(g *machine.Goal) {
 	n.pe.SendGoal(nbr, g)
 }
 
-// GoalArrived implements the contraction walk: keep when the radius is
+// arrived implements the contraction walk: keep when the radius is
 // exhausted; keep when this PE is a known local load minimum and the
 // goal has looked over the horizon; otherwise forward down the steepest
 // load gradient (possibly straight back where it came from — the walk
 // distance, not the displacement, is what Radius bounds).
-func (n *cwnNode) GoalArrived(g *machine.Goal, from int) {
+func (n *cwnNode) arrived(g *machine.Goal) {
 	if g.Hops >= n.s.Radius {
 		n.pe.Accept(g)
 		return
@@ -96,6 +138,42 @@ func (n *cwnNode) GoalArrived(g *machine.Goal, from int) {
 	n.pe.SendGoal(nbr, g)
 }
 
+// shed re-exports up to max (capped at shedBatch) queued goals to the
+// least-loaded known neighbor, skipping the move when no neighbor looks
+// lighter than this PE.
+func (n *cwnNode) shed(max int) {
+	if max > shedBatch {
+		max = shedBatch
+	}
+	for i := 0; i < max; i++ {
+		nbr, load := n.pe.LeastLoadedNeighbor()
+		if nbr < 0 || load >= n.pe.Load() {
+			return
+		}
+		g := n.pe.TakeNewestQueuedGoal()
+		if g == nil {
+			return
+		}
+		n.pe.SendGoal(nbr, g)
+	}
+}
+
+// backfill pushes up to half this PE's queued goals (capped at
+// shedBatch) to the just-recovered neighbor.
+func (n *cwnNode) backfill(to int) {
+	max := n.pe.QueuedGoals() / 2
+	if max > shedBatch {
+		max = shedBatch
+	}
+	for i := 0; i < max; i++ {
+		g := n.pe.TakeNewestQueuedGoal()
+		if g == nil {
+			return
+		}
+		n.pe.SendGoal(to, g)
+	}
+}
+
 // isLocalMinimum reports whether pe's own load makes it a local load
 // minimum among its known neighbor loads.
 func isLocalMinimum(pe *machine.PE, strict bool) bool {
@@ -104,7 +182,3 @@ func isLocalMinimum(pe *machine.PE, strict bool) bool {
 	}
 	return pe.Load() <= pe.MinNeighborLoad()
 }
-
-// Control implements machine.NodeStrategy; CWN uses no control traffic
-// beyond the machine's load words.
-func (n *cwnNode) Control(from int, payload any) {}

@@ -57,15 +57,15 @@ type diffusionNode struct {
 	pe *machine.PE
 }
 
-// PlaceNewGoal keeps new goals local, like GM.
-func (n *diffusionNode) PlaceNewGoal(g *machine.Goal) { n.pe.Accept(g) }
-
-// GoalArrived enqueues unconditionally.
-func (n *diffusionNode) GoalArrived(g *machine.Goal, from int) { n.pe.Accept(g) }
-
-// Control implements machine.NodeStrategy; diffusion needs no control
-// traffic beyond the machine's load words.
-func (n *diffusionNode) Control(from int, payload any) {}
+// HandleEvent implements machine.NodeStrategy: new goals stay local
+// (like GM) and arrivals enqueue unconditionally; diffusion needs no
+// control traffic beyond the machine's load words.
+func (n *diffusionNode) HandleEvent(ev machine.Event) {
+	switch ev.Kind {
+	case machine.GoalCreated, machine.GoalArrived:
+		n.pe.Accept(ev.Goal)
+	}
+}
 
 // tick equalizes with every lighter neighbor.
 func (n *diffusionNode) tick() {

@@ -36,6 +36,14 @@ type Gradient struct {
 	// reading under which GM approaches the near-full utilization the
 	// paper's plots show, so it is the default. See EXPERIMENTS.md.
 	ExportNewest bool
+	// FailureAware opts the nodes into PEFailed/PERecovered events —
+	// the recovery path plain GM lacks entirely: a failed neighbor's
+	// proximity is pinned unreachable at once (no work drifts toward a
+	// dead region on stale gradient data), and a recovered neighbor is
+	// treated as the idle PE it is — proximity zero, plus an immediate
+	// batch export instead of the one-goal-per-wakeup trickle that left
+	// PR 3's blackout backlogs standing forever. Off by default.
+	FailureAware bool
 }
 
 // NewGradient returns a Gradient Model strategy with the paper's
@@ -52,6 +60,9 @@ func NewGradient(lowWater, highWater int, interval sim.Time) *Gradient {
 
 // Name implements machine.Strategy.
 func (s *Gradient) Name() string {
+	if s.FailureAware {
+		return fmt.Sprintf("GM+fa(l=%d,h=%d,i=%d)", s.LowWater, s.HighWater, s.Interval)
+	}
 	return fmt.Sprintf("GM(l=%d,h=%d,i=%d)", s.LowWater, s.HighWater, s.Interval)
 }
 
@@ -135,13 +146,7 @@ func (n *gmNode) tick() {
 	if target < 0 {
 		return
 	}
-	var g *machine.Goal
-	if n.s.ExportNewest {
-		g = n.pe.TakeNewestQueuedGoal()
-	} else {
-		g = n.pe.TakeOldestQueuedGoal()
-	}
-	if g != nil {
+	if g := n.takeExport(); g != nil {
 		n.pe.SendGoal(target, g)
 	}
 }
@@ -186,24 +191,63 @@ func (n *gmNode) leastProxNeighbor() int {
 	return choice
 }
 
-// PlaceNewGoal keeps new work local: "the Gradient Model keeps the newly
-// created tasks on the source PE, and distributes them when required".
-func (n *gmNode) PlaceNewGoal(g *machine.Goal) { n.pe.Accept(g) }
+// WantsFailureEvents implements machine.FailureAware, gated on the
+// strategy flag.
+func (n *gmNode) WantsFailureEvents() bool { return n.s.FailureAware }
 
-// GoalArrived enqueues unconditionally: "Any PE that receives a goal
-// message from its neighbor just adds it to its queue."
-func (n *gmNode) GoalArrived(g *machine.Goal, from int) { n.pe.Accept(g) }
-
-// Control records a neighbor's proximity broadcast. The new value is
-// acted on at the next gradient-process wakeup, as in the paper.
-func (n *gmNode) Control(from int, payload any) {
-	p, ok := payload.(proxUpdate)
-	if !ok {
-		return
+// HandleEvent implements machine.NodeStrategy. New goals stay local
+// ("the Gradient Model keeps the newly created tasks on the source PE,
+// and distributes them when required") and arrivals enqueue
+// unconditionally ("Any PE that receives a goal message from its
+// neighbor just adds it to its queue"). A Control payload records the
+// neighbor's proximity broadcast, acted on at the next gradient-process
+// wakeup, as in the paper. Availability events fire only in
+// failure-aware mode.
+func (n *gmNode) HandleEvent(ev machine.Event) {
+	switch ev.Kind {
+	case machine.GoalCreated, machine.GoalArrived:
+		n.pe.Accept(ev.Goal)
+	case machine.Control:
+		p, ok := ev.Payload.(proxUpdate)
+		if !ok {
+			return
+		}
+		n.setNbrProx(ev.From, int32(p))
+	case machine.PEFailed:
+		// A dead neighbor consumes nothing: pin its proximity at the
+		// clamp so the gradient stops pointing into the dead region the
+		// instant the sentinel lands, not a wakeup later.
+		n.setNbrProx(ev.From, n.maxProx)
+	case machine.PERecovered:
+		// The recovered neighbor is an empty, idle PE — proximity zero
+		// by definition. Export a batch now: the periodic process's one
+		// goal per wakeup cannot drain a blackout backlog.
+		n.setNbrProx(ev.From, 0)
+		if n.s.classify(n.pe.Load()) == stateAbundant {
+			for i := 0; i < shedBatch && n.pe.QueuedGoals() > 1; i++ {
+				g := n.takeExport()
+				if g == nil {
+					return
+				}
+				n.pe.SendGoal(ev.From, g)
+			}
+		}
 	}
+}
+
+// takeExport pulls the next goal to export under the configured policy.
+func (n *gmNode) takeExport() *machine.Goal {
+	if n.s.ExportNewest {
+		return n.pe.TakeNewestQueuedGoal()
+	}
+	return n.pe.TakeOldestQueuedGoal()
+}
+
+// setNbrProx updates the recorded proximity of neighbor `from`.
+func (n *gmNode) setNbrProx(from int, p int32) {
 	for i, nb := range n.pe.Neighbors() {
 		if nb == from {
-			n.nbrProx[i] = int32(p)
+			n.nbrProx[i] = p
 			return
 		}
 	}

@@ -37,25 +37,26 @@ type idealNode struct {
 	pe *machine.PE
 }
 
-// PlaceNewGoal inspects every PE's true load (the omniscient oracle)
-// and routes the goal straight to the global minimum, preferring nearer
-// PEs among equals to limit communication.
-func (n *idealNode) PlaceNewGoal(g *machine.Goal) {
-	m := n.pe.Machine()
-	self := n.pe.ID()
-	best, bestLoad, bestDist := self, n.pe.Load(), 0
-	for i := 0; i < m.NumPEs(); i++ {
-		load := m.PE(i).Load()
-		d := m.Topology().Dist(self, i)
-		if load < bestLoad || (load == bestLoad && d < bestDist) {
-			best, bestLoad, bestDist = i, load, d
+// HandleEvent implements machine.NodeStrategy: a new goal is routed by
+// inspecting every PE's true load (the omniscient oracle) straight to
+// the global minimum, preferring nearer PEs among equals to limit
+// communication; an arriving goal is accepted — its placement was
+// already final.
+func (n *idealNode) HandleEvent(ev machine.Event) {
+	switch ev.Kind {
+	case machine.GoalCreated:
+		m := n.pe.Machine()
+		self := n.pe.ID()
+		best, bestLoad, bestDist := self, n.pe.Load(), 0
+		for i := 0; i < m.NumPEs(); i++ {
+			load := m.PE(i).Load()
+			d := m.Topology().Dist(self, i)
+			if load < bestLoad || (load == bestLoad && d < bestDist) {
+				best, bestLoad, bestDist = i, load, d
+			}
 		}
+		n.pe.RouteGoal(best, ev.Goal)
+	case machine.GoalArrived:
+		n.pe.Accept(ev.Goal)
 	}
-	n.pe.RouteGoal(best, g)
 }
-
-// GoalArrived accepts: the placement decision was already final.
-func (n *idealNode) GoalArrived(g *machine.Goal, from int) { n.pe.Accept(g) }
-
-// Control implements machine.NodeStrategy; no control traffic.
-func (n *idealNode) Control(from int, payload any) {}

@@ -18,6 +18,12 @@ type WorkSteal struct {
 	Interval sim.Time
 	// Threshold: steal attempts start when load < Threshold.
 	Threshold int
+	// FailureAware opts the nodes into PEFailed/PERecovered events: a
+	// thief whose outstanding request targeted the failed PE cancels it
+	// and re-steers to a live victim immediately instead of waiting for
+	// the dead co-processor's refusal and the next tick. Off by
+	// default.
+	FailureAware bool
 }
 
 // NewWorkSteal returns a work-stealing strategy.
@@ -33,6 +39,9 @@ func NewWorkSteal(interval sim.Time, threshold int) *WorkSteal {
 
 // Name implements machine.Strategy.
 func (s *WorkSteal) Name() string {
+	if s.FailureAware {
+		return fmt.Sprintf("WorkSteal+fa(i=%d,t=%d)", s.Interval, s.Threshold)
+	}
 	return fmt.Sprintf("WorkSteal(i=%d,t=%d)", s.Interval, s.Threshold)
 }
 
@@ -56,15 +65,35 @@ type stealNode struct {
 	s           *WorkSteal
 	pe          *machine.PE
 	outstanding bool // at most one steal request in flight
+	victim      int  // who the outstanding request targets (valid while outstanding)
 }
 
-// PlaceNewGoal keeps work local; distribution is pull-based.
-func (n *stealNode) PlaceNewGoal(g *machine.Goal) { n.pe.Accept(g) }
+// WantsFailureEvents implements machine.FailureAware, gated on the
+// strategy flag.
+func (n *stealNode) WantsFailureEvents() bool { return n.s.FailureAware }
 
-// GoalArrived accepts donated work and re-arms the thief.
-func (n *stealNode) GoalArrived(g *machine.Goal, from int) {
-	n.outstanding = false
-	n.pe.Accept(g)
+// HandleEvent implements machine.NodeStrategy. New goals stay local
+// (distribution is pull-based); an arriving goal is donated work, which
+// re-arms the thief.
+func (n *stealNode) HandleEvent(ev machine.Event) {
+	switch ev.Kind {
+	case machine.GoalCreated:
+		n.pe.Accept(ev.Goal)
+	case machine.GoalArrived:
+		n.outstanding = false
+		n.pe.Accept(ev.Goal)
+	case machine.Control:
+		n.control(ev.From, ev.Payload)
+	case machine.PEFailed:
+		// An outstanding request to the failed PE can only yield a
+		// refusal (its queue was lost or evacuated): cancel it and
+		// re-steer to a live victim now, not a round-trip-plus-tick
+		// later.
+		if n.outstanding && n.victim == ev.From {
+			n.outstanding = false
+			n.tick()
+		}
+	}
 }
 
 func (n *stealNode) tick() {
@@ -76,6 +105,7 @@ func (n *stealNode) tick() {
 		return
 	}
 	n.outstanding = true
+	n.victim = victim
 	n.pe.SendControl(victim, stealRequest{})
 }
 
@@ -106,7 +136,7 @@ func (n *stealNode) pickVictim() int {
 	return choice
 }
 
-func (n *stealNode) Control(from int, payload any) {
+func (n *stealNode) control(from int, payload any) {
 	switch payload.(type) {
 	case stealRequest:
 		if g := n.pe.TakeNewestQueuedGoal(); g != nil {
@@ -115,6 +145,11 @@ func (n *stealNode) Control(from int, payload any) {
 		}
 		n.pe.SendControl(from, stealNack{})
 	case stealNack:
-		n.outstanding = false
+		// Only the current victim's refusal re-arms the thief: a stale
+		// nack from a victim already abandoned on its failure (the
+		// failure-aware re-steer) must not cancel the live request.
+		if n.outstanding && from == n.victim {
+			n.outstanding = false
+		}
 	}
 }

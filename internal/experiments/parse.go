@@ -219,8 +219,30 @@ func ParseArrival(s string) (ArrivalSpec, error) {
 //
 //	cwn:RADIUS:HORIZON | gm:LOW:HIGH:INTERVAL | acwn:RADIUS:HORIZON:SAT:INTERVAL |
 //	local | randomwalk:STEPS | roundrobin | worksteal:INTERVAL:THRESHOLD
+//
+// A "+fa" suffix on the kind (cwn+fa, gm+fa, worksteal+fa) selects the
+// failure-aware variant: the strategy's nodes subscribe to the
+// machine's PEFailed/PERecovered environment events.
 func ParseStrategy(s string) (StrategySpec, error) {
 	parts := strings.Split(s, ":")
+	kind, fa := strings.CutSuffix(parts[0], "+fa")
+	if fa {
+		switch kind {
+		case "cwn", "gm", "worksteal":
+			parts[0] = kind
+		default:
+			return StrategySpec{}, fmt.Errorf("strategy %q has no failure-aware variant", kind)
+		}
+	}
+	spec, err := parseStrategyBase(parts, s)
+	if err != nil {
+		return StrategySpec{}, err
+	}
+	spec.FailureAware = fa
+	return spec, nil
+}
+
+func parseStrategyBase(parts []string, s string) (StrategySpec, error) {
 	nums := make([]int, 0, len(parts)-1)
 	for _, p := range parts[1:] {
 		v, err := strconv.Atoi(p)

@@ -110,11 +110,21 @@ type Result struct {
 
 	// Scenario metrics (zero / nil on static runs). EffUtil is busy
 	// time over the capacity that actually existed (blackout time
-	// excluded); Recovery is the tail-latency recovery report, present
-	// when the run sampled (SampleInterval > 0).
-	Requeued int64
-	EffUtil  float64
-	Recovery *scenario.Recovery
+	// excluded). Recovery is the tail-latency recovery report keyed by
+	// job COMPLETION time and RecoveryInj its companion keyed by job
+	// INJECTION time (what newly arriving jobs saw); both present when
+	// the run sampled (SampleInterval > 0).
+	Requeued    int64
+	EffUtil     float64
+	Recovery    *scenario.Recovery
+	RecoveryInj *scenario.Recovery
+
+	// Crash (state-loss) metrics, zero under blackout-only scripts:
+	// goals destroyed or discarded by crashes, job attempts aborted,
+	// and root re-injections performed.
+	GoalsLost   int64
+	JobsAborted int64
+	JobsRetried int64
 }
 
 // OfBound returns the measured speedup as a fraction of the workload's
@@ -138,7 +148,15 @@ func (r *Result) Saturated() bool { return !r.Stats.Completed }
 // configuration panics (unknown registry kinds, bad arrival parameters,
 // invalid warm-up) are converted to errors, so a bad spec fails its own
 // run rather than crashing a whole sweep.
-func (rs RunSpec) ExecuteErr() (res *Result, err error) {
+func (rs RunSpec) ExecuteErr() (*Result, error) { return rs.ExecuteWithPool(nil) }
+
+// ExecuteWithPool is ExecuteErr lending the machine a shared object
+// pool (machine.Config.Pool), so sequential runs on one goroutine reuse
+// each other's wire messages, goals, pending tasks and job states
+// instead of re-allocating the working set per run. Results are
+// bit-for-bit identical to unpooled execution (pinned by regression
+// test); pass nil for no pooling.
+func (rs RunSpec) ExecuteWithPool(pool *machine.Pool) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			// Name() rebuilds the strategy and would re-panic on an
@@ -151,8 +169,10 @@ func (rs RunSpec) ExecuteErr() (res *Result, err error) {
 	tree := rs.Workload.Build()
 	strat := rs.Strategy.Build()
 	cfg := rs.Config()
+	cfg.Pool = pool
 	start := time.Now()
-	st := machine.NewStream(topo, rs.Arrival.Build(tree), strat, cfg).Run()
+	m := machine.NewStream(topo, rs.Arrival.Build(tree), strat, cfg)
+	st := m.Run()
 	if !st.Completed && rs.Arrival.IsSingle() {
 		return nil, fmt.Errorf("experiments: run %q aborted at MaxTime=%d — a goal was lost or the machine is misconfigured", rs.Name(), cfg.MaxTime)
 	}
@@ -170,29 +190,40 @@ func (rs RunSpec) ExecuteErr() (res *Result, err error) {
 		}
 	}
 	res = &Result{
-		Spec:       rs,
-		Stats:      st,
-		Goals:      st.Goals,
-		Util:       st.UtilizationPercent(),
-		Speedup:    st.Speedup(),
-		Bound:      bound,
-		Balance:    st.BalanceIndex(),
-		AvgHops:    st.AvgGoalHops(),
-		Makespan:   st.Makespan,
-		Wall:       time.Since(start),
-		Jobs:       st.JobsDone,
-		MeanSoj:    st.MeanSojourn(),
-		P50Soj:     st.SojournP50(),
-		P99Soj:     st.SojournP99(),
-		Throughput: st.Throughput(),
-		SteadyTput: st.SteadyThroughput(),
-		Requeued:   st.GoalsRequeued,
-		EffUtil:    100 * st.EffectiveUtilization(),
+		Spec:        rs,
+		Stats:       st,
+		Goals:       st.Goals,
+		Util:        st.UtilizationPercent(),
+		Speedup:     st.Speedup(),
+		Bound:       bound,
+		Balance:     st.BalanceIndex(),
+		AvgHops:     st.AvgGoalHops(),
+		Makespan:    st.Makespan,
+		Wall:        time.Since(start),
+		Jobs:        st.JobsDone,
+		MeanSoj:     st.MeanSojourn(),
+		P50Soj:      st.SojournP50(),
+		P99Soj:      st.SojournP99(),
+		Throughput:  st.Throughput(),
+		SteadyTput:  st.SteadyThroughput(),
+		Requeued:    st.GoalsRequeued,
+		EffUtil:     100 * st.EffectiveUtilization(),
+		GoalsLost:   st.GoalsLost,
+		JobsAborted: st.JobsAborted,
+		JobsRetried: st.JobsRetried,
 	}
 	if !cfg.Scenario.Empty() && cfg.SampleInterval > 0 {
-		rec := scenario.AnalyzeRecovery(cfg.Scenario, st.SojournWindows,
+		// Recovery reads disruption/restore times from the machine's
+		// EXPANDED script — chaos generators resolved — in both
+		// keyings: completion-time windows (stragglers echo past the
+		// restore) and injection-time windows (what new arrivals saw).
+		script := m.ScenarioScript()
+		rec := scenario.AnalyzeRecovery(script, st.SojournWindows,
 			st.GoalsRequeued, st.ServiceAborts, scenario.AnalyzeConfig{})
 		res.Recovery = &rec
+		recInj := scenario.AnalyzeRecovery(script, st.InjSojournWindows,
+			st.GoalsRequeued, st.ServiceAborts, scenario.AnalyzeConfig{})
+		res.RecoveryInj = &recInj
 	}
 	return res, nil
 }
@@ -209,9 +240,11 @@ func (rs RunSpec) Execute() *Result {
 // RunAll executes specs concurrently on up to workers goroutines
 // (workers <= 0 selects GOMAXPROCS) and returns results in spec order.
 // Each simulation is single-threaded and independent; parallelism across
-// runs is free determinism-wise. A failing run leaves a nil slot in the
-// results and contributes to the joined error, so one bad spec no
-// longer crashes a whole sweep.
+// runs is free determinism-wise, and each worker reuses one
+// machine.Pool across the runs it executes, so replicated sweeps pay
+// the object-allocation warm-up once per worker instead of once per
+// run. A failing run leaves a nil slot in the results and contributes
+// to the joined error, so one bad spec no longer crashes a whole sweep.
 func RunAll(specs []RunSpec, workers int) ([]*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -227,8 +260,9 @@ func RunAll(specs []RunSpec, workers int) ([]*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			pool := &machine.Pool{}
 			for i := range next {
-				results[i], errs[i] = specs[i].ExecuteErr()
+				results[i], errs[i] = specs[i].ExecuteWithPool(pool)
 			}
 		}()
 	}

@@ -195,6 +195,11 @@ type StrategySpec struct {
 	ExportNewest  bool   `json:"exportNewest,omitempty"` // GM newest-goal export policy
 	Steps         int    `json:"steps,omitempty"`
 	Threshold     int    `json:"threshold,omitempty"`
+	// FailureAware opts cwn/gm/worksteal nodes into the environment
+	// event stream (PEFailed/PERecovered): immediate re-steering and
+	// backfill on availability changes instead of sentinel-only
+	// reaction. Ignored by strategies without a failure-aware mode.
+	FailureAware bool `json:"failureAware,omitempty"`
 }
 
 // CWN returns a CWN strategy spec.
@@ -221,12 +226,14 @@ func init() {
 	RegisterStrategy("cwn", func(ss StrategySpec) machine.Strategy {
 		c := core.NewCWN(ss.Radius, ss.Horizon)
 		c.StrictMinimum = ss.Strict
+		c.FailureAware = ss.FailureAware
 		return c
 	})
 	RegisterStrategy("gm", func(ss StrategySpec) machine.Strategy {
 		g := core.NewGradient(ss.Low, ss.High, sim.Time(ss.Interval))
 		g.RequireTarget = ss.RequireTarget
 		g.ExportNewest = ss.ExportNewest
+		g.FailureAware = ss.FailureAware
 		return g
 	})
 	RegisterStrategy("acwn", func(ss StrategySpec) machine.Strategy {
@@ -239,7 +246,9 @@ func init() {
 	RegisterStrategy("randomwalk", func(ss StrategySpec) machine.Strategy { return core.NewRandomWalk(ss.Steps) })
 	RegisterStrategy("roundrobin", func(StrategySpec) machine.Strategy { return core.NewRoundRobin() })
 	RegisterStrategy("worksteal", func(ss StrategySpec) machine.Strategy {
-		return core.NewWorkSteal(sim.Time(ss.Interval), ss.Threshold)
+		w := core.NewWorkSteal(sim.Time(ss.Interval), ss.Threshold)
+		w.FailureAware = ss.FailureAware
+		return w
 	})
 	RegisterStrategy("diffusion", func(ss StrategySpec) machine.Strategy { return core.NewDiffusion(sim.Time(ss.Interval)) })
 	RegisterStrategy("ideal", func(StrategySpec) machine.Strategy { return core.NewIdeal() })

@@ -129,9 +129,11 @@ func TestStreamSpecExecutes(t *testing.T) {
 // droppingStrategy loses every spawned goal, stalling the machine.
 type droppingStrategy struct{}
 
-func (droppingStrategy) Name() string                             { return "dropper" }
-func (droppingStrategy) Setup(*machine.Machine)                   {}
-func (droppingStrategy) NewNode(*machine.PE) machine.NodeStrategy { return dropperNode{} }
+func (droppingStrategy) Name() string           { return "dropper" }
+func (droppingStrategy) Setup(*machine.Machine) {}
+func (droppingStrategy) NewNode(*machine.PE) machine.NodeStrategy {
+	return machine.AdaptNode(dropperNode{})
+}
 
 type dropperNode struct{}
 
@@ -211,7 +213,9 @@ func (s stubStrategy) Setup(*machine.Machine) {
 		panic("stub: bad interval")
 	}
 }
-func (s stubStrategy) NewNode(pe *machine.PE) machine.NodeStrategy { return stubNode{pe} }
+func (s stubStrategy) NewNode(pe *machine.PE) machine.NodeStrategy {
+	return machine.AdaptNode(stubNode{pe})
+}
 
 type stubNode struct{ pe *machine.PE }
 

@@ -92,7 +92,21 @@ const (
 	wireLoadBcast
 	// wireCtrlBcast is a control broadcast transaction on one channel.
 	wireCtrlBcast
+	// wireEnvBcast is a failed/recovered PE's immediate load broadcast
+	// carrying the availability notification: receivers record the load
+	// word as usual and FailureAware nodes additionally get the
+	// PEFailed/PERecovered event. Counted and charged exactly like the
+	// load word it replaces, so sentinel-only strategies see bit-for-bit
+	// the PR 3 behaviour.
+	wireEnvBcast
 )
+
+// envNote is the payload of a wireEnvBcast: which availability event,
+// about which PE.
+type envNote struct {
+	kind EventKind
+	pe   int
+}
 
 // wireMsg is one message occupying a channel: the typed, pooled
 // replacement for the per-hop closures the hot path used to allocate.
@@ -119,6 +133,7 @@ func (m *Machine) newMsg(kind wireKind, from int, sentLoad int) *wireMsg {
 	if w != nil {
 		m.msgFree = w.next
 		w.next = nil
+		w.m = m // free lists may be shared across runs (Pool)
 	} else {
 		w = &wireMsg{m: m}
 	}
@@ -154,22 +169,32 @@ func (w *wireMsg) Act() {
 		if m.cfg.PiggybackLoad {
 			rcv.noteLoad(from, sentLoad)
 		}
+		if m.lossy && g.epoch != g.job.epoch {
+			m.stats.GoalsLost++ // its attempt died in a crash mid-flight
+			m.freeGoal(g)
+			return
+		}
 		if rcv.failed {
 			m.requeueGoal(to, g)
 			return
 		}
-		rcv.node.GoalArrived(g, from)
+		rcv.node.HandleEvent(Event{Kind: GoalArrived, Goal: g, From: from})
 	case wireGoalRoute:
 		m.goalsInTransit--
 		if m.cfg.PiggybackLoad {
 			m.pes[to].noteLoad(from, sentLoad)
+		}
+		if m.lossy && g.epoch != g.job.epoch {
+			m.stats.GoalsLost++
+			m.freeGoal(g)
+			return
 		}
 		if to == dst {
 			if m.pes[to].failed {
 				m.requeueGoal(to, g)
 				return
 			}
-			m.pes[to].node.GoalArrived(g, from)
+			m.pes[to].node.HandleEvent(Event{Kind: GoalArrived, Goal: g, From: from})
 			return
 		}
 		m.routeGoal(to, dst, g)
@@ -184,7 +209,7 @@ func (w *wireMsg) Act() {
 		if m.cfg.PiggybackLoad {
 			rcv.noteLoad(from, sentLoad)
 		}
-		rcv.node.Control(from, payload)
+		rcv.node.HandleEvent(Event{Kind: Control, From: from, Payload: payload})
 	case wireLoadBcast:
 		for _, member := range ch.members {
 			if member != from {
@@ -194,7 +219,32 @@ func (w *wireMsg) Act() {
 	case wireCtrlBcast:
 		for _, member := range ch.members {
 			if member != from {
-				m.pes[member].node.Control(from, payload)
+				m.pes[member].node.HandleEvent(Event{Kind: Control, From: from, Payload: payload})
+			}
+		}
+	case wireEnvBcast:
+		note := payload.(envNote)
+		for _, member := range ch.members {
+			if member == from {
+				continue
+			}
+			rcv := m.pes[member]
+			rcv.noteLoad(from, sentLoad)
+			// Broadcast deliveries must be idempotent (a double-lattice
+			// pair hears each transaction twice, once per shared bus):
+			// only availability TRANSITIONS raise the event, so a
+			// failure-aware node reacts exactly once per failure.
+			i, ok := rcv.nbrIndex[note.pe]
+			if !ok {
+				continue
+			}
+			downNow := note.kind == PEFailed
+			if rcv.nbrDown[i] == downNow {
+				continue // the second bus's copy of the same transition
+			}
+			rcv.nbrDown[i] = downNow
+			if rcv.wantsFailure {
+				rcv.node.HandleEvent(Event{Kind: note.kind, From: note.pe})
 			}
 		}
 	}

@@ -128,6 +128,14 @@ type Config struct {
 	// as with every other field, start from DefaultConfig.
 	TrackGoalDetail bool
 
+	// Pool, when non-nil, shares the machine's object free lists across
+	// sequential runs: construction borrows the pooled wire messages,
+	// goals, pending tasks and job states, and finalize returns them.
+	// Results are unaffected (recycled objects are fully reinitialized);
+	// only allocation volume changes. Not safe for concurrent machines —
+	// one Pool per worker goroutine.
+	Pool *Pool
+
 	// Scenario optionally scripts a dynamic environment into the run:
 	// PE slowdowns and failures, link degradation and outages, and
 	// arrival-rate shocks, replayed deterministically at their scripted

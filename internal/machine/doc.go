@@ -38,6 +38,25 @@
 // co-processor performs routing and load-balancing work, so strategy
 // decisions consume channel time but no PE compute time.
 //
+// # Event-driven strategy API
+//
+// A Strategy supplies one NodeStrategy per PE, and the machine drives
+// each node through a typed event stream (NodeStrategy.HandleEvent):
+// GoalCreated asks for a placement decision, GoalArrived delivers a
+// goal message, Control delivers strategy control payloads. Scenario
+// runs add environment events — PEFailed/PERecovered ride the failing
+// PE's immediate sentinel-load broadcast to its neighbors (charged
+// channel time like any load word), LinkDown/LinkRestored are sensed
+// locally by the link's endpoints, PESlowed tells a node its own clock
+// changed, and NeighborLoadChanged mirrors every load-table update.
+// Environment delivery is strictly opt-in through the FailureAware/
+// SpeedAware/LoadAware capability interfaces, resolved once per node at
+// construction: strategies that ignore the environment behave — and
+// cost — exactly as a sentinel-only implementation. Code written
+// against the pre-event three-method shape (ClassicNodeStrategy) keeps
+// working through AdaptNode/Adapt, bit-for-bit (pinned by regression
+// test).
+//
 // A PE's "load" is the number of messages waiting in its ready queue —
 // the paper's measure — optionally augmented with the count of tasks
 // awaiting responses (the "future commitments" refinement from the
@@ -61,4 +80,20 @@
 // Stats (GoalsRequeued, ServiceAborts, DownPETime, the queue-imbalance
 // and windowed-p99 series) and an empty scenario leaves runs
 // bit-for-bit identical to unscripted ones.
+//
+// A crash (the scenario `crash:` op) is the state-loss failure the
+// blackout is not: the PE's queued and in-flight goals, queued
+// responses and pending tasks are destroyed. Each job that lost state
+// aborts — an attempt-epoch bump instantly stales its surviving goals
+// machine-wide, which the machine discards wherever they surface — and
+// is retried from its root, keeping its original injection time so
+// sojourn statistics bill the failed attempt. The accounting lands in
+// Stats.GoalsLost/JobsAborted/JobsRetried. Chaos generator events
+// expand into concrete deterministic failure timelines at machine
+// construction (ScenarioScript exposes the expanded script).
+//
+// Sweeps replicating one configuration across seeds can hand sequential
+// machines a shared Pool (Config.Pool): the per-run free lists — wire
+// messages, goals, pending tasks, job states — carry over, cutting
+// steady-state allocation without touching results.
 package machine

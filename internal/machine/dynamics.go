@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"sort"
 
 	"cwnsim/internal/scenario"
 	"cwnsim/internal/sim"
@@ -38,6 +39,10 @@ func (m *Machine) applyScenarioEvent(ev scenario.Event) {
 		for _, id := range ev.Targets(len(m.pes)) {
 			m.failPE(m.pes[id])
 		}
+	case scenario.CrashPE:
+		for _, id := range ev.Targets(len(m.pes)) {
+			m.crashPE(m.pes[id])
+		}
 	case scenario.RecoverPE:
 		targets := ev.Targets(len(m.pes))
 		if targets == nil {
@@ -73,9 +78,13 @@ func (pe *PE) nominalSpeed() float64 {
 // service proportionally: the remaining duration stretches or shrinks
 // by oldSpeed/newSpeed, so work already performed is kept rather than
 // restarted. Busy-time accounting is adjusted to the new completion.
+// A SpeedAware node hears about its own clock change immediately.
 func (m *Machine) setSpeed(pe *PE, speed float64) {
 	old := pe.Speed()
 	pe.speed = speed
+	if old != speed && pe.wantsSpeed {
+		pe.node.HandleEvent(Event{Kind: PESlowed, From: pe.id, Factor: speed})
+	}
 	if !pe.busy || old == speed {
 		return
 	}
@@ -158,12 +167,136 @@ func (m *Machine) failPE(pe *PE) {
 
 	// Tell the neighborhood immediately (one broadcast per attached
 	// channel, charged like any load word) rather than waiting for the
-	// next periodic tick to advertise FailedLoad.
-	m.broadcastLoad(pe)
+	// next periodic tick to advertise FailedLoad. The same transaction
+	// carries the PEFailed notification for FailureAware neighbors.
+	m.broadcastEnv(pe, PEFailed)
 }
 
-// recoverPE ends a blackout: frozen responses resume service and the
-// PE re-advertises its real load.
+// crashPE is the state-loss variant of failPE: the PE's volatile state
+// — queued and in-flight goals, queued responses, pending tasks — is
+// destroyed, not evacuated. Every job that lost state here is aborted
+// (its surviving goals machine-wide become stale and are discarded
+// wherever they surface) and immediately retried from its root, keeping
+// the original injection time so the sojourn bill includes the failed
+// attempt. The communication co-processor stays up, exactly as for a
+// blackout, and neighbors hear PEFailed with the sentinel broadcast.
+func (m *Machine) crashPE(pe *PE) {
+	if pe.failed {
+		return
+	}
+	live := 0
+	for _, p := range m.pes {
+		if !p.failed {
+			live++
+		}
+	}
+	if live <= 1 {
+		panic("machine: scenario would crash every PE")
+	}
+	now := m.eng.Now()
+	pe.failed = true
+	pe.failedAt = now
+
+	// Collect the jobs losing state here in deterministic encounter
+	// order; the aborting flag dedups a job that lost several goals.
+	var victims []*jobState
+	collect := func(j *jobState) {
+		if !j.aborting {
+			j.aborting = true
+			victims = append(victims, j)
+		}
+	}
+
+	if pe.busy {
+		it := pe.inService
+		pe.inService = item{}
+		remaining := pe.serviceEnd - now
+		pe.svc.Stop()
+		pe.busy = false
+		if remaining > 0 {
+			pe.busyTime -= remaining // the cut-off tail never happens
+		}
+		if it.kind == itemGoal {
+			m.stats.ServiceAborts++
+			m.stats.GoalsLost++
+			collect(it.goal.job)
+			m.freeGoal(it.goal)
+		}
+		// An interrupted response integration is simply gone — its
+		// waiting task is about to be purged with the pending map.
+	}
+	for pe.ready.len() > 0 {
+		it := pe.ready.popFront()
+		if it.kind == itemGoal {
+			m.stats.GoalsLost++
+			collect(it.goal.job)
+			m.freeGoal(it.goal)
+		}
+		// Queued responses target local pending tasks; both vanish.
+	}
+	// Sweep the pending map in goal-ID order, NOT map order: the victim
+	// sequence decides abort/reinject order and therefore goal IDs and
+	// queue positions — map iteration would make identically-seeded
+	// crash runs diverge.
+	ids := make([]int64, 0, len(pe.pending))
+	for id := range pe.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := pe.pending[id]
+		m.stats.GoalsLost++ // the executed parent's spawn state is lost
+		collect(p.goal.job)
+		delete(pe.pending, id)
+		m.freeGoal(p.goal)
+		m.freePending(p)
+	}
+
+	for _, j := range victims {
+		j.aborting = false
+		m.abortJob(j)
+	}
+	m.broadcastEnv(pe, PEFailed)
+}
+
+// abortJob propagates a crash loss to the whole job: the attempt epoch
+// bumps (staling every surviving goal of the job, including those in
+// transit — they are discarded at delivery or service completion), the
+// job's queued goals and pending tasks are purged machine-wide, and the
+// job is re-injected from its root. inFlight is untouched: the job is
+// still in the system, on a fresh attempt.
+func (m *Machine) abortJob(j *jobState) {
+	j.epoch++
+	m.stats.JobsAborted++
+	for _, pe := range m.pes {
+		for i := 0; i < pe.ready.len(); {
+			if it := pe.ready.at(i); it.kind == itemGoal && it.goal.job == j && it.goal.epoch != j.epoch {
+				g := it.goal
+				pe.ready.removeAt(i)
+				m.stats.GoalsLost++
+				m.freeGoal(g)
+			} else {
+				i++
+			}
+		}
+		for id, p := range pe.pending {
+			if p.goal.job == j && p.goal.epoch != j.epoch {
+				delete(pe.pending, id)
+				m.freeGoal(p.goal)
+				m.freePending(p)
+			}
+		}
+	}
+	m.stats.JobsRetried++
+	// The retry re-enters at the usual ingress (redirected if the root
+	// PE is down). Not counted as a new injection — the job keeps its
+	// identity and injection time.
+	m.injectRoot(j)
+}
+
+// recoverPE ends a blackout or crash: frozen responses (blackout only —
+// a crash left nothing behind) resume service and the PE re-advertises
+// its real load, with PERecovered for FailureAware neighbors.
 func (m *Machine) recoverPE(pe *PE) {
 	if !pe.failed {
 		return
@@ -173,7 +306,16 @@ func (m *Machine) recoverPE(pe *PE) {
 	if !pe.busy && pe.ready.len() > 0 {
 		pe.startNext()
 	}
-	m.broadcastLoad(pe)
+	m.broadcastEnv(pe, PERecovered)
+}
+
+// broadcastEnv is the immediate availability broadcast a failing or
+// recovering PE sends: the load word (FailedLoad sentinel or real load)
+// plus the typed notification, one transaction per attached channel,
+// counted and charged exactly like the plain load broadcast it
+// replaces.
+func (m *Machine) broadcastEnv(pe *PE, kind EventKind) {
+	m.broadcast(pe, wireEnvBcast, MsgLoad, m.cfg.CtrlHopTime, envNote{kind: kind, pe: pe.id})
 }
 
 // requeueGoal evacuates a goal arriving at failed PE `from` to the
@@ -215,9 +357,15 @@ func (m *Machine) nearestLive(from int) int {
 // between a and b. A positive factor on a downed channel brings it
 // back up degraded — the scripted state is absolute, not sticky — so
 // messages held during the outage flush at the new (stretched) pace.
+// Endpoints sense outage transitions locally (carrier loss/return) and
+// FailureAware endpoint nodes get LinkDown/LinkRestored.
 func (m *Machine) setLink(a, b int, factor float64, down bool) {
+	wasDown := false
 	for _, ci := range m.linkChannels(a, b) {
 		ch := m.chans[ci]
+		if ch.down {
+			wasDown = true
+		}
 		if down {
 			ch.down = true
 			continue
@@ -225,15 +373,38 @@ func (m *Machine) setLink(a, b int, factor float64, down bool) {
 		ch.degrade = factor
 		m.bringUp(ch)
 	}
+	if down && !wasDown {
+		m.notifyLink(a, b, LinkDown)
+	} else if !down && wasDown {
+		m.notifyLink(a, b, LinkRestored)
+	}
 }
 
 // restoreLink returns every channel between a and b to nominal,
 // flushing messages held during an outage in arrival order.
 func (m *Machine) restoreLink(a, b int) {
+	wasDown := false
 	for _, ci := range m.linkChannels(a, b) {
 		ch := m.chans[ci]
+		if ch.down {
+			wasDown = true
+		}
 		ch.degrade = 0
 		m.bringUp(ch)
+	}
+	if wasDown {
+		m.notifyLink(a, b, LinkRestored)
+	}
+}
+
+// notifyLink delivers a link-availability event to both endpoints'
+// FailureAware nodes; From names the far end as each endpoint sees it.
+func (m *Machine) notifyLink(a, b int, kind EventKind) {
+	if pe := m.pes[a]; pe.wantsFailure {
+		pe.node.HandleEvent(Event{Kind: kind, From: b})
+	}
+	if pe := m.pes[b]; pe.wantsFailure {
+		pe.node.HandleEvent(Event{Kind: kind, From: a})
 	}
 }
 

@@ -41,6 +41,14 @@ type Goal struct {
 	CreatedAt  sim.Time
 	AcceptedAt sim.Time
 
+	// epoch snapshots the job's attempt epoch at creation. A crash
+	// (state-loss failure) aborts a job by bumping its epoch; goals
+	// carrying an older epoch are stale — their attempt is dead — and
+	// the machine discards them wherever they surface (delivery,
+	// service completion). Only consulted on lossy (crash-scripted)
+	// runs.
+	epoch uint64
+
 	nextFree *Goal // machine goal-pool link
 }
 

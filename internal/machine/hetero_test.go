@@ -23,7 +23,7 @@ func (exportBalance) NewNode(pe *PE) NodeStrategy {
 	if pe.ID() == 0 {
 		pe.Machine().NewTicker(pe, 2, n.balance)
 	}
-	return n
+	return AdaptNode(n)
 }
 
 type balanceNode struct{ pe *PE }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"cwnsim/internal/scenario"
 	"cwnsim/internal/sim"
 	"cwnsim/internal/topology"
 	"cwnsim/internal/trace"
@@ -41,11 +42,27 @@ type Machine struct {
 	nextTree *workload.Tree // the tree the armed arrival injects
 	rateMul  float64        // scenario LoadShock multiplier on the offered rate (1 = nominal)
 
+	// scn is the expanded scenario script actually scheduled (chaos
+	// generators resolved into concrete events); nil when unscripted.
+	scn *scenario.Script
+	// lossy is set when the scenario contains crash (state-loss)
+	// events: it arms the epoch staleness checks and tolerates orphaned
+	// responses. Never set otherwise, so blackout-only and unscripted
+	// runs keep the strict lost-goal panics.
+	lossy bool
+
 	// winSoj collects the sojourns completing inside the current
 	// sampling window; non-nil only for scenario runs with sampling
 	// enabled, where each window's p99 feeds Stats.SojournWindows — the
 	// series recovery analysis reads.
 	winSoj []float64
+	// injSoj buckets sojourns by the window their job was INJECTED in
+	// (index = injectedAt/SampleInterval); finalize turns each bucket
+	// into one Stats.InjSojournWindows p99 point. The injection keying
+	// isolates what newly arriving jobs experienced, where winSoj lets
+	// blackout stragglers echo into post-restore windows. Same gate as
+	// winSoj.
+	injSoj [][]float64
 
 	// Free lists: the hot path recycles wire messages, goals, pending
 	// tasks and job states instead of allocating per message/goal.
@@ -124,6 +141,7 @@ func NewStream(topo *topology.Topology, source JobSource, strat Strategy, cfg Co
 			nbrIndex: make(map[int]int, len(nbrs)),
 			nbrLoad:  make([]int32, len(nbrs)),
 			nbrSeen:  make([]sim.Time, len(nbrs)),
+			nbrDown:  make([]bool, len(nbrs)),
 		}
 		pe.svc = sim.NewTimer(m.eng, pe.serviceDone)
 		if cfg.PESpeeds != nil {
@@ -136,11 +154,24 @@ func NewStream(topo *topology.Topology, source JobSource, strat Strategy, cfg Co
 		m.pes[i] = pe
 	}
 
+	if p := cfg.Pool; p != nil {
+		p.lend(m)
+	}
+
 	strat.Setup(m)
 	for _, pe := range m.pes {
 		pe.node = strat.NewNode(pe)
 		if pe.node == nil {
 			panic("machine: strategy returned nil NodeStrategy")
+		}
+		if fa, ok := pe.node.(FailureAware); ok {
+			pe.wantsFailure = fa.WantsFailureEvents()
+		}
+		if sa, ok := pe.node.(SpeedAware); ok {
+			pe.wantsSpeed = sa.WantsSpeedEvents()
+		}
+		if la, ok := pe.node.(LoadAware); ok {
+			pe.wantsLoad = la.WantsLoadEvents()
 		}
 	}
 
@@ -172,20 +203,33 @@ func NewStream(topo *topology.Topology, source JobSource, strat Strategy, cfg Co
 		})
 	}
 
-	// Replay the scripted environment, if any. An empty scenario
+	// Replay the scripted environment, if any. Chaos generators expand
+	// into their concrete fail/recover timelines here (a pure function
+	// of the chaos seed, machine size and horizon). An empty scenario
 	// schedules nothing — the run stays bit-for-bit identical to an
 	// unscripted one (pinned by regression test).
 	if !cfg.Scenario.Empty() {
-		for _, ev := range cfg.Scenario.Events {
+		m.scn = cfg.Scenario.Expand(topo.Size(), cfg.MaxTime)
+		for _, ev := range m.scn.Events {
 			ev := ev
+			if ev.Kind == scenario.CrashPE {
+				m.lossy = true
+			}
 			m.eng.At(ev.At, func() { m.applyScenarioEvent(ev) })
 		}
 		if cfg.SampleInterval > 0 {
 			m.winSoj = make([]float64, 0, 64)
+			m.injSoj = make([][]float64, 0, 64)
 		}
 	}
 	return m
 }
+
+// ScenarioScript returns the expanded scenario timeline this machine
+// replays — chaos generators resolved into their concrete events — or
+// nil for unscripted runs. Recovery analysis reads disruption/restore
+// times from this script, not the unexpanded one.
+func (m *Machine) ScenarioScript() *scenario.Script { return m.scn }
 
 // Engine exposes the discrete-event engine (e.g. for Now or the seeded
 // random stream).
@@ -263,6 +307,7 @@ func (m *Machine) newGoal(task *workload.Task, j *jobState, parentPE int, parent
 		ParentPE:  parentPE,
 		ParentID:  parentID,
 		CreatedAt: m.eng.Now(),
+		epoch:     j.epoch,
 	}
 	m.nextGoalID++
 	if parentPE >= 0 {
@@ -358,6 +403,13 @@ func (m *Machine) completeJob(j *jobState, value int64) {
 	m.stats.Sojourn.Add(soj)
 	if m.winSoj != nil {
 		m.winSoj = append(m.winSoj, soj)
+	}
+	if m.injSoj != nil {
+		w := int(j.injectedAt / m.cfg.SampleInterval)
+		for len(m.injSoj) <= w {
+			m.injSoj = append(m.injSoj, nil)
+		}
+		m.injSoj[w] = append(m.injSoj[w], soj)
 	}
 	if j.injectedAt >= m.cfg.Warmup {
 		m.stats.SteadySojourn.Add(soj)
@@ -586,22 +638,31 @@ func (m *Machine) inject(tree *workload.Tree) {
 	} else {
 		j = &jobState{}
 	}
+	// The epoch survives the wipe, bumped: goals of the struct's
+	// previous occupant (possible only on lossy runs) stay stale.
+	ep := j.epoch
 	*j = jobState{
 		id:         m.stats.JobsInjected,
 		tree:       tree,
 		injectedAt: m.eng.Now(),
+		epoch:      ep + 1,
 	}
 	m.stats.JobsInjected++
 	m.stats.Goals += tree.Count()
 	m.inFlight++
-	// The outside world delivers to a live ingress: a blacked-out root
-	// PE redirects injection to the nearest live PE.
+	m.injectRoot(j)
+}
+
+// injectRoot places job j's root goal at the machine's ingress — shared
+// by fresh injections and crash retries. The outside world delivers to
+// a live PE: a downed root PE redirects to the nearest live one.
+func (m *Machine) injectRoot(j *jobState) {
 	rootPE := m.cfg.RootPE
 	if m.pes[rootPE].failed {
 		rootPE = m.nearestLive(rootPE)
 		m.stats.RootRedirects++
 	}
-	root := m.newGoal(tree.Root, j, -1, -1)
+	root := m.newGoal(j.tree.Root, j, -1, -1)
 	root.Origin = rootPE
 	m.emit(trace.GoalCreated, rootPE, -1, root.ID)
 	m.pes[rootPE].Accept(root)
@@ -647,5 +708,30 @@ func (m *Machine) finalize() {
 	for i, ch := range m.chans {
 		s.ChannelBusy[i] = ch.committedBusy(now)
 		s.ChannelMsgs[i] = ch.messages
+	}
+	// Injection-keyed windowed p99 (scenario runs with sampling): one
+	// point per injection window that produced a completion, at the
+	// window's end time. Computable only at finalize — a window's jobs
+	// finish arbitrarily later. Warm-up windows are dropped, mirroring
+	// the completion-keyed series.
+	if m.injSoj != nil {
+		for w, sojs := range m.injSoj {
+			if len(sojs) == 0 {
+				continue
+			}
+			end := sim.Time(w+1) * m.cfg.SampleInterval
+			if end <= m.cfg.Warmup {
+				continue // the window holds only pre-warm-up injections
+			}
+			sort.Float64s(sojs)
+			rank := int(math.Ceil(0.99*float64(len(sojs)))) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			s.InjSojournWindows.Add(float64(end), sojs[rank])
+		}
+	}
+	if p := m.cfg.Pool; p != nil {
+		p.reclaim(m)
 	}
 }

@@ -13,7 +13,7 @@ type keepLocal struct{}
 
 func (keepLocal) Name() string                { return "keep-local" }
 func (keepLocal) Setup(m *Machine)            {}
-func (keepLocal) NewNode(pe *PE) NodeStrategy { return keepLocalNode{pe} }
+func (keepLocal) NewNode(pe *PE) NodeStrategy { return AdaptNode(keepLocalNode{pe}) }
 
 type keepLocalNode struct{ pe *PE }
 

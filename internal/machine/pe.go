@@ -105,8 +105,16 @@ type PE struct {
 	nbrIndex map[int]int // PE id -> index into nbrs
 	nbrLoad  []int32     // last known load per neighbor (assumed 0 initially)
 	nbrSeen  []sim.Time  // when that load was learned (-1 = never)
+	nbrDown  []bool      // last availability heard per neighbor (env broadcasts)
 
 	node NodeStrategy // strategy state for this PE (set after construction)
+
+	// Capability flags, resolved once at construction from the node's
+	// optional interfaces (FailureAware/SpeedAware/LoadAware), so event
+	// delivery on the hot path costs one bool test, not a type assert.
+	wantsFailure bool
+	wantsSpeed   bool
+	wantsLoad    bool
 
 	// Dynamic environment state (internal/scenario). speed divides
 	// service durations; 0 means nominal — the untouched fast path,
@@ -213,6 +221,9 @@ func (pe *PE) noteLoad(nbrPE int, load int) {
 	if i, ok := pe.nbrIndex[nbrPE]; ok {
 		pe.nbrLoad[i] = int32(load)
 		pe.nbrSeen[i] = pe.m.eng.Now()
+		if pe.wantsLoad {
+			pe.node.HandleEvent(Event{Kind: NeighborLoadChanged, From: nbrPE, Load: load})
+		}
 	}
 }
 
@@ -415,9 +426,17 @@ func (pe *PE) serviceDone() {
 func (pe *PE) finish(it item) {
 	switch it.kind {
 	case itemGoal:
+		g := it.goal
+		// A goal in service when a crash aborted its job elsewhere runs
+		// to completion (this PE cannot know yet) but its result has no
+		// attempt to land in: discard it, service time wasted.
+		if pe.m.lossy && g.epoch != g.job.epoch {
+			pe.m.stats.GoalsLost++
+			pe.m.freeGoal(g)
+			return
+		}
 		pe.goalsExecuted++
 		pe.m.stats.GoalsExecuted++
-		g := it.goal
 		// The goal's journey is definitively over: record the travel
 		// distance (paper Table 3) and the net displacement.
 		if pe.m.cfg.TrackGoalDetail {
@@ -434,16 +453,22 @@ func (pe *PE) finish(it item) {
 		pe.pending[g.ID] = pe.m.newPending(g, len(task.Kids))
 		for _, kid := range task.Kids {
 			child := pe.m.newGoal(kid, g.job, pe.id, g.ID)
-			pe.node.PlaceNewGoal(child)
+			pe.node.HandleEvent(Event{Kind: GoalCreated, Goal: child})
 		}
 	case itemResponse:
-		pe.respIntegrated++
-		pe.m.stats.RespIntegrated++
 		r := it.resp
 		p, ok := pe.pending[r.goalID]
 		if !ok {
+			if pe.m.lossy {
+				// The awaiting task died in a crash (its pending record
+				// was purged with the aborted attempt); the value has
+				// nowhere to land.
+				return
+			}
 			panic(fmt.Sprintf("machine: PE %d got response for unknown goal %d", pe.id, r.goalID))
 		}
+		pe.respIntegrated++
+		pe.m.stats.RespIntegrated++
 		p.vals = append(p.vals, r.value)
 		p.remaining--
 		if p.remaining == 0 {

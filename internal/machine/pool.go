@@ -1,0 +1,41 @@
+package machine
+
+// Pool carries the machine's per-run free lists — wire messages, goals,
+// pending tasks, job states — across runs, so a sweep replicating one
+// configuration over many seeds pays the object warm-up once instead of
+// re-allocating the whole working set every run (ROADMAP: machine-object
+// reuse across runs in sweeps).
+//
+// Usage: set Config.Pool to a *Pool and run machines sequentially; each
+// machine borrows the pooled lists at construction and returns what it
+// freed at finalize. The pool affects allocation only — never results:
+// recycled objects are fully reinitialized on reuse, so pooled and
+// unpooled runs are bit-for-bit identical (pinned by regression test).
+//
+// A Pool is NOT safe for concurrent use: give each worker goroutine its
+// own (experiments.RunAll does exactly that).
+type Pool struct {
+	msg     *wireMsg
+	goal    *Goal
+	pending *pendingTask
+	job     *jobState
+}
+
+// lend hands the pooled lists to a machine at construction.
+func (p *Pool) lend(m *Machine) {
+	m.msgFree, p.msg = p.msg, nil
+	m.goalFree, p.goal = p.goal, nil
+	m.pendingFree, p.pending = p.pending, nil
+	m.jobFree, p.job = p.job, nil
+}
+
+// reclaim takes the free lists back from a finished machine. Objects
+// still live in the dead machine (queued at MaxTime, held on downed
+// links) are simply not on the lists and stay with the machine for the
+// garbage collector.
+func (p *Pool) reclaim(m *Machine) {
+	p.msg, m.msgFree = m.msgFree, nil
+	p.goal, m.goalFree = m.goalFree, nil
+	p.pending, m.pendingFree = m.pendingFree, nil
+	p.job, m.jobFree = m.jobFree, nil
+}

@@ -1,0 +1,69 @@
+package machine
+
+import (
+	"testing"
+
+	"cwnsim/internal/scenario"
+	"cwnsim/internal/topology"
+	"cwnsim/internal/workload"
+)
+
+// TestPooledRunsBitForBit pins the Pool contract: a machine fed a warm
+// pool (objects recycled from previous runs) produces exactly the
+// fingerprint of an unpooled machine, across closed, open and scenario
+// runs — pooling moves allocations, never results.
+func TestPooledRunsBitForBit(t *testing.T) {
+	topo := topology.NewGrid(3, 3)
+	tree := workload.NewFib(8)
+	run := func(pool *Pool, scripted bool) fingerprint {
+		cfg := DefaultConfig()
+		cfg.Pool = pool
+		if scripted {
+			cfg.Scenario = scenario.MustParse("crash:pes=25%@t=500,recover@t=1500")
+		}
+		return fp(NewStream(topo, NewPoisson(tree, 60, 40), pushRight{}, cfg).Run())
+	}
+	for _, scripted := range []bool{false, true} {
+		base := run(nil, scripted)
+		pool := &Pool{}
+		warm := run(pool, scripted) // cold pool: fills it
+		if warm != base {
+			t.Fatalf("scripted=%v: cold-pooled run diverged: %+v vs %+v", scripted, warm, base)
+		}
+		for i := 0; i < 3; i++ { // warm pool: recycles the previous run's objects
+			if got := run(pool, scripted); got != base {
+				t.Fatalf("scripted=%v: warm-pooled run %d diverged: %+v vs %+v", scripted, i, got, base)
+			}
+		}
+	}
+}
+
+// TestPoolCrossesWorkloads checks the uglier reuse path: the same pool
+// carries objects between runs of different workloads, strategies and
+// machine shapes without bleed-through.
+func TestPoolCrossesWorkloads(t *testing.T) {
+	pool := &Pool{}
+	runs := []func(p *Pool) fingerprint{
+		func(p *Pool) fingerprint {
+			cfg := DefaultConfig()
+			cfg.Pool = p
+			return fp(New(topology.NewGrid(1, 2), workload.NewFib(9), keepLocal{}, cfg).Run())
+		},
+		func(p *Pool) fingerprint {
+			cfg := DefaultConfig()
+			cfg.Pool = p
+			return fp(NewStream(topology.NewGrid(2, 2), NewFixedInterval(workload.NewChain(12), 80, 15), pushRight{}, cfg).Run())
+		},
+	}
+	var clean []fingerprint
+	for _, r := range runs {
+		clean = append(clean, r(nil))
+	}
+	for round := 0; round < 2; round++ {
+		for i, r := range runs {
+			if got := r(pool); got != clean[i] {
+				t.Fatalf("round %d run %d diverged with shared pool: %+v vs %+v", round, i, got, clean[i])
+			}
+		}
+	}
+}

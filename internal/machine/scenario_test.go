@@ -16,7 +16,7 @@ type pushRight struct{}
 
 func (pushRight) Name() string                { return "push-right" }
 func (pushRight) Setup(*Machine)              {}
-func (pushRight) NewNode(pe *PE) NodeStrategy { return pushRightNode{pe} }
+func (pushRight) NewNode(pe *PE) NodeStrategy { return AdaptNode(pushRightNode{pe}) }
 
 type pushRightNode struct{ pe *PE }
 

@@ -192,7 +192,20 @@ type jobState struct {
 	id         int64
 	tree       *workload.Tree
 	injectedAt sim.Time
-	nextFree   *jobState // machine job-pool link
+
+	// epoch is the job's attempt counter for crash-with-state-loss
+	// runs: a crash that destroys any of the job's state bumps it,
+	// instantly staling every goal of the old attempt, and the job is
+	// retried from its root. It also bumps when the pooled struct is
+	// recycled for a new job, so a stale goal that outlives its job can
+	// never alias the next occupant. Monotonic per struct — never reset.
+	epoch uint64
+	// aborting marks the job as already collected by the crash sweep in
+	// progress, so one crash that destroys several of its goals aborts
+	// it exactly once.
+	aborting bool
+
+	nextFree *jobState // machine job-pool link
 }
 
 // JobRecord is one completed job's latency record, the per-job datum an

@@ -109,6 +109,31 @@ type Stats struct {
 	RootRedirects  int64
 	DownPETime     sim.Time
 	SojournWindows metrics.Series
+
+	// Crash-with-state-loss accounting (the `crash:` scenario op; all
+	// zero under blackout-only scripts). GoalsLost counts goals whose
+	// state was destroyed or discarded because a crash killed their
+	// attempt: vaporized on the crashed PE (queued, in service, or an
+	// executed parent's pending spawn record), purged from live PEs'
+	// queues when the job aborted, or dropped in transit/at service
+	// completion as stale. JobsAborted counts attempts destroyed by
+	// crashes; JobsRetried the root re-injections that followed (equal
+	// today — every abort retries — but accounted separately so a
+	// future give-up policy stays visible). Retried jobs keep their
+	// original injection time, so sojourn figures bill the lost
+	// attempt.
+	GoalsLost   int64
+	JobsAborted int64
+	JobsRetried int64
+
+	// InjSojournWindows is the injection-time-keyed companion of
+	// SojournWindows: each point is the p99 sojourn of the jobs
+	// INJECTED in that sampling window (recorded at the window's end),
+	// isolating what newly arriving jobs experienced. Completion keying
+	// lets blackout stragglers echo into post-restore windows; this
+	// keying does not. Computed at finalize; same scenario+sampling
+	// gate as SojournWindows.
+	InjSojournWindows metrics.Series
 }
 
 func newStats(topo *topology.Topology, workloadName, stratName string) *Stats {
@@ -288,6 +313,10 @@ func (s *Stats) String() string {
 	if s.DownPETime > 0 || s.GoalsRequeued > 0 {
 		fmt.Fprintf(&b, "\n  scenario: requeued=%d aborts=%d rootRedirects=%d downPEtime=%d effUtil=%.1f%%",
 			s.GoalsRequeued, s.ServiceAborts, s.RootRedirects, s.DownPETime, 100*s.EffectiveUtilization())
+	}
+	if s.GoalsLost > 0 || s.JobsAborted > 0 {
+		fmt.Fprintf(&b, "\n  crashes: goalsLost=%d jobsAborted=%d jobsRetried=%d",
+			s.GoalsLost, s.JobsAborted, s.JobsRetried)
 	}
 	return b.String()
 }

@@ -20,16 +20,169 @@ type Strategy interface {
 	NewNode(pe *PE) NodeStrategy
 }
 
-// NodeStrategy is the per-PE half of a Strategy.
+// EventKind discriminates the typed events a NodeStrategy receives.
+type EventKind uint8
+
+const (
+	// GoalCreated asks the node to place a goal just created on this PE:
+	// keep it (pe.Accept) or ship it (pe.SendGoal / pe.RouteGoal).
+	GoalCreated EventKind = iota
+	// GoalArrived delivers a goal message from neighbor From: accept it
+	// or forward it on.
+	GoalArrived
+	// Control delivers a strategy control payload from neighbor From
+	// (e.g. a Gradient Model proximity update).
+	Control
+
+	// Environment events (scenario runs only). They are delivered only
+	// to nodes that opt in via the FailureAware / SpeedAware / LoadAware
+	// capability interfaces, so strategies that ignore the environment
+	// behave — and cost — exactly as before.
+
+	// PEFailed announces that PE From lost its compute (blackout or
+	// crash). It arrives with the failed PE's immediate sentinel-load
+	// broadcast, so it is charged channel time like any load word and
+	// reaches only the failed PE's neighbors.
+	PEFailed
+	// PERecovered announces that PE From is serving again; it arrives
+	// with the recovery load broadcast, neighbors only.
+	PERecovered
+	// PESlowed tells a node its own PE's service speed changed; Factor
+	// carries the new multiplier (nominal speed = the configured base).
+	// Local and instantaneous — a PE knows its own clock.
+	PESlowed
+	// LinkDown tells a link-endpoint node the link toward PE From went
+	// down (carrier loss is sensed locally, so no channel time).
+	LinkDown
+	// LinkRestored tells a link-endpoint node the link toward PE From
+	// is carrying traffic again.
+	LinkRestored
+	// NeighborLoadChanged fires whenever this PE learns a new load value
+	// for neighbor From (broadcast or piggyback); Load is the value.
+	// Hot-path: delivered only to LoadAware nodes.
+	NeighborLoadChanged
+)
+
+// Event is one typed occurrence delivered to a NodeStrategy. Which
+// fields are meaningful depends on Kind; the zero value of the rest is
+// never read.
+type Event struct {
+	Kind EventKind
+	// Goal is the goal being placed (GoalCreated) or delivered
+	// (GoalArrived). Pooled — do not retain after handing it back to
+	// the machine.
+	Goal *Goal
+	// From is the event's other party: the sending neighbor for
+	// GoalArrived/Control, the affected PE for PEFailed/PERecovered/
+	// PESlowed/NeighborLoadChanged, the far endpoint for LinkDown/
+	// LinkRestored.
+	From int
+	// Payload is the Control message body.
+	Payload any
+	// Factor is the new speed multiplier (PESlowed).
+	Factor float64
+	// Load is the newly learned neighbor load (NeighborLoadChanged).
+	Load int
+}
+
+// NodeStrategy is the per-PE half of a Strategy: a handler for the
+// typed event stream the machine delivers. Every node sees GoalCreated,
+// GoalArrived and Control; environment events additionally require the
+// matching capability interface below.
 type NodeStrategy interface {
-	// PlaceNewGoal decides where a goal created on this PE goes: keep
-	// it (pe.Accept) or ship it (pe.SendGoal).
+	HandleEvent(ev Event)
+}
+
+// FailureAware is the opt-in for availability events: a node whose
+// WantsFailureEvents returns true receives PEFailed/PERecovered (from
+// failing neighbors, with their sentinel-load broadcast) and LinkDown/
+// LinkRestored (for links this PE terminates). The bool lets one node
+// type gate the capability on a strategy flag, so "sentinel-only" and
+// "failure-aware" variants of a scheme can be compared head to head.
+type FailureAware interface {
+	NodeStrategy
+	WantsFailureEvents() bool
+}
+
+// SpeedAware is the opt-in for PESlowed events (own-PE service-speed
+// changes from SlowPE/RestorePE scenario events).
+type SpeedAware interface {
+	NodeStrategy
+	WantsSpeedEvents() bool
+}
+
+// LoadAware is the opt-in for NeighborLoadChanged events — one event
+// per load word learned, on the hot path, so only strategies that act
+// on individual observations should want it.
+type LoadAware interface {
+	NodeStrategy
+	WantsLoadEvents() bool
+}
+
+// ClassicNodeStrategy is the pre-event three-method per-PE interface.
+// It still compiles and runs unchanged through AdaptNode; environment
+// events do not exist in this shape (a classic node is by construction
+// sentinel-only).
+type ClassicNodeStrategy interface {
+	// PlaceNewGoal decides where a goal created on this PE goes.
 	PlaceNewGoal(g *Goal)
-	// GoalArrived handles a goal message delivered from neighbor
-	// `from`: accept it or forward it on.
+	// GoalArrived handles a goal message delivered from neighbor from.
 	GoalArrived(g *Goal, from int)
-	// Control handles a strategy control payload from neighbor `from`
-	// (e.g. a Gradient Model proximity update). Strategies that use no
-	// control traffic may ignore it.
+	// Control handles a strategy control payload from neighbor from.
 	Control(from int, payload any)
+}
+
+// AdaptNode wraps a classic three-method node in the event API: the
+// goal and control events map onto the old entry points and environment
+// events are dropped. The adapter is allocation-free per event and adds
+// one method call of indirection.
+func AdaptNode(n ClassicNodeStrategy) NodeStrategy { return classicNode{n} }
+
+type classicNode struct{ n ClassicNodeStrategy }
+
+func (a classicNode) HandleEvent(ev Event) {
+	switch ev.Kind {
+	case GoalCreated:
+		a.n.PlaceNewGoal(ev.Goal)
+	case GoalArrived:
+		a.n.GoalArrived(ev.Goal, ev.From)
+	case Control:
+		a.n.Control(ev.From, ev.Payload)
+	}
+}
+
+// ClassicStrategy is the pre-event whole-strategy shape: NewNode
+// returns a ClassicNodeStrategy. Adapt turns one into a Strategy.
+type ClassicStrategy interface {
+	Name() string
+	Setup(m *Machine)
+	NewNode(pe *PE) ClassicNodeStrategy
+}
+
+// Adapt wraps a classic strategy in the event API, adapting every node
+// it creates via AdaptNode.
+func Adapt(s ClassicStrategy) Strategy { return classicStrategy{s} }
+
+type classicStrategy struct{ s ClassicStrategy }
+
+func (a classicStrategy) Name() string                { return a.s.Name() }
+func (a classicStrategy) Setup(m *Machine)            { a.s.Setup(m) }
+func (a classicStrategy) NewNode(pe *PE) NodeStrategy { return AdaptNode(a.s.NewNode(pe)) }
+
+// ClassicView is the inverse adapter: it exposes an event-driven node
+// through the classic three-method shape, for code (and the compat
+// regression tests) that still drives nodes via the old entry points.
+// The round trip AdaptNode(ClassicView(n)) is behaviour-preserving for
+// goal and control traffic; environment events and the capability
+// interfaces do not survive it.
+func ClassicView(n NodeStrategy) ClassicNodeStrategy { return classicView{n} }
+
+type classicView struct{ n NodeStrategy }
+
+func (v classicView) PlaceNewGoal(g *Goal) { v.n.HandleEvent(Event{Kind: GoalCreated, Goal: g}) }
+func (v classicView) GoalArrived(g *Goal, from int) {
+	v.n.HandleEvent(Event{Kind: GoalArrived, Goal: g, From: from})
+}
+func (v classicView) Control(from int, payload any) {
+	v.n.HandleEvent(Event{Kind: Control, From: from, Payload: payload})
 }

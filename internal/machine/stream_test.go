@@ -197,7 +197,7 @@ type dropGoals struct{}
 
 func (dropGoals) Name() string                { return "drop" }
 func (dropGoals) Setup(*Machine)              {}
-func (dropGoals) NewNode(pe *PE) NodeStrategy { return dropNode{} }
+func (dropGoals) NewNode(pe *PE) NodeStrategy { return AdaptNode(dropNode{}) }
 
 type dropNode struct{}
 

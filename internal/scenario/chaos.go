@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"math/rand"
+	"sort"
+
+	"cwnsim/internal/sim"
+)
+
+// chaosSeedSalt decorrelates the chaos generator's stream from the
+// run's engine, arrival and observer streams (which salt the same user
+// seed): availability sweeps can share one seed across all four
+// processes without the failure timeline echoing the arrival timeline.
+const chaosSeedSalt int64 = 0x5E3779B97F4A7C15
+
+// Expand resolves the script's Chaos generator events into concrete
+// single-PE failure/recovery timelines on a machine of numPEs
+// processors with measurement horizon `horizon`, leaving every other
+// event untouched. A script with no Chaos events is returned as-is
+// (same pointer — the empty scenario stays free). Expansion is a pure
+// function of (generator parameters, numPEs, horizon): the same seed
+// always yields the identical timeline, pinned by regression test.
+func (s *Script) Expand(numPEs int, horizon sim.Time) *Script {
+	if s.Empty() {
+		return s
+	}
+	any := false
+	for _, e := range s.Events {
+		if e.Kind == Chaos {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return s
+	}
+	out := &Script{Events: make([]Event, 0, len(s.Events))}
+	for _, e := range s.Events {
+		if e.Kind != Chaos {
+			out.Events = append(out.Events, e)
+			continue
+		}
+		out.Events = append(out.Events, e.generate(numPEs, horizon)...)
+	}
+	return out
+}
+
+// generate draws one chaos event's concrete timeline: failure instants
+// arrive as a Poisson process (exponential gaps, mean MTBF) starting at
+// the event's At, each striking a uniformly chosen PE and holding it
+// down for an exponential repair time (mean MTTR, floor one unit). A PE
+// already down when struck absorbs the failure (the draw is still
+// consumed, keeping the stream aligned), and a strike that would take
+// the last live PE down is skipped — the machine refuses to lose its
+// final processor.
+func (e Event) generate(numPEs int, horizon sim.Time) []Event {
+	rng := rand.New(rand.NewSource(e.Seed ^ chaosSeedSalt))
+	until := e.Until
+	if until <= 0 || until > horizon {
+		until = horizon
+	}
+	failKind := FailPE
+	if e.Crash {
+		failKind = CrashPE
+	}
+	downUntil := make([]float64, numPEs)
+	var out []Event
+	t := float64(e.At)
+	for {
+		t += rng.ExpFloat64() * e.MTBF
+		at := sim.Time(t)
+		if at >= until {
+			break
+		}
+		pe := rng.Intn(numPEs)
+		repair := rng.ExpFloat64() * e.MTTR
+		if repair < 1 {
+			repair = 1
+		}
+		if downUntil[pe] > t {
+			continue // struck while already down: absorbed
+		}
+		live := 0
+		for _, du := range downUntil {
+			if du <= t {
+				live++
+			}
+		}
+		if live <= 1 {
+			continue // never take the last live PE down
+		}
+		rec := t + repair
+		downUntil[pe] = rec
+		out = append(out,
+			Event{At: at, Kind: failKind, PEs: []int{pe}},
+			Event{At: sim.Time(rec), Kind: RecoverPE, PEs: []int{pe}})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}

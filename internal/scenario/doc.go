@@ -15,28 +15,52 @@
 //     goals are redirected; pending tasks and queued responses freeze
 //     in place until recovery (the communication co-processor stays
 //     up, so routing through a failed PE still works)
+//   - CrashPE              crash with state loss: queued and in-flight
+//     goals, queued responses and pending tasks are destroyed; every
+//     job that lost state aborts and retries from its root, with
+//     GoalsLost/JobsAborted/JobsRetried accounting. RecoverPE brings a
+//     crashed PE back, empty
 //   - DegradeLink / RestoreLink   multiply a link's occupancy time, or
 //     (factor 0) take it down entirely — messages queue at the sender
 //     and flush in order on restore
 //   - LoadShock   multiply the arrival process's offered rate for all
 //     subsequently drawn inter-arrival gaps
+//   - Chaos       a random-failure generator rather than a concrete
+//     event: exponential MTBF/MTTR processes over uniformly chosen
+//     PEs, drawn from a dedicated salted stream of the generator seed.
+//     Script.Expand resolves it into a concrete fail/recover (or
+//     crash-mode) timeline at machine construction — the same seed,
+//     machine size and horizon always produce the identical timeline
 //
 // Scripts are plain data: build them programmatically or parse the
 // compact text form used by spec files and the CLI, e.g.
 //
 //	fail:pes=25%@t=5000,recover@t=10000
+//	crash:pes=25%@t=5000,recover@t=10000
 //	slow:pes=0+1:x=0.5@t=2000,restore:pes=0+1@t=4000
 //	degradelink:a=0:b=1:x=0@t=100,restorelink:a=0:b=1@t=300
 //	shock:x=3@t=1000,shock:x=1@t=2000
+//	chaos:mtbf=3000:mttr=800@seed=7
 //
 // An empty (or nil) Script schedules nothing and leaves a run
 // bit-for-bit identical to one without a scenario — pinned by
 // regression test — so the scripted machinery costs nothing when
 // unused.
 //
-// Recovery analysis: AnalyzeRecovery turns the windowed sojourn-p99
-// series a scenario run records into the subsystem's headline metrics
-// — the pre-disruption baseline p99, the peak during the disruption,
-// and the time after the last restore event until the p99 holds
-// steady at baseline again.
+// Availability transitions also feed the machine's event-driven
+// strategy API: failing/recovering PEs announce PEFailed/PERecovered
+// with their immediate sentinel broadcast, and link outages notify
+// their endpoints — strategies opting in (machine.FailureAware) can
+// re-steer the moment the environment shifts instead of waiting for
+// the next periodic load word.
+//
+// Recovery analysis: AnalyzeRecovery turns a windowed sojourn-p99
+// series into the subsystem's headline metrics — the pre-disruption
+// baseline p99, the peak during the disruption, and the time after the
+// last restore event until the p99 holds steady at baseline again. Two
+// keyings of the series exist: completion-time windows
+// (Stats.SojournWindows, where jobs injected during the disruption
+// echo into post-restore windows as they straggle home) and
+// injection-time windows (Stats.InjSojournWindows, isolating what
+// newly arriving jobs experienced); runs report both.
 package scenario

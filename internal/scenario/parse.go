@@ -12,16 +12,24 @@ import (
 // events, each `kind[:key=value...]@t=TIME`.
 //
 //	fail:pes=25%@t=5000,recover@t=10000
+//	crash:pes=25%@t=5000,recover@t=10000
 //	slow:pes=0+1:x=0.5@t=2000,restore@t=4000
 //	degradelink:a=0:b=1:x=0@t=100,restorelink:a=0:b=1@t=300
 //	shock:x=3@t=1000,shock:x=1@t=2000
+//	chaos:mtbf=3000:mttr=800@seed=7
 //
 // Keys: pes= targets a percentage ("25%") or a +-separated PE list
 // ("3+7+9"); x= the factor (speed multiplier for slow, occupancy
 // multiplier for degradelink with 0 meaning outage, rate multiplier
 // for shock); a=/b= the link endpoints. droplink is shorthand for
-// degradelink with x=0. An empty string parses to nil — the empty
-// scenario.
+// degradelink with x=0. crash is the state-loss failure (fail is the
+// evacuating blackout). chaos is the random-failure generator: it
+// takes mtbf= and mttr= (means of the exponential failure and repair
+// processes), optional until= (timeline bound; default the run
+// horizon) and a bare crash flag for crash-mode failures, and ends
+// with @seed=N instead of @t=N — the generator's own seed, expanded
+// into a concrete deterministic timeline at machine construction. An
+// empty string parses to nil — the empty scenario.
 func Parse(s string) (*Script, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
@@ -52,6 +60,9 @@ func parseEvent(s string) (Event, error) {
 	if !ok {
 		return Event{}, fmt.Errorf("scenario: event %q has no @t=TIME", s)
 	}
+	if strings.HasPrefix(body, "chaos") {
+		return parseChaos(s, body, at)
+	}
 	tStr, ok := strings.CutPrefix(at, "t=")
 	if !ok {
 		return Event{}, fmt.Errorf("scenario: event %q: want @t=TIME, got %q", s, at)
@@ -72,6 +83,8 @@ func parseEvent(s string) (Event, error) {
 		ev.Kind = FailPE
 	case "recover":
 		ev.Kind = RecoverPE
+	case "crash":
+		ev.Kind = CrashPE
 	case "degradelink", "droplink":
 		ev.Kind = DegradeLink
 	case "restorelink", "fixlink":
@@ -131,6 +144,57 @@ func parseEvent(s string) (Event, error) {
 	}
 	if ev.Kind != DegradeLink && ev.Kind != RestoreLink {
 		ev.A, ev.B = 0, 0 // only link events carry endpoints
+	}
+	return ev, nil
+}
+
+// parseChaos reads a chaos generator event: `chaos:mtbf=M:mttr=R
+// [:until=T][:crash]@seed=S`. Unlike concrete events it is keyed by its
+// generator seed, not a firing time (the timeline starts at t=0 and is
+// drawn at machine construction).
+func parseChaos(s, body, at string) (Event, error) {
+	seedStr, ok := strings.CutPrefix(at, "seed=")
+	if !ok {
+		return Event{}, fmt.Errorf("scenario: chaos event %q: want @seed=N, got %q", s, at)
+	}
+	seed, err := strconv.ParseInt(seedStr, 10, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("scenario: chaos event %q: bad seed %q", s, seedStr)
+	}
+	ev := Event{Kind: Chaos, Seed: seed}
+	var haveMTBF, haveMTTR bool
+	for _, f := range strings.Split(body, ":")[1:] {
+		if f == "crash" {
+			ev.Crash = true
+			continue
+		}
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return Event{}, fmt.Errorf("scenario: chaos event %q: want key=value, got %q", s, f)
+		}
+		switch key {
+		case "mtbf", "mttr":
+			x, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Event{}, fmt.Errorf("scenario: chaos event %q: bad %s %q", s, key, val)
+			}
+			if key == "mtbf" {
+				ev.MTBF, haveMTBF = x, true
+			} else {
+				ev.MTTR, haveMTTR = x, true
+			}
+		case "until":
+			t, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || t < 0 {
+				return Event{}, fmt.Errorf("scenario: chaos event %q: bad until %q", s, val)
+			}
+			ev.Until = sim.Time(t)
+		default:
+			return Event{}, fmt.Errorf("scenario: chaos event %q: unknown key %q", s, key)
+		}
+	}
+	if !haveMTBF || !haveMTTR {
+		return Event{}, fmt.Errorf("scenario: chaos event %q: needs mtbf= and mttr=", s)
 	}
 	return ev, nil
 }

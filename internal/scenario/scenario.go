@@ -24,8 +24,24 @@ const (
 	// arriving goals are evacuated to the nearest live PE, responses and
 	// pending tasks freeze in place.
 	FailPE
-	// RecoverPE brings failed targets back; frozen work resumes.
+	// RecoverPE brings failed (or crashed) targets back; work frozen by
+	// a blackout resumes — a crashed PE comes back empty.
 	RecoverPE
+	// CrashPE is the state-loss failure: the targets' queued and
+	// in-flight goals, queued responses and pending tasks are destroyed
+	// (not evacuated). Every job that lost state is aborted — its
+	// surviving goals machine-wide are discarded — and retried from its
+	// root, keeping its original injection time. RecoverPE brings a
+	// crashed PE back.
+	CrashPE
+	// Chaos is a random-failure generator, not a concrete perturbation:
+	// at machine construction it expands (Script.Expand) into a
+	// deterministic timeline of single-PE failures and recoveries drawn
+	// from a salted stream of its Seed — exponential inter-failure gaps
+	// with mean MTBF and repair times with mean MTTR, over uniformly
+	// chosen PEs, crash-mode when Crash is set. Same seed, machine size
+	// and horizon give the identical timeline.
+	Chaos
 	// DegradeLink multiplies the occupancy time of every channel between
 	// A and B by Factor; Factor 0 takes the link down entirely. The
 	// scripted state is absolute: a positive factor on a downed link
@@ -49,6 +65,10 @@ func (k Kind) String() string {
 		return "fail"
 	case RecoverPE:
 		return "recover"
+	case CrashPE:
+		return "crash"
+	case Chaos:
+		return "chaos"
 	case DegradeLink:
 		return "degradelink"
 	case RestoreLink:
@@ -82,14 +102,38 @@ type Event struct {
 	// channel connecting them is affected.
 	A int `json:"a,omitempty"`
 	B int `json:"b,omitempty"`
+
+	// Chaos generator parameters (Kind Chaos only). MTBF and MTTR are
+	// the mean time between failures and mean time to repair of the
+	// exponential processes; Seed salts the dedicated generator stream;
+	// Until bounds the generated timeline (0 = the run's horizon);
+	// Crash selects crash-with-state-loss failures instead of
+	// blackouts.
+	MTBF  float64  `json:"mtbf,omitempty"`
+	MTTR  float64  `json:"mttr,omitempty"`
+	Seed  int64    `json:"seed,omitempty"`
+	Until sim.Time `json:"until,omitempty"`
+	Crash bool     `json:"crash,omitempty"`
 }
 
 // String renders the event in the parseable text form.
 func (e Event) String() string {
+	if e.Kind == Chaos {
+		var b strings.Builder
+		fmt.Fprintf(&b, "chaos:mtbf=%g:mttr=%g", e.MTBF, e.MTTR)
+		if e.Until > 0 {
+			fmt.Fprintf(&b, ":until=%d", e.Until)
+		}
+		if e.Crash {
+			b.WriteString(":crash")
+		}
+		fmt.Fprintf(&b, "@seed=%d", e.Seed)
+		return b.String()
+	}
 	var b strings.Builder
 	b.WriteString(e.Kind.String())
 	switch e.Kind {
-	case SlowPE, RestorePE, FailPE, RecoverPE:
+	case SlowPE, RestorePE, FailPE, RecoverPE, CrashPE:
 		if e.PEs != nil {
 			ids := make([]string, len(e.PEs))
 			for i, pe := range e.PEs {
@@ -219,7 +263,7 @@ func (s *Script) Validate(numPEs int) error {
 			return fmt.Errorf("scenario: event %d (%s): negative time %d", i, e.Kind, e.At)
 		}
 		switch e.Kind {
-		case SlowPE, RestorePE, FailPE, RecoverPE:
+		case SlowPE, RestorePE, FailPE, RecoverPE, CrashPE:
 			for _, pe := range e.PEs {
 				if pe < 0 || pe >= numPEs {
 					return fmt.Errorf("scenario: event %d (%s): PE %d out of range [0,%d)", i, e.Kind, pe, numPEs)
@@ -228,10 +272,10 @@ func (s *Script) Validate(numPEs int) error {
 			if e.PEs == nil && e.Frac != 0 && (e.Frac < 0 || e.Frac > 1 || !finite(e.Frac)) {
 				return fmt.Errorf("scenario: event %d (%s): fraction %g outside (0,1]", i, e.Kind, e.Frac)
 			}
-			if e.PEs == nil && e.Frac == 0 && (e.Kind == SlowPE || e.Kind == FailPE) {
+			if e.PEs == nil && e.Frac == 0 && (e.Kind == SlowPE || e.Kind == FailPE || e.Kind == CrashPE) {
 				return fmt.Errorf("scenario: event %d (%s): no targets (need pes=... or a fraction)", i, e.Kind)
 			}
-			if e.Kind == FailPE {
+			if e.Kind == FailPE || e.Kind == CrashPE {
 				// A single event whose targets cover the whole machine is
 				// guaranteed to die at apply time (the machine keeps one
 				// PE live); reject it before any simulation time is
@@ -243,7 +287,7 @@ func (s *Script) Validate(numPEs int) error {
 					distinct[pe] = struct{}{}
 				}
 				if len(distinct) >= numPEs {
-					return fmt.Errorf("scenario: event %d (fail): targets every PE — the machine needs at least one live PE", i)
+					return fmt.Errorf("scenario: event %d (%s): targets every PE — the machine needs at least one live PE", i, e.Kind)
 				}
 			}
 			if e.Kind == SlowPE && (!finite(e.Factor) || e.Factor <= 0) {
@@ -262,6 +306,16 @@ func (s *Script) Validate(numPEs int) error {
 		case LoadShock:
 			if !finite(e.Factor) || e.Factor <= 0 {
 				return fmt.Errorf("scenario: event %d (shock): rate multiplier %g must be finite and > 0", i, e.Factor)
+			}
+		case Chaos:
+			if !finite(e.MTBF) || e.MTBF <= 0 {
+				return fmt.Errorf("scenario: event %d (chaos): mtbf %g must be finite and > 0", i, e.MTBF)
+			}
+			if !finite(e.MTTR) || e.MTTR <= 0 {
+				return fmt.Errorf("scenario: event %d (chaos): mttr %g must be finite and > 0", i, e.MTTR)
+			}
+			if e.Until < 0 {
+				return fmt.Errorf("scenario: event %d (chaos): negative until %d", i, e.Until)
 			}
 		default:
 			return fmt.Errorf("scenario: event %d: unknown kind %d", i, int(e.Kind))
