@@ -7,7 +7,21 @@
 //
 // Regenerate the committed ledger with:
 //
-//	go run ./cmd/bench -o BENCH_PR4.json
+//	go run ./cmd/bench -o BENCH_PR5.json
+//
+// CI runs the fast regression gate on every PR:
+//
+//	go run ./cmd/bench -short -o -
+//
+// which trims the matrix to the headline and one scheduler-heavy case,
+// still runs the heap-vs-wheel A/B on the latter, and — like the full
+// run — exits non-zero if the two schedulers ever disagree on results,
+// so an event-ordering regression fails the build, not just a perf
+// number.
+//
+// Profile a case instead of guessing:
+//
+//	go run ./cmd/bench -short -cpuprofile cpu.out -memprofile mem.out
 //
 // Numbers are wall-clock and machine-dependent; allocs/op and bytes/op
 // are deterministic per Go version (the simulation itself is a pure
@@ -21,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"cwnsim/internal/experiments"
@@ -61,6 +76,14 @@ type ledger struct {
 	// side is not in the tree anymore (e.g. the PR 3 heap-arity trial),
 	// so the decision stays auditable from the ledger alone.
 	Experiments []experimentRecord `json:"experiments,omitempty"`
+	// Sched is the PR 5 two-tier-scheduler A/B: each scheduler-heavy
+	// case run under both the standing binary heap and the bucket
+	// wheel, interleaved. Both sides are in the tree (sim.SchedulerKind),
+	// so the section re-measures live on every regeneration, and each
+	// entry asserts the two schedulers produced identical results.
+	Sched []schedResult `json:"sched_two_tier,omitempty"`
+	// SchedDecision pins what the A/B decided and why.
+	SchedDecision string `json:"sched_decision,omitempty"`
 	// Pooling is the PR 4 replication-pooling A/B: the same spec run
 	// repeatedly with and without a shared machine.Pool (the
 	// cross-run free-list reuse RunAll workers use). Re-measured live
@@ -78,6 +101,22 @@ type poolingResult struct {
 	With               metricSet `json:"with_pool"`
 	AllocsReductionPct float64   `json:"allocs_reduction_pct"`
 	SpeedupX           float64   `json:"speedup_x"`
+	// Decision records why pooling is (or is not) the sweeps default.
+	Decision string `json:"decision,omitempty"`
+}
+
+// schedResult is one case of the heap-vs-wheel A/B.
+type schedResult struct {
+	Case          string    `json:"case"`
+	Iterations    int       `json:"iterations_per_side"`
+	Heap          metricSet `json:"heap"`
+	Wheel         metricSet `json:"wheel"`
+	WheelSpeedupX float64   `json:"wheel_speedup_x"`
+	// Identical asserts both schedulers produced the same events,
+	// makespan, result and job count — the bit-for-bit guarantee the
+	// wheel's per-bucket seq-FIFO exists for. cmd/bench exits non-zero
+	// if it is ever false.
+	Identical bool `json:"results_identical"`
 }
 
 // experimentRecord pins an A/B decision: what was tried, on which
@@ -100,7 +139,8 @@ type experimentRecord struct {
 
 // heapExperiment is the PR 3 heap-arity trial. The 4-ary heap lost and
 // was removed; the binary heap stays, parameterized (sim/heap.go
-// heapArity).
+// heapArity) — since PR 5 as the selectable non-default scheduler and
+// the wheel's overflow tier.
 var heapExperiment = experimentRecord{
 	Name:       "engine-heap-arity",
 	Case:       "open/ctrl-grid32-gm",
@@ -128,25 +168,46 @@ var baseline = map[string]metricSet{
 
 func main() {
 	var (
-		out   = flag.String("o", "BENCH_PR4.json", "ledger output path (- for stdout)")
-		iters = flag.Int("iters", 5, "iterations per case (fixed, for comparable allocs/op)")
+		out        = flag.String("o", "BENCH_PR5.json", "ledger output path (- for stdout)")
+		iters      = flag.Int("iters", 5, "iterations per case (fixed, for comparable allocs/op)")
+		short      = flag.Bool("short", false, "regression smoke: headline + one sched-heavy case, 1 iteration, sched A/B equality still enforced")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measurement runs to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile (after the runs) to this file")
 	)
 	flag.Parse()
 	if *iters < 1 {
 		fail(fmt.Errorf("-iters must be >= 1, got %d", *iters))
 	}
+	if *short {
+		*iters = 1
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		fail(err)
+		fail(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
 
 	matrix := experiments.BenchMatrix()
+	schedCases := experiments.SchedCases()
+	if *short {
+		matrix = trimMatrix(matrix, "open/poisson-grid8", "open/ctrl-grid32-gm")
+		schedCases = []string{"open/ctrl-grid32-gm"}
+	}
+
 	led := ledger{
 		Schema:      "cwnsim-bench/v1",
-		PR:          4,
+		PR:          5,
 		Go:          runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		CPUs:        runtime.NumCPU(),
-		Note:        "one op = one full simulation run of the named spec; baseline frozen at the pre-PR2 tree (cases added later carry none)",
+		Note:        "one op = one full simulation run of the named spec under the default (wheel) scheduler; baseline frozen at the pre-PR2 tree (cases added later carry none)",
 		Headline:    "open/poisson-grid8",
 		Experiments: []experimentRecord{heapExperiment},
+		SchedDecision: "two-tier wheel promoted to default scheduler: it won every matrix case (1.8-3.4x events/sec at PR 5 measurement) with results identical to the heap on all of them; " +
+			"the binary heap stays selectable (RunSpec.Scheduler=\"heap\", sim.SchedHeap) as the overflow tier and for re-measurement",
 	}
 	for _, c := range matrix {
 		// Warm registry caches so construction of shared immutables is
@@ -178,24 +239,56 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 	}
 
-	// The pooling A/B: replicate the headline case's spec with and
-	// without a shared pool. More sides-by-side runs than -iters so the
-	// pool's steady state (second run onward) dominates the mean.
-	headline := matrix[0]
-	for _, c := range matrix {
-		if c.Name == led.Headline {
-			headline = c
+	// The scheduler A/B: each sched-heavy case under heap and wheel,
+	// sides interleaved within every iteration so clock drift cannot
+	// favor one. A results divergence is a correctness failure, not a
+	// perf datum: exit non-zero.
+	for _, name := range schedCases {
+		spec, ok := findCase(experiments.BenchMatrix(), name)
+		if !ok {
+			fail(fmt.Errorf("sched case %s not in BenchMatrix", name))
+		}
+		sr, err := measureSched(spec, name, *iters)
+		if err != nil {
+			fail(fmt.Errorf("sched A/B %s: %v", name, err))
+		}
+		led.Sched = append(led.Sched, sr)
+		fmt.Fprintf(os.Stderr, "%-28s heap %11.0f -> wheel %11.0f events/sec (%.2fx), identical=%v\n",
+			"sched:"+name, sr.Heap.EventsPerSec, sr.Wheel.EventsPerSec, sr.WheelSpeedupX, sr.Identical)
+		if !sr.Identical {
+			fail(fmt.Errorf("sched A/B %s: heap and wheel produced DIFFERENT results — event ordering regression", name))
 		}
 	}
-	poolRuns := 2 * *iters
-	pr, err := measurePooling(headline.Spec, headline.Name, poolRuns)
-	if err != nil {
-		fail(fmt.Errorf("pooling A/B: %v", err))
+
+	// The pooling A/B: replicate the headline case's spec with and
+	// without a shared pool. More side-by-side runs than -iters so the
+	// pool's steady state (second run onward) dominates the mean.
+	if !*short {
+		spec, ok := findCase(matrix, led.Headline)
+		if !ok {
+			fail(fmt.Errorf("headline case %s not in BenchMatrix", led.Headline))
+		}
+		poolRuns := 2 * *iters
+		pr, err := measurePooling(spec, led.Headline, poolRuns)
+		if err != nil {
+			fail(fmt.Errorf("pooling A/B: %v", err))
+		}
+		pr.Decision = "slice-stack free lists (PR 5) fixed the PR 4 0.97x regression: the GC re-marked the pool's retained working set by chasing per-object nextFree chains every cycle; " +
+			"with contiguous pointer arrays pooling measures at parity or better on time (>=1.0x interleaved; run-to-run noise is a few percent either way) and keeps the ~45% allocs/op win, " +
+			"so RunAll workers keep pooling by default"
+		led.Pooling = &pr
+		fmt.Fprintf(os.Stderr, "%-28s %12d -> %d allocs/op with pool (%.1f%% fewer), %.0f -> %.0f events/sec\n",
+			"pooling:"+pr.Case, pr.Without.AllocsPerOp, pr.With.AllocsPerOp,
+			pr.AllocsReductionPct, pr.Without.EventsPerSec, pr.With.EventsPerSec)
 	}
-	led.Pooling = &pr
-	fmt.Fprintf(os.Stderr, "%-28s %12d -> %d allocs/op with pool (%.1f%% fewer), %.0f -> %.0f events/sec\n",
-		"pooling:"+pr.Case, pr.Without.AllocsPerOp, pr.With.AllocsPerOp,
-		pr.AllocsReductionPct, pr.Without.EventsPerSec, pr.With.EventsPerSec)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		fail(err)
+		runtime.GC()
+		fail(pprof.WriteHeapProfile(f))
+		fail(f.Close())
+	}
 
 	enc, err := json.MarshalIndent(led, "", "  ")
 	fail(err)
@@ -207,6 +300,31 @@ func main() {
 	}
 	fail(os.WriteFile(*out, enc, 0o644))
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+// trimMatrix keeps only the named cases, in matrix order.
+func trimMatrix(matrix []experiments.BenchCase, names ...string) []experiments.BenchCase {
+	keep := map[string]bool{}
+	for _, n := range names {
+		keep[n] = true
+	}
+	var out []experiments.BenchCase
+	for _, c := range matrix {
+		if keep[c.Name] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// findCase returns the named case's spec.
+func findCase(matrix []experiments.BenchCase, name string) (experiments.RunSpec, bool) {
+	for _, c := range matrix {
+		if c.Name == name {
+			return c.Spec, true
+		}
+	}
+	return experiments.RunSpec{}, false
 }
 
 // measure runs the spec iters times and reports per-op means. Mallocs
@@ -241,33 +359,116 @@ func measure(spec experiments.RunSpec, iters int) (caseResult, error) {
 	}, nil
 }
 
+// schedSideFP is the per-side results digest the A/B compares.
+type schedSideFP struct {
+	events   uint64
+	makespan int64
+	result   int64
+	jobs     int64
+	busy     int64
+}
+
+// measureSched runs the spec iters times per scheduler, interleaved,
+// and reports both metric sets plus whether results were identical.
+func measureSched(spec experiments.RunSpec, name string, iters int) (schedResult, error) {
+	spec.Topo.Build()
+	spec.Workload.Build()
+	sides := [2]string{"heap", "wheel"}
+	var elapsed [2]time.Duration
+	var allocs, bytes [2]uint64
+	var events [2]uint64
+	var fp [2]schedSideFP
+	for i := 0; i < iters; i++ {
+		for side, sched := range sides {
+			s := spec
+			s.Scheduler = sched
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			r, err := s.ExecuteErr()
+			if err != nil {
+				return schedResult{}, err
+			}
+			elapsed[side] += time.Since(start)
+			runtime.ReadMemStats(&after)
+			allocs[side] += after.Mallocs - before.Mallocs
+			bytes[side] += after.TotalAlloc - before.TotalAlloc
+			events[side] = r.Stats.Events
+			fp[side] = schedSideFP{
+				events:   r.Stats.Events,
+				makespan: int64(r.Stats.Makespan),
+				result:   r.Stats.Result,
+				jobs:     r.Stats.JobsDone,
+				busy:     int64(r.Stats.TotalBusy),
+			}
+		}
+	}
+	n := uint64(iters)
+	mk := func(side int) metricSet {
+		return metricSet{
+			NsPerOp:      elapsed[side].Nanoseconds() / int64(iters),
+			AllocsPerOp:  int64(allocs[side] / n),
+			BytesPerOp:   int64(bytes[side] / n),
+			EventsPerSec: float64(events[side]) * float64(iters) / elapsed[side].Seconds(),
+		}
+	}
+	sr := schedResult{
+		Case:       name,
+		Iterations: iters,
+		Heap:       mk(0),
+		Wheel:      mk(1),
+		Identical:  fp[0] == fp[1],
+	}
+	if sr.Wheel.NsPerOp > 0 {
+		sr.WheelSpeedupX = float64(sr.Heap.NsPerOp) / float64(sr.Wheel.NsPerOp)
+	}
+	return sr, nil
+}
+
 // measurePooling runs the spec `runs` times per side — fresh execution
 // versus a shared machine.Pool carried across the runs (what each
 // RunAll worker does in a sweep) — and reports both per-op metric sets.
+// Sides are interleaved run by run so clock drift and GC-state carry-
+// over from earlier ledger sections cannot bias one side, and each side
+// gets one untimed warm-up (the pooled side's first run fills an empty
+// pool — pure cost, which a RunAll worker amortizes over a whole sweep).
 func measurePooling(spec experiments.RunSpec, name string, runs int) (poolingResult, error) {
-	sides := []*machine.Pool{nil, {}}
-	var sets [2]metricSet
-	for side, pool := range sides {
-		var before, after runtime.MemStats
-		runtime.GC()
-		runtime.ReadMemStats(&before)
-		start := time.Now()
-		var events uint64
-		for i := 0; i < runs; i++ {
-			r, err := spec.ExecuteWithPool(pool)
+	pool := &machine.Pool{}
+	sides := []*machine.Pool{nil, pool}
+	var elapsed [2]time.Duration
+	var allocs, bytes [2]uint64
+	var events [2]uint64
+	for _, p := range sides {
+		if _, err := spec.ExecuteWithPool(p); err != nil {
+			return poolingResult{}, err
+		}
+	}
+	for i := 0; i < runs; i++ {
+		for side, p := range sides {
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			r, err := spec.ExecuteWithPool(p)
 			if err != nil {
 				return poolingResult{}, err
 			}
-			events = r.Stats.Events
+			elapsed[side] += time.Since(start)
+			runtime.ReadMemStats(&after)
+			allocs[side] += after.Mallocs - before.Mallocs
+			bytes[side] += after.TotalAlloc - before.TotalAlloc
+			events[side] = r.Stats.Events
 		}
-		elapsed := time.Since(start)
-		runtime.ReadMemStats(&after)
-		n := uint64(runs)
+	}
+	var sets [2]metricSet
+	n := uint64(runs)
+	for side := range sides {
 		sets[side] = metricSet{
-			NsPerOp:      elapsed.Nanoseconds() / int64(runs),
-			AllocsPerOp:  int64((after.Mallocs - before.Mallocs) / n),
-			BytesPerOp:   int64((after.TotalAlloc - before.TotalAlloc) / n),
-			EventsPerSec: float64(events) * float64(runs) / elapsed.Seconds(),
+			NsPerOp:      elapsed[side].Nanoseconds() / int64(runs),
+			AllocsPerOp:  int64(allocs[side] / n),
+			BytesPerOp:   int64(bytes[side] / n),
+			EventsPerSec: float64(events[side]) * float64(runs) / elapsed[side].Seconds(),
 		}
 	}
 	pr := poolingResult{Case: name, RunsPerSide: runs, Without: sets[0], With: sets[1]}

@@ -75,5 +75,50 @@ func BenchMatrix() []BenchCase {
 				Warmup:   2_000,
 			},
 		},
+		{
+			// Scheduler-heavy case #2 (PR 5): 4096 PEs quadruple the
+			// standing timer population of ctrl-grid32-gm — ~8k Timer
+			// re-arms per 20 virtual units from load tickers and
+			// gradient processes alone. This is the regime the two-tier
+			// wheel targets: nearly every event lands within the wheel
+			// window, so push/pop are pointer appends instead of
+			// percolations through a ~10k-entry heap.
+			Name: "open/ctrl-grid64-gm",
+			Spec: RunSpec{
+				Topo:     Grid(64),
+				Workload: Fib(9),
+				Strategy: GM(1, 2, 20),
+				Arrival:  PoissonArrivals(25, 120),
+				Warmup:   1_000,
+				MaxTime:  20_000,
+			},
+		},
+		{
+			// Scheduler-heavy case #3 (PR 5): a long chaos-driven
+			// timeline — 256 PEs under a Poisson stream with random
+			// fail/recover cycles for 80k virtual units. Service
+			// completions, evacuations and failure-aware re-steering
+			// keep Timer stop/re-arm traffic high for the whole
+			// horizon, and the chaos script parks far-future events in
+			// the scheduler's second tier from construction.
+			Name: "open/chaos-grid16-cwn-fa",
+			Spec: RunSpec{
+				Topo:     Grid(16),
+				Workload: Fib(9),
+				Strategy: StrategySpec{Kind: "cwn", Radius: 5, Horizon: 2, FailureAware: true},
+				Arrival:  PoissonArrivals(40, 1_500),
+				Warmup:   2_000,
+				MaxTime:  80_000,
+				Scenario: "chaos:mtbf=4000:mttr=1000@seed=3",
+			},
+		},
 	}
+}
+
+// SchedCases names the BenchMatrix entries the scheduler A/B (perf
+// ledger sched-two-tier section, cmd/bench) measures under both the
+// heap and the wheel: the standing-timer-heavy control cases plus the
+// chaos timeline.
+func SchedCases() []string {
+	return []string{"open/ctrl-grid32-gm", "open/ctrl-grid64-gm", "open/chaos-grid16-cwn-fa"}
 }

@@ -65,12 +65,14 @@ func TestLargeGridPoissonSmoke(t *testing.T) {
 		t.Skip("skipping 32x32 2k-job smoke in -short mode")
 	}
 	spec := RunSpec{
-		Topo:         Grid(32),
-		Workload:     Fib(9),
-		Strategy:     CWN(9, 2),
-		Arrival:      PoissonArrivals(40, 2000),
-		Warmup:       4_000,
-		SojournBound: 500,
+		Topo:           Grid(32),
+		Workload:       Fib(9),
+		Strategy:       CWN(9, 2),
+		Arrival:        PoissonArrivals(40, 2000),
+		Warmup:         4_000,
+		SampleInterval: 50,
+		SojournBound:   500,
+		SeriesBound:    64,
 	}
 	r, err := spec.ExecuteErr()
 	if err != nil {
@@ -91,6 +93,12 @@ func TestLargeGridPoissonSmoke(t *testing.T) {
 	}
 	if st.Sojourn.N() != 2000 {
 		t.Fatalf("bounded Sojourn sample n = %d, want all 2000 completions", st.Sojourn.N())
+	}
+	if n := st.Timeline.Len(); n == 0 || n > 64 {
+		t.Fatalf("bounded Timeline holds %d points under SeriesBound=64", n)
+	}
+	if !st.Timeline.Bounded() {
+		t.Fatal("Timeline did not thin under SeriesBound — run memory is not bounded")
 	}
 	if p99 := st.SojournP99(); math.IsNaN(p99) || p99 <= 0 {
 		t.Fatalf("implausible p99 sojourn %f", p99)

@@ -28,6 +28,14 @@ type RunSpec struct {
 	RespHopTime    int64        `json:"respHopTime,omitempty"`
 	MaxTime        int64        `json:"maxTime,omitempty"`      // measurement horizon override; 0 = default
 	SojournBound   int64        `json:"sojournBound,omitempty"` // cap on retained sojourn observations; 0 = exact
+	SeriesBound    int64        `json:"seriesBound,omitempty"`  // cap on retained time-series points/frames; 0 = exact
+
+	// Scheduler selects the engine's pending-event structure: "" or
+	// "wheel" for the two-tier bucket wheel (the default), "heap" for
+	// the standing binary heap. Results are identical either way
+	// (pinned by the sched cross-check test); only events/sec differs —
+	// see the perf ledger's sched-two-tier section.
+	Scheduler string `json:"scheduler,omitempty"`
 
 	// Scenario scripts a dynamic environment into the run, in the
 	// compact text form of scenario.Parse — e.g.
@@ -76,7 +84,16 @@ func (rs RunSpec) Config() machine.Config {
 		cfg.MaxTime = sim.Time(rs.MaxTime)
 	}
 	cfg.SojournBound = int(rs.SojournBound)
+	cfg.SeriesBound = int(rs.SeriesBound)
 	cfg.TrackGoalDetail = !rs.NoGoalDetail
+	switch rs.Scheduler {
+	case "", "wheel":
+		cfg.Scheduler = sim.SchedWheel
+	case "heap":
+		cfg.Scheduler = sim.SchedHeap
+	default:
+		panic(fmt.Sprintf("experiments: unknown scheduler %q (want heap or wheel)", rs.Scheduler))
+	}
 	if rs.Scenario != "" {
 		sc, err := scenario.Parse(rs.Scenario)
 		if err != nil {

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"cwnsim/internal/machine"
+)
+
+// schedFingerprint captures everything an event-ordering divergence
+// between the two schedulers would disturb: the event count and
+// makespan pin the sequence length, the result and message counts pin
+// the computation, and the sojourn stats pin per-job timing.
+type schedFingerprint struct {
+	events    uint64
+	makespan  int64
+	result    int64
+	totalBusy int64
+	jobsDone  int64
+	goalsExec int64
+	sojMean   float64
+	sojP99    float64
+}
+
+func schedFP(st *machine.Stats) schedFingerprint {
+	return schedFingerprint{
+		events:    st.Events,
+		makespan:  int64(st.Makespan),
+		result:    st.Result,
+		totalBusy: int64(st.TotalBusy),
+		jobsDone:  st.JobsDone,
+		goalsExec: st.GoalsExecuted,
+		sojMean:   st.Sojourn.Mean(),
+		sojP99:    st.Sojourn.Percentile(0.99),
+	}
+}
+
+// TestSchedulerCrossCheck pins the tentpole's hard requirement: the
+// two-tier wheel scheduler reproduces the heap's results bit for bit on
+// the regression-grade spec matrix — closed single-job runs, open
+// Poisson/burst streams, GM control traffic, a scripted blackout
+// scenario and a chaos-driven crash timeline (the Timer-re-arm-heavy
+// regime the wheel exists for).
+func TestSchedulerCrossCheck(t *testing.T) {
+	specs := []RunSpec{
+		{Label: "closed-cwn", Topo: Grid(6), Workload: Fib(10), Strategy: CWN(5, 2)},
+		{Label: "closed-gm", Topo: Grid(6), Workload: Fib(10), Strategy: GM(1, 2, 20)},
+		{Label: "open-poisson", Topo: Grid(5), Workload: Fib(8), Strategy: CWN(3, 1),
+			Arrival: PoissonArrivals(40, 200), Warmup: 1000},
+		{Label: "open-burst-gm", Topo: DLM(4, 2), Workload: Fib(8), Strategy: GM(1, 2, 20),
+			Arrival: BurstArrivals(10, 500, 4), Warmup: 500},
+		{Label: "scenario-blackout", Topo: Grid(5), Workload: Fib(8), Strategy: CWN(3, 1),
+			Arrival: PoissonArrivals(50, 150), SampleInterval: 100,
+			Scenario: "fail:pes=20%@t=2000,recover@t=4000"},
+		{Label: "chaos-crash", Topo: Grid(5), Workload: Fib(8),
+			Strategy: StrategySpec{Kind: "cwn", Radius: 3, Horizon: 1, FailureAware: true},
+			Arrival:  PoissonArrivals(50, 150), SampleInterval: 100,
+			Scenario: "chaos:mtbf=3000:mttr=800:crash@seed=5", MaxTime: 60_000},
+	}
+	for _, spec := range specs {
+		t.Run(spec.Label, func(t *testing.T) {
+			heapSpec, wheelSpec := spec, spec
+			heapSpec.Scheduler = "heap"
+			wheelSpec.Scheduler = "wheel"
+			hr, err := heapSpec.ExecuteErr()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wr, err := wheelSpec.ExecuteErr()
+			if err != nil {
+				t.Fatal(err)
+			}
+			hf, wf := schedFP(hr.Stats), schedFP(wr.Stats)
+			if !reflect.DeepEqual(hf, wf) {
+				t.Fatalf("heap and wheel diverge:\n heap:  %+v\n wheel: %+v", hf, wf)
+			}
+			if hr.Stats.MsgCounts != wr.Stats.MsgCounts {
+				t.Fatalf("message counts diverge: %v vs %v", hr.Stats.MsgCounts, wr.Stats.MsgCounts)
+			}
+			// Per-PE distributions, not just totals: a reordering that
+			// conserves sums would still shift work between PEs.
+			if !reflect.DeepEqual(hr.Stats.BusyPerPE, wr.Stats.BusyPerPE) {
+				t.Fatal("per-PE busy time diverges between schedulers")
+			}
+			if !reflect.DeepEqual(hr.Stats.GoalsPerPE, wr.Stats.GoalsPerPE) {
+				t.Fatal("per-PE goal counts diverge between schedulers")
+			}
+		})
+	}
+}

@@ -123,16 +123,16 @@ type wireMsg struct {
 	to       int // receiving PE of this hop
 	dst      int // final destination (wireGoalRoute)
 	sentLoad int32
-	next     *wireMsg // free-list link
 }
 
 // newMsg pops a message from the free list (or allocates the pool's
 // next entry) with the common fields set.
 func (m *Machine) newMsg(kind wireKind, from int, sentLoad int) *wireMsg {
-	w := m.msgFree
-	if w != nil {
-		m.msgFree = w.next
-		w.next = nil
+	var w *wireMsg
+	if n := len(m.msgFree); n > 0 {
+		w = m.msgFree[n-1]
+		m.msgFree[n-1] = nil
+		m.msgFree = m.msgFree[:n-1]
 		w.m = m // free lists may be shared across runs (Pool)
 	} else {
 		w = &wireMsg{m: m}
@@ -149,8 +149,7 @@ func (m *Machine) freeMsg(w *wireMsg) {
 	w.goal = nil
 	w.payload = nil
 	w.resp = response{}
-	w.next = m.msgFree
-	m.msgFree = w
+	m.msgFree = append(m.msgFree, w)
 }
 
 // Act delivers the message. It copies what it needs, recycles itself,

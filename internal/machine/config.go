@@ -41,6 +41,15 @@ type Config struct {
 	// phases). Equal seeds give identical runs.
 	Seed int64
 
+	// Scheduler selects the engine's pending-event structure: the
+	// two-tier bucket wheel + overflow heap (sim.SchedWheel, the zero
+	// value and default) or the standing binary heap (sim.SchedHeap).
+	// Both fire events in the same (time, sequence) order, so results
+	// are bit-for-bit identical either way (pinned by cross-check
+	// tests); only the events/sec differ — the wheel measured 1.8-3.4x
+	// across the ledger matrix (sched-two-tier section).
+	Scheduler sim.SchedulerKind
+
 	// GrainTime is the PE service time to execute one goal body
 	// (multiplied by the task's Work factor).
 	GrainTime sim.Time
@@ -112,6 +121,26 @@ type Config struct {
 	// (the default) keeps every observation and record: exact
 	// percentiles, memory linear in completed jobs.
 	SojournBound int
+
+	// SeriesBound caps every sampled time series (Timeline, QueueLen,
+	// QueueImbalance, SojournWindows, InjSojournWindows) at this many
+	// retained points and the per-PE Monitor at this many frames: past
+	// the cap a series halves itself and doubles its recording stride
+	// (metrics.Series.Bound), so a month-long virtual run holds a
+	// uniformly thinned timeline instead of millions of points.
+	// Retained points keep their exact windowed values — only time
+	// resolution is lost — but recovery analysis over a bounded
+	// SojournWindows reads a coarser grid, so scenario runs should
+	// bound generously. 0 (the default) retains every sample: bounded
+	// memory is opt-in, like SojournBound, because the paper-scale runs
+	// are short and exact plots are the point. 4096 points cover a
+	// month of virtual time at SampleInterval=100 with two halvings and
+	// ~64KB per series — the recommended setting for long-horizon
+	// sweeps (decision record: ROADMAP perf section). Residual: the
+	// raw injection-window buckets behind InjSojournWindows (scenario
+	// runs with sampling only) still grow one slice header per sampling
+	// window; only the finalized series is bounded.
+	SeriesBound int
 
 	// PESpeeds optionally makes the machine heterogeneous: PE i's
 	// service times are divided by PESpeeds[i] (1.0 = nominal, 0.5 =
@@ -210,5 +239,11 @@ func (c *Config) validate(numPEs int) {
 	}
 	if c.SojournBound < 0 {
 		panic("machine: SojournBound must be non-negative")
+	}
+	if c.SeriesBound < 0 {
+		panic("machine: SeriesBound must be non-negative")
+	}
+	if c.SeriesBound == 1 {
+		panic("machine: SeriesBound must be 0 (exact) or >= 2")
 	}
 }

@@ -94,6 +94,18 @@
 //
 // Sweeps replicating one configuration across seeds can hand sequential
 // machines a shared Pool (Config.Pool): the per-run free lists — wire
-// messages, goals, pending tasks, job states — carry over, cutting
-// steady-state allocation without touching results.
+// messages, goals, pending tasks, job states, pending-slab slot arrays
+// — carry over, cutting steady-state allocation without touching
+// results.
+//
+// # Hot path
+//
+// The per-goal path is hash-free end to end: a PE indexes its pending
+// tasks in an open-addressed slab keyed by goal ID (pendingslab.go —
+// sequential IDs make the low bits a perfect hash), ready queues are
+// ring buffers, and every transient object (wire messages, goals,
+// pending tasks, job states) recycles through slice-stack free lists.
+// The engine underneath runs the two-tier wheel scheduler by default
+// (Config.Scheduler, internal/sim); both knobs are A/B-measurable
+// through the perf ledger (cmd/bench).
 package machine

@@ -234,20 +234,20 @@ func (m *Machine) crashPE(pe *PE) {
 		}
 		// Queued responses target local pending tasks; both vanish.
 	}
-	// Sweep the pending map in goal-ID order, NOT map order: the victim
-	// sequence decides abort/reinject order and therefore goal IDs and
-	// queue positions — map iteration would make identically-seeded
-	// crash runs diverge.
-	ids := make([]int64, 0, len(pe.pending))
-	for id := range pe.pending {
-		ids = append(ids, id)
-	}
+	// Sweep the pending slab in goal-ID order, NOT slot order: the
+	// victim sequence decides abort/reinject order and therefore goal
+	// IDs and queue positions — slot order shifts as the table grows,
+	// which would make identically-seeded crash runs diverge. (IDs are
+	// collected first for a second reason: del back-shifts entries, so
+	// deleting while iterating slots would skip some.)
+	ids := make([]int64, 0, pe.pending.len())
+	pe.pending.forEach(func(id int64, _ *pendingTask) { ids = append(ids, id) })
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		p := pe.pending[id]
+		p := pe.pending.get(id)
 		m.stats.GoalsLost++ // the executed parent's spawn state is lost
 		collect(p.goal.job)
-		delete(pe.pending, id)
+		pe.pending.del(id)
 		m.freeGoal(p.goal)
 		m.freePending(p)
 	}
@@ -268,6 +268,7 @@ func (m *Machine) crashPE(pe *PE) {
 func (m *Machine) abortJob(j *jobState) {
 	j.epoch++
 	m.stats.JobsAborted++
+	var stale []int64
 	for _, pe := range m.pes {
 		for i := 0; i < pe.ready.len(); {
 			if it := pe.ready.at(i); it.kind == itemGoal && it.goal.job == j && it.goal.epoch != j.epoch {
@@ -279,12 +280,19 @@ func (m *Machine) abortJob(j *jobState) {
 				i++
 			}
 		}
-		for id, p := range pe.pending {
+		// Collect first, delete after: del back-shifts slab entries, so
+		// deleting mid-iteration would skip entries behind the cursor.
+		stale = stale[:0]
+		pe.pending.forEach(func(id int64, p *pendingTask) {
 			if p.goal.job == j && p.goal.epoch != j.epoch {
-				delete(pe.pending, id)
-				m.freeGoal(p.goal)
-				m.freePending(p)
+				stale = append(stale, id)
 			}
+		})
+		for _, id := range stale {
+			p := pe.pending.get(id)
+			pe.pending.del(id)
+			m.freeGoal(p.goal)
+			m.freePending(p)
 		}
 	}
 	m.stats.JobsRetried++

@@ -48,8 +48,6 @@ type Goal struct {
 	// service completion). Only consulted on lossy (crash-scripted)
 	// runs.
 	epoch uint64
-
-	nextFree *Goal // machine goal-pool link
 }
 
 // response carries a completed goal's value back to its parent task.
@@ -84,5 +82,4 @@ type pendingTask struct {
 	goal      *Goal
 	remaining int
 	vals      []int64
-	nextFree  *pendingTask // machine pending-pool link
 }

@@ -65,11 +65,19 @@ type Machine struct {
 	injSoj [][]float64
 
 	// Free lists: the hot path recycles wire messages, goals, pending
-	// tasks and job states instead of allocating per message/goal.
-	msgFree     *wireMsg
-	goalFree    *Goal
-	pendingFree *pendingTask
-	jobFree     *jobState
+	// tasks and job states instead of allocating per message/goal. The
+	// lists are slice stacks, not linked lists: the garbage collector
+	// scans one contiguous pointer array per list instead of chasing a
+	// nextFree chain through the whole retained working set — the
+	// pointer-chasing that made cross-run pooling (machine.Pool) slower
+	// than allocating despite the saved allocations (PR 5; numbers in
+	// the ledger's pooling section). slabFree recycles pending-slab
+	// slot arrays the same way.
+	msgFree     []*wireMsg
+	goalFree    []*Goal
+	pendingFree []*pendingTask
+	jobFree     []*jobState
+	slabFree    [][]pendingSlot
 
 	prevBusySample sim.Time
 	prevSampleAt   sim.Time
@@ -110,7 +118,7 @@ func New(topo *topology.Topology, tree *workload.Tree, strat Strategy, cfg Confi
 func NewStream(topo *topology.Topology, source JobSource, strat Strategy, cfg Config) *Machine {
 	cfg.validate(topo.Size())
 	m := &Machine{
-		eng:     sim.NewEngine(cfg.Seed),
+		eng:     sim.NewEngineSched(cfg.Seed, cfg.Scheduler),
 		topo:    topo,
 		cfg:     cfg,
 		strat:   strat,
@@ -124,10 +132,24 @@ func NewStream(topo *topology.Topology, source JobSource, strat Strategy, cfg Co
 		m.stats.Sojourn.Bound(cfg.SojournBound)
 		m.stats.SteadySojourn.Bound(cfg.SojournBound)
 	}
+	if cfg.SeriesBound > 0 {
+		m.stats.Timeline.Bound(cfg.SeriesBound)
+		m.stats.QueueLen.Bound(cfg.SeriesBound)
+		m.stats.QueueImbalance.Bound(cfg.SeriesBound)
+		m.stats.SojournWindows.Bound(cfg.SeriesBound)
+		m.stats.InjSojournWindows.Bound(cfg.SeriesBound)
+		m.stats.Monitor.Bound(cfg.SeriesBound)
+	}
 
 	m.chans = make([]*chanState, len(topo.Channels()))
 	for i, ch := range topo.Channels() {
 		m.chans[i] = &chanState{id: ch.ID, members: ch.Members}
+	}
+
+	// Borrow the pooled free lists before PE construction so the
+	// pending-slab slot arrays recycle across runs too.
+	if p := cfg.Pool; p != nil {
+		p.lend(m)
 	}
 
 	m.pes = make([]*PE, topo.Size())
@@ -136,13 +158,13 @@ func NewStream(topo *topology.Topology, source JobSource, strat Strategy, cfg Co
 		pe := &PE{
 			m:        m,
 			id:       i,
-			pending:  make(map[int64]*pendingTask),
 			nbrs:     nbrs,
 			nbrIndex: make(map[int]int, len(nbrs)),
 			nbrLoad:  make([]int32, len(nbrs)),
 			nbrSeen:  make([]sim.Time, len(nbrs)),
 			nbrDown:  make([]bool, len(nbrs)),
 		}
+		pe.pending.init(m.takeSlab())
 		pe.svc = sim.NewTimer(m.eng, pe.serviceDone)
 		if cfg.PESpeeds != nil {
 			pe.speed = cfg.PESpeeds[i]
@@ -152,10 +174,6 @@ func NewStream(topo *topology.Topology, source JobSource, strat Strategy, cfg Co
 			pe.nbrSeen[j] = -1
 		}
 		m.pes[i] = pe
-	}
-
-	if p := cfg.Pool; p != nil {
-		p.lend(m)
 	}
 
 	strat.Setup(m)
@@ -293,9 +311,11 @@ func (m *Machine) newObserverTicker(period sim.Time, fn func()) *sim.Ticker {
 // origin for parent goal parentID living on parentPE. Goal objects come
 // from the machine's pool; see freeGoal.
 func (m *Machine) newGoal(task *workload.Task, j *jobState, parentPE int, parentID int64) *Goal {
-	g := m.goalFree
-	if g != nil {
-		m.goalFree = g.nextFree
+	var g *Goal
+	if n := len(m.goalFree); n > 0 {
+		g = m.goalFree[n-1]
+		m.goalFree[n-1] = nil
+		m.goalFree = m.goalFree[:n-1]
 	} else {
 		g = &Goal{}
 	}
@@ -321,17 +341,17 @@ func (m *Machine) newGoal(task *workload.Task, j *jobState, parentPE int, parent
 func (m *Machine) freeGoal(g *Goal) {
 	g.Task = nil
 	g.job = nil
-	g.nextFree = m.goalFree
-	m.goalFree = g
+	m.goalFree = append(m.goalFree, g)
 }
 
 // newPending allocates (or recycles) the pending-task record for a goal
 // awaiting kids child responses.
 func (m *Machine) newPending(g *Goal, kids int) *pendingTask {
-	p := m.pendingFree
-	if p != nil {
-		m.pendingFree = p.nextFree
-		p.nextFree = nil
+	var p *pendingTask
+	if n := len(m.pendingFree); n > 0 {
+		p = m.pendingFree[n-1]
+		m.pendingFree[n-1] = nil
+		m.pendingFree = m.pendingFree[:n-1]
 	} else {
 		p = &pendingTask{}
 	}
@@ -349,8 +369,20 @@ func (m *Machine) newPending(g *Goal, kids int) *pendingTask {
 func (m *Machine) freePending(p *pendingTask) {
 	p.goal = nil
 	p.vals = p.vals[:0]
-	p.nextFree = m.pendingFree
-	m.pendingFree = p
+	m.pendingFree = append(m.pendingFree, p)
+}
+
+// takeSlab hands a PE a recycled pending-slab slot array (nil when none
+// are pooled; the slab then allocates a fresh one).
+func (m *Machine) takeSlab() []pendingSlot {
+	n := len(m.slabFree)
+	if n == 0 {
+		return nil
+	}
+	slots := m.slabFree[n-1]
+	m.slabFree[n-1] = nil
+	m.slabFree = m.slabFree[:n-1]
+	return slots
 }
 
 // broadcastLoad sends this PE's current load to all neighbors: one
@@ -632,9 +664,11 @@ func (m *Machine) arrive() {
 // outside world: it is accepted at RootPE directly rather than placed
 // by the strategy, so competing strategies start from identical state.
 func (m *Machine) inject(tree *workload.Tree) {
-	j := m.jobFree
-	if j != nil {
-		m.jobFree = j.nextFree
+	var j *jobState
+	if n := len(m.jobFree); n > 0 {
+		j = m.jobFree[n-1]
+		m.jobFree[n-1] = nil
+		m.jobFree = m.jobFree[:n-1]
 	} else {
 		j = &jobState{}
 	}
@@ -671,8 +705,7 @@ func (m *Machine) injectRoot(j *jobState) {
 // freeJob recycles a completed job's state record.
 func (m *Machine) freeJob(j *jobState) {
 	j.tree = nil
-	j.nextFree = m.jobFree
-	m.jobFree = j
+	m.jobFree = append(m.jobFree, j)
 }
 
 func (m *Machine) finalize() {
@@ -732,6 +765,11 @@ func (m *Machine) finalize() {
 		}
 	}
 	if p := m.cfg.Pool; p != nil {
+		// Release every PE's pending-slab slot array for the next run
+		// before the pool takes the lists back.
+		for _, pe := range m.pes {
+			m.slabFree = append(m.slabFree, pe.pending.release())
+		}
 		p.reclaim(m)
 	}
 }

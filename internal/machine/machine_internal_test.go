@@ -153,7 +153,7 @@ func TestLoadMetrics(t *testing.T) {
 	cfg.LoadMetric = LoadQueuePlusPending
 	m := New(topo, tree, keepLocal{}, cfg)
 	pe := m.pes[0]
-	pe.pending[99] = &pendingTask{}
+	pe.pending.put(99, &pendingTask{})
 	g := m.newGoal(tree.Root, &jobState{tree: tree}, 0, -1)
 	m.eng.Schedule(0, func() {
 		pe.Accept(g) // goes straight into service: queue stays empty

@@ -98,8 +98,8 @@ type PE struct {
 	busy       bool
 	serviceEnd sim.Time   // when the in-service message finishes (valid while busy)
 	inService  item       // the message in service (valid while busy)
-	svc        *sim.Timer // reusable service-completion event
-	pending    map[int64]*pendingTask
+	svc        *sim.Timer  // reusable service-completion event
+	pending    pendingSlab // tasks awaiting child responses, by goal ID
 
 	nbrs     []int       // cached topology neighbors, ascending
 	nbrIndex map[int]int // PE id -> index into nbrs
@@ -164,7 +164,7 @@ func (pe *PE) Load() int {
 	}
 	load := pe.queueLen()
 	if pe.m.cfg.LoadMetric == LoadQueuePlusPending {
-		load += len(pe.pending)
+		load += pe.pending.len()
 	}
 	return load
 }
@@ -199,7 +199,7 @@ func (pe *PE) QueuedGoals() int {
 
 // PendingTasks returns the number of local tasks awaiting responses —
 // the "future commitments" component of the refined load metric.
-func (pe *PE) PendingTasks() int { return len(pe.pending) }
+func (pe *PE) PendingTasks() int { return pe.pending.len() }
 
 // Neighbors returns the PE's neighbors in ascending order. Callers must
 // not modify the slice.
@@ -450,15 +450,15 @@ func (pe *PE) finish(it item) {
 			pe.m.freeGoal(g)
 			return
 		}
-		pe.pending[g.ID] = pe.m.newPending(g, len(task.Kids))
+		pe.pending.put(g.ID, pe.m.newPending(g, len(task.Kids)))
 		for _, kid := range task.Kids {
 			child := pe.m.newGoal(kid, g.job, pe.id, g.ID)
 			pe.node.HandleEvent(Event{Kind: GoalCreated, Goal: child})
 		}
 	case itemResponse:
 		r := it.resp
-		p, ok := pe.pending[r.goalID]
-		if !ok {
+		p := pe.pending.get(r.goalID)
+		if p == nil {
 			if pe.m.lossy {
 				// The awaiting task died in a crash (its pending record
 				// was purged with the aborted attempt); the value has
@@ -472,7 +472,7 @@ func (pe *PE) finish(it item) {
 		p.vals = append(p.vals, r.value)
 		p.remaining--
 		if p.remaining == 0 {
-			delete(pe.pending, r.goalID)
+			pe.pending.del(r.goalID)
 			val := p.goal.job.tree.Combine(p.vals)
 			pe.m.respond(pe.id, p.goal, val)
 			pe.m.freeGoal(p.goal)

@@ -204,8 +204,6 @@ type jobState struct {
 	// progress, so one crash that destroys several of its goals aborts
 	// it exactly once.
 	aborting bool
-
-	nextFree *jobState // machine job-pool link
 }
 
 // JobRecord is one completed job's latency record, the per-job datum an

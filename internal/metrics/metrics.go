@@ -301,14 +301,68 @@ type Point struct {
 	V float64
 }
 
-// Series is an append-only time series.
+// Series is an append-only time series. By default every sample is
+// retained; Bound caps memory for month-long virtual runs (the
+// time-series analogue of Sample.Bound).
 type Series struct {
 	Label  string
 	Points []Point
+
+	limit  int // 0 = retain everything
+	stride int // record every stride-th accepted sample (1 = all)
+	skip   int // samples dropped since the last recorded one
 }
 
-// Add appends a sample.
-func (s *Series) Add(t, v float64) { s.Points = append(s.Points, Point{t, v}) }
+// Bound caps the series at limit retained points (limit must be >= 2).
+// When an Add would exceed the cap the series thins itself — every
+// other retained point is dropped and the stride between future
+// recordings doubles — so arbitrarily long runs keep at most limit
+// roughly uniformly spaced points. A retained point keeps its original
+// windowed value: a bounded series is a subsample of the exact one, not
+// a re-aggregation, so per-window figures (utilization %, windowed p99)
+// stay individually exact while the time resolution halves per
+// doubling. Bounding an already over-full series thins it immediately.
+func (s *Series) Bound(limit int) {
+	if limit < 2 {
+		panic("metrics: Series.Bound needs limit >= 2")
+	}
+	s.limit = limit
+	if s.stride == 0 {
+		s.stride = 1
+	}
+	for len(s.Points) > s.limit {
+		s.thin()
+	}
+}
+
+// Bounded reports whether the series has dropped samples to stay under
+// its bound.
+func (s *Series) Bounded() bool { return s.stride > 1 }
+
+// thin halves the retained points and doubles the recording stride.
+func (s *Series) thin() {
+	kept := s.Points[:0]
+	for i := 0; i < len(s.Points); i += 2 {
+		kept = append(kept, s.Points[i])
+	}
+	s.Points = kept
+	s.stride *= 2
+	s.skip = 0
+}
+
+// Add appends a sample (or, past a bound, every stride-th sample).
+func (s *Series) Add(t, v float64) {
+	if s.stride > 1 {
+		if s.skip++; s.skip < s.stride {
+			return
+		}
+		s.skip = 0
+	}
+	s.Points = append(s.Points, Point{t, v})
+	if s.limit > 0 && len(s.Points) > s.limit {
+		s.thin()
+	}
+}
 
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.Points) }

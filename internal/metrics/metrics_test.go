@@ -206,3 +206,62 @@ func TestQuickJainBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSeriesBound(t *testing.T) {
+	var s Series
+	s.Bound(8)
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i), float64(i)*2)
+	}
+	if n := s.Len(); n > 8 {
+		t.Fatalf("bounded series holds %d points, cap 8", n)
+	}
+	if !s.Bounded() {
+		t.Fatal("series over its cap does not report Bounded")
+	}
+	// Retained points keep their exact values and time order.
+	prev := -1.0
+	for _, p := range s.Points {
+		if p.V != p.T*2 {
+			t.Fatalf("retained point (%v,%v) lost its exact value", p.T, p.V)
+		}
+		if p.T <= prev {
+			t.Fatalf("retained points out of time order at t=%v", p.T)
+		}
+		prev = p.T
+	}
+	// Coverage spans the run, not just its head: the last retained
+	// point must come from the final stride window.
+	if last := s.Points[len(s.Points)-1].T; last < 1000-256 {
+		t.Fatalf("last retained point at t=%v — thinning kept only the head", last)
+	}
+	// Bounding an already over-full series thins it immediately.
+	var s2 Series
+	for i := 0; i < 100; i++ {
+		s2.Add(float64(i), 1)
+	}
+	s2.Bound(16)
+	if n := s2.Len(); n > 16 {
+		t.Fatalf("late Bound left %d points, cap 16", n)
+	}
+}
+
+func TestSeriesUnboundedUnchanged(t *testing.T) {
+	var s Series
+	for i := 0; i < 500; i++ {
+		s.Add(float64(i), 1)
+	}
+	if s.Len() != 500 || s.Bounded() {
+		t.Fatalf("unbounded series altered: len=%d bounded=%v", s.Len(), s.Bounded())
+	}
+}
+
+func TestSeriesBoundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bound(1) did not panic")
+		}
+	}()
+	var s Series
+	s.Bound(1)
+}

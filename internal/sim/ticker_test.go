@@ -57,7 +57,7 @@ func TestTickerStop(t *testing.T) {
 }
 
 func peekLive(e *Engine) bool {
-	return e.heap.peek() != nil
+	return e.sched.peek() != nil
 }
 
 func TestTickerStopExternally(t *testing.T) {

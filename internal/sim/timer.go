@@ -22,7 +22,7 @@ func NewTimer(eng *Engine, fn func()) *Timer {
 	}
 	t := &Timer{eng: eng, fn: fn}
 	t.ev.fn = fn
-	t.ev.index = -1
+	t.ev.index = idxIdle
 	return t
 }
 
@@ -45,7 +45,7 @@ func (t *Timer) At(at Time) {
 	t.ev.at = at
 	t.ev.seq = t.eng.seq
 	t.eng.seq++
-	t.eng.heap.push(&t.ev)
+	t.eng.sched.push(&t.ev)
 }
 
 // Stop disarms a pending timer; stopping an idle timer is a no-op. It
@@ -54,12 +54,12 @@ func (t *Timer) Stop() bool {
 	if !t.Armed() {
 		return false
 	}
-	t.eng.heap.removeAt(t.ev.index)
+	t.eng.sched.remove(&t.ev)
 	return true
 }
 
 // Armed reports whether a firing is pending.
-func (t *Timer) Armed() bool { return t.ev.index >= 0 }
+func (t *Timer) Armed() bool { return t.ev.index != idxIdle }
 
 // Next returns the pending firing time; only meaningful while Armed.
 func (t *Timer) Next() Time { return t.ev.at }

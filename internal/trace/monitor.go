@@ -17,16 +17,69 @@ type Frame struct {
 
 // Monitor accumulates per-PE utilization frames — the data ORACLE
 // shipped to its color graphics display. The machine appends a frame
-// every sample interval when monitoring is enabled.
+// every sample interval when monitoring is enabled. Frames dominate a
+// monitored run's sample memory (one float64 per PE per frame), so
+// Bound caps them the same way metrics.Series.Bound caps a series.
 type Monitor struct {
 	Frames []Frame
+
+	limit  int // 0 = retain every frame
+	stride int // record every stride-th appended frame (1 = all)
+	skip   int
 }
 
-// Append adds a frame (the utilization slice is copied).
+// Bound caps the monitor at limit retained frames (limit must be >= 2):
+// past the cap, every other frame is dropped and the stride between
+// future recordings doubles, exactly like metrics.Series.Bound. A
+// retained frame is exact; only the flip-book's frame rate halves per
+// doubling.
+func (m *Monitor) Bound(limit int) {
+	if limit < 2 {
+		panic("trace: Monitor.Bound needs limit >= 2")
+	}
+	m.limit = limit
+	if m.stride == 0 {
+		m.stride = 1
+	}
+	for len(m.Frames) > m.limit {
+		m.thin()
+	}
+}
+
+// Bounded reports whether frames have been dropped to stay under the
+// bound.
+func (m *Monitor) Bounded() bool { return m.stride > 1 }
+
+func (m *Monitor) thin() {
+	kept := m.Frames[:0]
+	for i := 0; i < len(m.Frames); i += 2 {
+		kept = append(kept, m.Frames[i])
+	}
+	// Drop the references so the dead frames' utilization slices are
+	// collectable.
+	for i := len(kept); i < len(m.Frames); i++ {
+		m.Frames[i] = Frame{}
+	}
+	m.Frames = kept
+	m.stride *= 2
+	m.skip = 0
+}
+
+// Append adds a frame (the utilization slice is copied; past a bound,
+// only every stride-th frame is kept).
 func (m *Monitor) Append(at sim.Time, util []float64) {
+	if m.stride > 1 {
+		if m.skip++; m.skip < m.stride {
+			return
+		}
+		m.skip = 0
+	}
 	cp := make([]float64, len(util))
 	copy(cp, util)
 	m.Frames = append(m.Frames, Frame{At: at, Util: cp})
+	if m.limit > 0 && len(m.Frames) > m.limit {
+		m.thin()
+	}
 }
 
 // Len returns the number of frames.

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"cwnsim/internal/sim"
 )
 
 func TestCollector(t *testing.T) {
@@ -136,5 +138,38 @@ func TestMonitorCSV(t *testing.T) {
 	want := "10,0.5000,1.0000\n"
 	if buf.String() != want {
 		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestMonitorBound(t *testing.T) {
+	var m Monitor
+	m.Bound(4)
+	for i := 0; i < 100; i++ {
+		m.Append(sim.Time(i), []float64{float64(i)})
+	}
+	if m.Len() > 4 {
+		t.Fatalf("bounded monitor holds %d frames, cap 4", m.Len())
+	}
+	if !m.Bounded() {
+		t.Fatal("monitor over its cap does not report Bounded")
+	}
+	prev := sim.Time(-1)
+	for _, f := range m.Frames {
+		if f.Util[0] != float64(f.At) {
+			t.Fatalf("retained frame at t=%d lost its values", f.At)
+		}
+		if f.At <= prev {
+			t.Fatalf("frames out of order at t=%d", f.At)
+		}
+		prev = f.At
+	}
+	// Late bounding thins immediately.
+	var m2 Monitor
+	for i := 0; i < 50; i++ {
+		m2.Append(sim.Time(i), []float64{1})
+	}
+	m2.Bound(8)
+	if m2.Len() > 8 {
+		t.Fatalf("late Bound left %d frames", m2.Len())
 	}
 }
