@@ -28,6 +28,13 @@ func (s *Ideal) Name() string { return "Ideal" }
 // Setup implements machine.Strategy.
 func (s *Ideal) Setup(m *machine.Machine) {}
 
+// SequentialOnly implements machine.SequentialOnly: the oracle reads
+// every PE's true load at placement time, which on a sharded machine
+// would race with remote shards' goroutines.
+func (s *Ideal) SequentialOnly() string {
+	return "Ideal reads all PEs' true loads with zero latency"
+}
+
 // NewNode implements machine.Strategy.
 func (s *Ideal) NewNode(pe *machine.PE) machine.NodeStrategy {
 	return &idealNode{pe: pe}

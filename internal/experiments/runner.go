@@ -37,6 +37,16 @@ type RunSpec struct {
 	// see the perf ledger's sched-two-tier section.
 	Scheduler string `json:"scheduler,omitempty"`
 
+	// Shards > 0 runs the machine on that many conservative-lookahead
+	// spatial shards (machine.Config.Shards): 0 = sequential reference,
+	// 1 = the windowed protocol bit-for-bit equal to sequential, >= 2 =
+	// parallel execution with deterministic results per (seed, shards).
+	// ShardSerial replays a sharded run's window protocol on one
+	// goroutine — the determinism reference the shard cross-check pins
+	// parallel runs against.
+	Shards      int  `json:"shards,omitempty"`
+	ShardSerial bool `json:"shardSerial,omitempty"`
+
 	// Scenario scripts a dynamic environment into the run, in the
 	// compact text form of scenario.Parse — e.g.
 	// "fail:pes=25%@t=5000,recover@t=10000". Empty = static machine.
@@ -101,6 +111,8 @@ func (rs RunSpec) Config() machine.Config {
 		}
 		cfg.Scenario = sc
 	}
+	cfg.Shards = rs.Shards
+	cfg.ShardSerial = rs.ShardSerial
 	return cfg
 }
 
@@ -186,7 +198,11 @@ func (rs RunSpec) ExecuteWithPool(pool *machine.Pool) (res *Result, err error) {
 	tree := rs.Workload.Build()
 	strat := rs.Strategy.Build()
 	cfg := rs.Config()
-	cfg.Pool = pool
+	if cfg.Shards == 0 {
+		// Sharded machines keep per-shard free lists; a shared pool is
+		// sequential-only (Config.Pool doc) and validate rejects the mix.
+		cfg.Pool = pool
+	}
 	start := time.Now()
 	m := machine.NewStream(topo, rs.Arrival.Build(tree), strat, cfg)
 	st := m.Run()

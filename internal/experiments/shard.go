@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+
+	"cwnsim/internal/machine"
+)
+
+// ShardCrossMatrix returns the pinned run specs the shard cross-check
+// certifies: completing closed and open runs across the paper's
+// topologies and both headline strategies. Every case must finish
+// (drain its jobs) so conservation totals are well-defined; saturated
+// horizons are excluded on purpose — at MaxTime the sequential and
+// sharded machines legitimately hold different in-flight sets.
+func ShardCrossMatrix() []BenchCase {
+	return []BenchCase{
+		{Name: "closed/cwn-grid10-fib12",
+			Spec: RunSpec{Topo: Grid(10), Workload: Fib(12), Strategy: CWN(9, 2)}},
+		{Name: "closed/gm-grid10-fib12",
+			Spec: RunSpec{Topo: Grid(10), Workload: Fib(12), Strategy: GM(1, 2, 20)}},
+		{Name: "closed/cwn-torus8-fib12",
+			Spec: RunSpec{Topo: Torus(8), Workload: Fib(12), Strategy: CWN(5, 2)}},
+		{Name: "closed/gm-hyper6-fib11",
+			Spec: RunSpec{Topo: Hypercube(6), Workload: Fib(11), Strategy: GM(1, 2, 20)}},
+		{Name: "open/cwn-grid8-poisson",
+			Spec: RunSpec{Topo: Grid(8), Workload: Fib(9), Strategy: CWN(9, 2),
+				Arrival: PoissonArrivals(60, 200), Warmup: 2_000}},
+		{Name: "open/gm-dlm10-poisson",
+			Spec: RunSpec{Topo: DLM(10, 5), Workload: Fib(9), Strategy: GM(1, 2, 20),
+				Arrival: PoissonArrivals(60, 150), Warmup: 2_000}},
+	}
+}
+
+// shardDigest is everything a full bit-for-bit comparison of two runs
+// reads: the scalar fingerprint plus the per-PE and per-channel
+// distributions (a reordering that conserves totals would still shift
+// work between PEs).
+type shardDigest struct {
+	events    uint64
+	makespan  int64
+	result    int64
+	totalBusy int64
+	jobsDone  int64
+	goalsExec int64
+	sojMean   float64
+	sojP99    float64
+	msgs      string
+	busyPerPE []int64
+	goalsPE   []int64
+}
+
+func shardDigestOf(st *machine.Stats) shardDigest {
+	busy := make([]int64, len(st.BusyPerPE))
+	for i, b := range st.BusyPerPE {
+		busy[i] = int64(b)
+	}
+	return shardDigest{
+		events:    st.Events,
+		makespan:  int64(st.Makespan),
+		result:    st.Result,
+		totalBusy: int64(st.TotalBusy),
+		jobsDone:  st.JobsDone,
+		goalsExec: st.GoalsExecuted,
+		sojMean:   st.Sojourn.Mean(),
+		sojP99:    st.Sojourn.Percentile(0.99),
+		msgs:      fmt.Sprint(st.MsgCounts),
+		busyPerPE: busy,
+		goalsPE:   st.GoalsPerPE,
+	}
+}
+
+// ShardCrossCheck certifies the sharded runtime on one spec, in three
+// layers, and returns the first disagreement as an error:
+//
+//  1. Shards=1 (the full window protocol on one shard) must equal the
+//     sequential machine bit for bit.
+//  2. Shards=k in parallel must equal its single-goroutine serial
+//     replay (ShardSerial) bit for bit — results cannot depend on the
+//     thread schedule.
+//  3. Shards=k must agree with the sequential machine on everything
+//     same-timestamp event order cannot change: completion, the
+//     computed result, goal/response/job conservation, and the
+//     internal consistency of the merged per-PE accounting.
+//
+// Both cmd/bench (the regression gate) and the experiments tests run
+// this; k is the parallel shard count to certify.
+func ShardCrossCheck(spec RunSpec, k int) error {
+	run := func(shards int, serial bool) (*machine.Stats, error) {
+		s := spec
+		s.Shards = shards
+		s.ShardSerial = serial
+		r, err := s.ExecuteErr()
+		if err != nil {
+			return nil, err
+		}
+		return r.Stats, nil
+	}
+	seq, err := run(0, false)
+	if err != nil {
+		return fmt.Errorf("sequential: %w", err)
+	}
+	one, err := run(1, false)
+	if err != nil {
+		return fmt.Errorf("shards=1: %w", err)
+	}
+	if a, b := shardDigestOf(seq), shardDigestOf(one); !reflect.DeepEqual(a, b) {
+		return fmt.Errorf("shards=1 diverged from sequential:\n  seq: %+v\n  one: %+v", a, b)
+	}
+	par, err := run(k, false)
+	if err != nil {
+		return fmt.Errorf("shards=%d parallel: %w", k, err)
+	}
+	ser, err := run(k, true)
+	if err != nil {
+		return fmt.Errorf("shards=%d serial: %w", k, err)
+	}
+	if a, b := shardDigestOf(par), shardDigestOf(ser); !reflect.DeepEqual(a, b) {
+		return fmt.Errorf("shards=%d parallel diverged from serial replay (thread schedule leaked into results):\n  par: %+v\n  ser: %+v", k, a, b)
+	}
+	if !par.Completed || !seq.Completed {
+		return fmt.Errorf("shards=%d completed=%v, sequential completed=%v (cross-check cases must drain)", k, par.Completed, seq.Completed)
+	}
+	conserved := []struct {
+		name string
+		a, b int64
+	}{
+		{"result", par.Result, seq.Result},
+		{"goals", int64(par.Goals), int64(seq.Goals)},
+		{"goalsExecuted", par.GoalsExecuted, seq.GoalsExecuted},
+		{"respIntegrated", par.RespIntegrated, seq.RespIntegrated},
+		{"jobsInjected", par.JobsInjected, seq.JobsInjected},
+		{"jobsDone", par.JobsDone, seq.JobsDone},
+		{"sojournN", int64(par.Sojourn.N()), int64(seq.Sojourn.N())},
+	}
+	for _, c := range conserved {
+		if c.a != c.b {
+			return fmt.Errorf("shards=%d %s = %d, sequential %d", k, c.name, c.a, c.b)
+		}
+	}
+	var perPE, busy int64
+	for _, g := range par.GoalsPerPE {
+		perPE += g
+	}
+	for _, b := range par.BusyPerPE {
+		busy += int64(b)
+	}
+	if perPE != par.GoalsExecuted {
+		return fmt.Errorf("shards=%d per-PE goal counts sum to %d, want %d", k, perPE, par.GoalsExecuted)
+	}
+	if busy != int64(par.TotalBusy) {
+		return fmt.Errorf("shards=%d per-PE busy sums to %d, want %d", k, busy, int64(par.TotalBusy))
+	}
+	return nil
+}

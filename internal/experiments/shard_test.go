@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShardCrossMatrix certifies the sharded runtime on the pinned
+// matrix with the real strategies: Shards=1 bit-for-bit against
+// sequential, parallel bit-for-bit against serial replay, and
+// conservation against sequential at K=4. cmd/bench runs the same
+// check as its regression gate; this is the tree's own copy.
+func TestShardCrossMatrix(t *testing.T) {
+	for i, c := range ShardCrossMatrix() {
+		if testing.Short() && i >= 2 {
+			break // -short (and the race smoke) certifies the first two cells
+		}
+		t.Run(c.Name, func(t *testing.T) {
+			if err := ShardCrossCheck(c.Spec, 4); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestShardedRunSpec pins the RunSpec plumbing: Shards reaches the
+// machine (a sharded run still completes and matches the sequential
+// answer) and pooled sweep workers skip the pool for sharded specs
+// rather than tripping validate.
+func TestShardedRunSpec(t *testing.T) {
+	spec := RunSpec{Topo: Grid(6), Workload: Fib(10), Strategy: CWN(5, 2), Shards: 3}
+	results, err := RunAll([]RunSpec{spec}, 2) // RunAll workers lend pools
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if !r.Stats.Completed {
+		t.Fatal("sharded run did not complete")
+	}
+	seq := spec
+	seq.Shards = 0
+	sr, err := seq.ExecuteErr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Result != sr.Stats.Result || r.Stats.Goals != sr.Stats.Goals {
+		t.Fatalf("sharded result %d (%d goals) vs sequential %d (%d goals)",
+			r.Stats.Result, r.Stats.Goals, sr.Stats.Result, sr.Stats.Goals)
+	}
+}
+
+// TestShardedIdealRejected pins the SequentialOnly gate end to end: the
+// ORACLE strategy reads every PE's true load from one timeline, so a
+// sharded spec naming it must fail its run with the reason, not crash
+// the sweep.
+func TestShardedIdealRejected(t *testing.T) {
+	spec := RunSpec{Topo: Grid(4), Workload: Fib(8),
+		Strategy: StrategySpec{Kind: "ideal"}, Shards: 2}
+	_, err := spec.ExecuteErr()
+	if err == nil {
+		t.Fatal("sharded ideal run did not fail")
+	}
+	if !strings.Contains(err.Error(), "cannot run sharded") {
+		t.Fatalf("error %q does not name the SequentialOnly rejection", err)
+	}
+}

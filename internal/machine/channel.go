@@ -1,6 +1,10 @@
 package machine
 
-import "cwnsim/internal/sim"
+import (
+	"fmt"
+
+	"cwnsim/internal/sim"
+)
 
 // chanState models one communication channel (link or bus) as a serial
 // FIFO server: exactly one message occupies the channel at a time;
@@ -22,6 +26,16 @@ type chanState struct {
 	degrade float64
 	down    bool
 	held    []heldMsg
+
+	// Sharding (zero on sequential machines). Each shard holds its own
+	// copy of every chanState — a directional half-channel: occupancy
+	// accrues on the sending side's copy, and finalize sums the sides.
+	// crossTo lists the other shards owning members of this channel
+	// (ascending; nil for shard-internal channels), and localMembers
+	// counts the members the owning shard holds — a broadcast with
+	// localMembers < 2 has no local receivers.
+	crossTo      []int
+	localMembers int
 }
 
 // heldMsg is one transmission parked at a downed channel.
@@ -209,16 +223,26 @@ func (w *wireMsg) Act() {
 			rcv.noteLoad(from, sentLoad)
 		}
 		rcv.node.HandleEvent(Event{Kind: Control, From: from, Payload: payload})
+	// Broadcast deliveries walk the channel's full member list; on a
+	// sharded machine only this shard's members exist in m.pes (the
+	// cross-shard clone delivers to each remote shard's members there),
+	// so the nil check doubles as the ownership filter.
 	case wireLoadBcast:
 		for _, member := range ch.members {
-			if member != from {
-				m.pes[member].noteLoad(from, sentLoad)
+			if member == from {
+				continue
+			}
+			if rcv := m.pes[member]; rcv != nil {
+				rcv.noteLoad(from, sentLoad)
 			}
 		}
 	case wireCtrlBcast:
 		for _, member := range ch.members {
-			if member != from {
-				m.pes[member].node.HandleEvent(Event{Kind: Control, From: from, Payload: payload})
+			if member == from {
+				continue
+			}
+			if rcv := m.pes[member]; rcv != nil {
+				rcv.node.HandleEvent(Event{Kind: Control, From: from, Payload: payload})
 			}
 		}
 	case wireEnvBcast:
@@ -228,6 +252,9 @@ func (w *wireMsg) Act() {
 				continue
 			}
 			rcv := m.pes[member]
+			if rcv == nil {
+				continue
+			}
 			rcv.noteLoad(from, sentLoad)
 			// Broadcast deliveries must be idempotent (a double-lattice
 			// pair hears each transaction twice, once per shared bus):
@@ -259,7 +286,55 @@ func (m *Machine) transmit(ch *chanState, dur sim.Time, w *wireMsg) {
 		return
 	}
 	end := ch.occupy(m.eng.Now(), dur)
+	if m.grp != nil && m.crossShard(ch, end, w) {
+		return
+	}
 	m.eng.AtAction(end, w)
+}
+
+// crossShard hands w off to the shard(s) owning its receiver(s),
+// reporting whether the message was fully handed off (nothing left to
+// deliver locally). Point-to-point kinds route by the receiving PE's
+// owner; broadcast kinds clone one message per remote member shard (the
+// clone re-delivers on the receiver's copy of the channel, where the
+// nil-guarded member walk acts as the ownership filter) and keep the
+// original only if this shard holds another member to hear it.
+func (m *Machine) crossShard(ch *chanState, end sim.Time, w *wireMsg) bool {
+	switch w.kind {
+	case wireGoal, wireGoalRoute, wireResp, wireCtrl:
+		d := m.grp.part.Assign[w.to]
+		if d == m.shardID {
+			return false
+		}
+		m.handOff(d, end, w)
+		return true
+	default: // wireLoadBcast, wireCtrlBcast, wireEnvBcast
+		if ch.crossTo == nil {
+			return false
+		}
+		for _, d := range ch.crossTo {
+			c := m.newMsg(w.kind, w.from, int(w.sentLoad))
+			c.ch = ch
+			c.payload = w.payload
+			m.handOff(d, end, c)
+		}
+		if ch.localMembers >= 2 {
+			return false
+		}
+		m.freeMsg(w)
+		return true
+	}
+}
+
+// handOff queues w on the per-destination-shard outbox the coordinator
+// drains at the next window barrier. Conservative lookahead guarantees
+// the delivery time lies beyond the current window — asserted here,
+// because a violation would silently deliver into the receiver's past.
+func (m *Machine) handOff(dst int, at sim.Time, w *wireMsg) {
+	if at <= m.grp.winEnd {
+		panic(fmt.Sprintf("machine: cross-shard delivery at t=%d inside window ending %d violates lookahead", at, m.grp.winEnd))
+	}
+	m.xout[dst] = append(m.xout[dst], xmsg{at: at, w: w})
 }
 
 // transmitFunc is transmit for cold paths and tests that want a closure

@@ -136,10 +136,11 @@ type Config struct {
 	// are short and exact plots are the point. 4096 points cover a
 	// month of virtual time at SampleInterval=100 with two halvings and
 	// ~64KB per series — the recommended setting for long-horizon
-	// sweeps (decision record: ROADMAP perf section). Residual: the
-	// raw injection-window buckets behind InjSojournWindows (scenario
-	// runs with sampling only) still grow one slice header per sampling
-	// window; only the finalized series is bounded.
+	// sweeps (decision record: ROADMAP perf section). The raw
+	// injection-window buckets behind InjSojournWindows are bounded the
+	// same way: past the cap, adjacent buckets merge pairwise and the
+	// window width doubles, so the finalized series reads a coarser
+	// injection grid with exact per-window percentiles.
 	SeriesBound int
 
 	// PESpeeds optionally makes the machine heterogeneous: PE i's
@@ -171,6 +172,31 @@ type Config struct {
 	// virtual times. nil (or an empty script) leaves the run bit-for-bit
 	// identical to an unscripted one.
 	Scenario *scenario.Script
+
+	// Shards > 0 partitions the PE index space into that many contiguous
+	// spatial shards, each owning its own event engine and (for Shards
+	// >= 2) its own goroutine, synchronized by conservative lookahead
+	// windows — the parallel runtime for large machines (see
+	// internal/machine doc.go, "Sharded execution"). 0 (the default) is
+	// the sequential reference engine. Shards == 1 runs the full
+	// windowed shard protocol on a single shard and is bit-for-bit
+	// identical to sequential (pinned by cross-check tests); Shards >= 2
+	// runs deterministically (a pure function of seed and shard count,
+	// independent of thread schedule) but orders same-timestamp events
+	// differently than the sequential machine, so only conservation
+	// totals — per-PE goal counts, job counts, sojourn distributions —
+	// are comparable bit-for-bit against it. The count is clamped to the
+	// machine size. Sharded runs reject Scenario, Trace, SampleInterval
+	// and Pool (see validate) and refuse SequentialOnly strategies.
+	Shards int
+
+	// ShardSerial executes a sharded run's window protocol on a single
+	// goroutine, shard by shard, instead of in parallel — same code
+	// path, same event order, no concurrency. A parallel run must match
+	// its serial replay bit for bit (pinned by cross-check tests): that
+	// is the proof the parallel result does not depend on the thread
+	// schedule. Meaningful only with Shards >= 2.
+	ShardSerial bool
 }
 
 // DefaultConfig returns the parameters used for the paper reproduction:
@@ -245,5 +271,28 @@ func (c *Config) validate(numPEs int) {
 	}
 	if c.SeriesBound == 1 {
 		panic("machine: SeriesBound must be 0 (exact) or >= 2")
+	}
+	if c.Shards < 0 {
+		panic("machine: Shards must be non-negative")
+	}
+	if c.Shards > 0 {
+		// The sharded runtime covers the steady-state measurement
+		// configuration (big machines, arrival streams, final statistics).
+		// Global-state features stay sequential: scripted environments
+		// mutate arbitrary PEs/channels from one timeline, the utilization
+		// sampler reads every PE at one instant, traces interleave
+		// cross-shard events, and Pool free lists are single-threaded.
+		if !c.Scenario.Empty() {
+			panic("machine: Shards is incompatible with Scenario (scripted environments run sequentially)")
+		}
+		if c.SampleInterval > 0 {
+			panic("machine: Shards is incompatible with SampleInterval (the global sampler runs sequentially)")
+		}
+		if c.Trace != nil {
+			panic("machine: Shards is incompatible with Trace")
+		}
+		if c.Pool != nil {
+			panic("machine: Shards is incompatible with Pool (free lists are per-shard)")
+		}
 	}
 }

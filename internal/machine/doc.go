@@ -108,4 +108,40 @@
 // The engine underneath runs the two-tier wheel scheduler by default
 // (Config.Scheduler, internal/sim); both knobs are A/B-measurable
 // through the perf ledger (cmd/bench).
+//
+// # Sharded execution
+//
+// Config.Shards > 0 runs the machine as K spatial shards — contiguous
+// PE blocks from topology.Partition, each a full sub-machine with its
+// own event engine, free lists and statistics, each (for K >= 2) on
+// its own goroutine. Synchronization is conservative lookahead in the
+// Chandy-Misra-Bryant tradition, run as a barrier-per-window loop: the
+// window width is the minimum wire latency on any channel crossing a
+// shard boundary, so no message sent inside a window can be due before
+// the next one begins. Every shard therefore always holds its complete
+// event set for the window it executes — no rollbacks, no null
+// messages. Between windows the single-threaded coordinator drains the
+// per-shard-pair outboxes into the receiving engines in a fixed total
+// order (delivery time, then sending shard, then FIFO), fast-forwards
+// over windows no shard has events in, and checks completion; at
+// finalize the per-shard Stats merge into one (counters sum, per-PE
+// arrays concatenate, distributions merge exactly).
+//
+// The determinism contract, pinned by cross-check tests and the
+// cmd/bench gate: Shards == 1 reproduces the sequential machine bit
+// for bit; Shards >= 2 is a pure function of (seed, shard count) —
+// a parallel run equals its single-goroutine serial replay
+// (Config.ShardSerial) bit for bit, so the thread schedule cannot
+// leak into results — but orders same-timestamp cross-shard events
+// differently than the sequential machine and draws per-shard RNG
+// streams, so against sequential only conservation holds: completion,
+// the computed result, goal/response/job totals and the sojourn count.
+//
+// Sharding is a runtime for large machines' final statistics; the
+// global-state features — Scenario, SampleInterval/MonitorPE, Trace,
+// Pool — stay sequential (Config.validate rejects the combinations),
+// and strategies whose correctness needs a single global timeline
+// declare it via SequentialOnly (core's ORACLE/ideal baseline does),
+// which sharded construction refuses with the strategy's stated
+// reason.
 package machine

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"cwnsim/internal/scenario"
 	"cwnsim/internal/sim"
@@ -91,6 +92,27 @@ type Machine struct {
 	// saturation (work still queued or moving).
 	goalsInTransit int64
 	respsInTransit int64
+
+	// injStride is the current injection-window width of injSoj in
+	// multiples of SampleInterval: 1 until a SeriesBound forces adjacent
+	// buckets to merge pairwise (doubling the stride), the bucket-level
+	// analogue of Series.thin.
+	injStride int
+
+	// Sharding (nil/zero on the sequential machine). A sharded group's
+	// shard s is a Machine owning only the PE index block
+	// [peLo, peHi): pes and stats keep full-length arrays with remote
+	// entries nil/zero, chans holds this shard's own copy of every
+	// channel (occupancy accrues per side), and xout[d] queues wire
+	// messages addressed to shard d until the coordinator drains them at
+	// the next window barrier. lastDone tracks this shard's latest job
+	// completion for the group's deterministic finish rule.
+	grp      *shardGroup
+	shardID  int
+	peLo     int
+	peHi     int
+	xout     [][]xmsg
+	lastDone sim.Time
 }
 
 // emit records a trace event if tracing is enabled.
@@ -115,16 +137,52 @@ func New(topo *topology.Topology, tree *workload.Tree, strat Strategy, cfg Confi
 // goals over virtual time and the run completes when the source is
 // exhausted and every injected job has delivered its root response.
 // The source must be a fresh value per run (sources are iterators).
+//
+// With Config.Shards > 0 the returned Machine is the root shard of a
+// sharded group; Run executes the conservative-lookahead window
+// protocol across all shards (see doc.go, "Sharded execution") and
+// returns the merged statistics.
 func NewStream(topo *topology.Topology, source JobSource, strat Strategy, cfg Config) *Machine {
 	cfg.validate(topo.Size())
+	if cfg.Shards > 0 {
+		return newShardGroup(topo, source, strat, cfg).machines[0]
+	}
+	return newMachine(topo, source, strat, cfg, nil, 0)
+}
+
+// newMachine builds one runnable machine: the sequential machine when
+// grp is nil, otherwise shard number shard of grp — which owns only its
+// partition block of PEs and draws its event engine's stream from a
+// per-shard salted seed (shard 0 keeps the plain seed, so a one-shard
+// group replays the sequential event sequence bit for bit).
+func newMachine(topo *topology.Topology, source JobSource, strat Strategy, cfg Config, grp *shardGroup, shard int) *Machine {
+	seed := cfg.Seed
+	if shard > 0 {
+		seed = cfg.Seed ^ int64(shard)*shardSeedSalt
+	}
 	m := &Machine{
-		eng:     sim.NewEngineSched(cfg.Seed, cfg.Scheduler),
+		eng:     sim.NewEngineSched(seed, cfg.Scheduler),
 		topo:    topo,
 		cfg:     cfg,
 		strat:   strat,
 		source:  source,
-		srcRng:  newSourceRng(cfg.Seed),
 		rateMul: 1,
+		grp:     grp,
+		shardID: shard,
+		peLo:    0,
+		peHi:    topo.Size(),
+	}
+	if grp != nil {
+		m.peLo, m.peHi = grp.part.Starts[shard], grp.part.Starts[shard+1]
+		m.xout = make([][]xmsg, grp.k)
+		// Goal IDs are banded per shard so concurrently minted goals stay
+		// globally unique without synchronization. Shard 0's band starts
+		// at 0, matching the sequential numbering.
+		m.nextGoalID = int64(shard) << 40
+	}
+	if grp == nil || shard == grp.home {
+		// Only the shard owning RootPE pulls from the source.
+		m.srcRng = newSourceRng(cfg.Seed)
 	}
 	m.arrival = sim.NewTimer(m.eng, m.arrive)
 	m.stats = newStats(topo, source.Name(), strat.Name())
@@ -152,8 +210,10 @@ func NewStream(topo *topology.Topology, source JobSource, strat Strategy, cfg Co
 		p.lend(m)
 	}
 
+	// Remote shards' entries stay nil; every local access happens through
+	// the owned block or is nil-guarded (broadcast delivery).
 	m.pes = make([]*PE, topo.Size())
-	for i := range m.pes {
+	for i := m.peLo; i < m.peHi; i++ {
 		nbrs := topo.Neighbors(i)
 		pe := &PE{
 			m:        m,
@@ -178,6 +238,9 @@ func NewStream(topo *topology.Topology, source JobSource, strat Strategy, cfg Co
 
 	strat.Setup(m)
 	for _, pe := range m.pes {
+		if pe == nil {
+			continue
+		}
 		pe.node = strat.NewNode(pe)
 		if pe.node == nil {
 			panic("machine: strategy returned nil NodeStrategy")
@@ -197,6 +260,9 @@ func NewStream(topo *topology.Topology, source JobSource, strat Strategy, cfg Co
 	// CWN relies on; strategies may layer their own control traffic).
 	if cfg.LoadInterval > 0 {
 		for _, pe := range m.pes {
+			if pe == nil {
+				continue
+			}
 			pe := pe
 			m.NewTicker(pe, cfg.LoadInterval, func() { m.broadcastLoad(pe) })
 		}
@@ -216,6 +282,9 @@ func NewStream(topo *topology.Topology, source JobSource, strat Strategy, cfg Co
 	if cfg.Warmup > 0 {
 		m.eng.At(cfg.Warmup, func() {
 			for _, pe := range m.pes {
+				if pe == nil {
+					continue
+				}
 				m.warmupBusy += pe.committedBusy()
 			}
 		})
@@ -238,6 +307,7 @@ func NewStream(topo *topology.Topology, source JobSource, strat Strategy, cfg Co
 		if cfg.SampleInterval > 0 {
 			m.winSoj = make([]float64, 0, 64)
 			m.injSoj = make([][]float64, 0, 64)
+			m.injStride = 1
 		}
 	}
 	return m
@@ -269,8 +339,25 @@ func (m *Machine) Source() JobSource { return m.source }
 // NumPEs returns the machine size.
 func (m *Machine) NumPEs() int { return len(m.pes) }
 
-// PE returns processing element i.
-func (m *Machine) PE(i int) *PE { return m.pes[i] }
+// PE returns processing element i. On a sharded machine a remote PE is
+// resolved through its owning shard — safe for post-run inspection, but
+// remote PEs advance on other goroutines while a parallel run is live
+// (which is why SequentialOnly strategies cannot shard).
+func (m *Machine) PE(i int) *PE {
+	if pe := m.pes[i]; pe != nil || m.grp == nil {
+		return pe
+	}
+	return m.grp.machines[m.grp.part.Assign[i]].pes[i]
+}
+
+// jobsInFlight returns the injected-but-uncompleted job count: the
+// machine's own counter, or the group's shared atomic on sharded runs.
+func (m *Machine) jobsInFlight() int64 {
+	if m.grp != nil {
+		return atomic.LoadInt64(&m.grp.inFlight)
+	}
+	return m.inFlight
+}
 
 // Completed reports whether the root response has been delivered.
 func (m *Machine) Completed() bool { return m.completed }
@@ -427,7 +514,18 @@ func (m *Machine) respond(fromPE int, g *Goal, value int64) {
 func (m *Machine) completeJob(j *jobState, value int64) {
 	now := m.eng.Now()
 	m.result = value
-	m.inFlight--
+	m.lastDone = now
+	var left int64
+	if g := m.grp; g != nil {
+		// The root response may be combined on any shard; only the sum
+		// matters mid-window (atomic adds commute), and the value is only
+		// branched on where it is deterministic — here under one shard,
+		// or at a window barrier.
+		left = atomic.AddInt64(&g.inFlight, -1)
+	} else {
+		m.inFlight--
+		left = m.inFlight
+	}
 	m.stats.JobsDone++
 	// Latency statistics accrue here, streamingly — not from JobRecords
 	// at finalize — so a bounded run's memory really is bounded.
@@ -437,11 +535,16 @@ func (m *Machine) completeJob(j *jobState, value int64) {
 		m.winSoj = append(m.winSoj, soj)
 	}
 	if m.injSoj != nil {
-		w := int(j.injectedAt / m.cfg.SampleInterval)
+		w := int(j.injectedAt / (m.cfg.SampleInterval * sim.Time(m.injStride)))
 		for len(m.injSoj) <= w {
 			m.injSoj = append(m.injSoj, nil)
 		}
 		m.injSoj[w] = append(m.injSoj[w], soj)
+		if b := m.cfg.SeriesBound; b > 0 {
+			for len(m.injSoj) > b {
+				m.thinInjSoj()
+			}
+		}
 	}
 	if j.injectedAt >= m.cfg.Warmup {
 		m.stats.SteadySojourn.Add(soj)
@@ -458,11 +561,38 @@ func (m *Machine) completeJob(j *jobState, value int64) {
 		})
 	}
 	m.freeJob(j)
-	if m.srcDone && m.inFlight == 0 {
+	// A multi-shard group must not stop mid-window: which shard would
+	// observe the zero depends on execution order, not virtual time. Its
+	// coordinator detects completion at the next window barrier instead,
+	// where the count is stable (shardGroup.run).
+	if m.srcDone && left == 0 && (m.grp == nil || m.grp.k == 1) {
 		m.completed = true
 		m.finishedAt = now
 		m.eng.Stop()
 	}
+}
+
+// thinInjSoj merges the raw injection-window buckets pairwise and
+// doubles the bucket stride — Series.thin for the not-yet-finalized
+// sojourn buckets, so a SeriesBound-ed run holds one bucket header per
+// retained window instead of one per elapsed window. Re-bucketing only
+// concatenates: each surviving bucket holds exactly the sojourns of
+// jobs injected in its (now twice as wide) window, so the finalized
+// per-window percentiles stay exact on the coarser grid.
+func (m *Machine) thinInjSoj() {
+	half := (len(m.injSoj) + 1) / 2
+	for i := 0; i < half; i++ {
+		merged := m.injSoj[2*i]
+		if 2*i+1 < len(m.injSoj) {
+			merged = append(merged, m.injSoj[2*i+1]...)
+		}
+		m.injSoj[i] = merged
+	}
+	for i := half; i < len(m.injSoj); i++ {
+		m.injSoj[i] = nil
+	}
+	m.injSoj = m.injSoj[:half]
+	m.injStride *= 2
 }
 
 // routeResponse moves a response one shortest-path hop at a time toward
@@ -586,13 +716,16 @@ func (pe *PE) committedBusy() sim.Time {
 // the PE queues defeats the "certain" part; the shipped strategies keep
 // goals queued or in transit.)
 func (m *Machine) stalled() bool {
-	if m.completed || m.inFlight == 0 || !m.srcDone {
+	if m.completed || m.jobsInFlight() == 0 || !m.srcDone {
 		return false
 	}
 	if m.goalsInTransit != 0 || m.respsInTransit != 0 {
 		return false
 	}
 	for _, pe := range m.pes {
+		if pe == nil {
+			continue
+		}
 		if pe.busy || pe.queueLen() > 0 {
 			return false
 		}
@@ -609,6 +742,12 @@ func (m *Machine) Run() *Stats {
 		panic("machine: Run called twice")
 	}
 	m.started = true
+	if m.grp != nil {
+		if m.shardID != 0 {
+			panic("machine: Run must be called on shard 0 (the NewStream return value)")
+		}
+		return m.grp.run()
+	}
 	m.pump()
 	m.eng.RunUntil(m.cfg.MaxTime)
 	m.finalize()
@@ -625,7 +764,10 @@ func (m *Machine) pump() {
 		delay, tree, ok := m.source.Next(m.srcRng)
 		if !ok {
 			m.srcDone = true
-			if m.inFlight == 0 && !m.completed {
+			// Multi-shard groups defer the exhausted-and-idle stop to the
+			// window barrier (a mid-window read of the shared in-flight
+			// count would depend on thread schedule, not virtual time).
+			if (m.grp == nil || m.grp.k == 1) && m.jobsInFlight() == 0 && !m.completed {
 				m.completed = true
 				m.finishedAt = m.eng.Now()
 				m.eng.Stop()
@@ -683,7 +825,11 @@ func (m *Machine) inject(tree *workload.Tree) {
 	}
 	m.stats.JobsInjected++
 	m.stats.Goals += tree.Count()
-	m.inFlight++
+	if g := m.grp; g != nil {
+		atomic.AddInt64(&g.inFlight, 1)
+	} else {
+		m.inFlight++
+	}
 	m.injectRoot(j)
 }
 
@@ -723,6 +869,9 @@ func (m *Machine) finalize() {
 	s.WarmupBusy = m.warmupBusy
 	s.Stalled = m.stalled()
 	for i, pe := range m.pes {
+		if pe == nil {
+			continue
+		}
 		b := pe.committedBusy()
 		s.BusyPerPE[i] = b
 		s.TotalBusy += b
@@ -752,7 +901,7 @@ func (m *Machine) finalize() {
 			if len(sojs) == 0 {
 				continue
 			}
-			end := sim.Time(w+1) * m.cfg.SampleInterval
+			end := sim.Time(w+1) * m.cfg.SampleInterval * sim.Time(m.injStride)
 			if end <= m.cfg.Warmup {
 				continue // the window holds only pre-warm-up injections
 			}

@@ -96,8 +96,8 @@ type PE struct {
 
 	ready      itemRing // FIFO ready queue of waiting messages
 	busy       bool
-	serviceEnd sim.Time   // when the in-service message finishes (valid while busy)
-	inService  item       // the message in service (valid while busy)
+	serviceEnd sim.Time    // when the in-service message finishes (valid while busy)
+	inService  item        // the message in service (valid while busy)
 	svc        *sim.Timer  // reusable service-completion event
 	pending    pendingSlab // tasks awaiting child responses, by goal ID
 

@@ -1,0 +1,405 @@
+package machine
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"cwnsim/internal/sim"
+	"cwnsim/internal/topology"
+)
+
+// shardSeedSalt derives shard s's engine seed as
+// Seed ^ s*shardSeedSalt (the PCG multiplier as an odd mixing
+// constant), giving each shard its own tie-break stream. Shard 0 keeps
+// the plain seed so a one-shard group replays the sequential machine's
+// draws exactly.
+const shardSeedSalt = 0x5851F42D4C957F2D
+
+// xmsg is one cross-shard wire message with its delivery time: what a
+// shard's outbox holds between a send and the window barrier that
+// drains it into the receiving shard's engine.
+type xmsg struct {
+	at sim.Time
+	w  *wireMsg
+}
+
+// shardGroup coordinates the machines of one sharded run: K contiguous
+// PE blocks, each a full Machine with its own event engine, free lists
+// and statistics, advancing in lockstep windows of one conservative
+// lookahead each. The protocol is the classic Chandy-Misra-Bryant
+// window discipline run as a barrier loop:
+//
+//	repeat:
+//	  every shard runs its engine to the window end W    (parallel)
+//	  the coordinator drains all cross-shard outboxes    (sequential)
+//	  completion check; advance W by the lookahead
+//
+// The lookahead is the minimum wire latency on any channel crossing a
+// shard boundary, so no message sent inside a window can be due before
+// the window after it — every shard always holds its complete event
+// set for the window it is executing, with no rollbacks and no null
+// messages. Determinism: shards interact only through the outboxes
+// (drained in a fixed order by the single-threaded coordinator) and
+// one shared in-flight job counter (atomic adds commute; branched on
+// only at barriers), so a run is a pure function of seed and shard
+// count — the parallel schedule cannot change the result, pinned by
+// the ShardSerial cross-checks.
+type shardGroup struct {
+	// inFlight is the group-wide injected-but-uncompleted job count,
+	// updated atomically from any shard. First field: 64-bit aligned.
+	inFlight int64
+
+	topo *topology.Topology
+	cfg  Config
+	part topology.Partition
+	k    int // shard count after clamping to the machine size
+	home int // the shard owning RootPE: source, arrivals, injection
+
+	// lookahead is the conservative window width; winEnd the current
+	// window's end, read by handOff's safety assertion.
+	lookahead sim.Time
+	winEnd    sim.Time
+
+	machines []*Machine
+
+	// Group outcome, decided at window barriers (multi-shard groups
+	// never stop mid-window — which shard would observe the in-flight
+	// count hit zero depends on thread schedule, not virtual time).
+	completed  bool
+	finishedAt sim.Time
+	result     int64
+
+	workers []shardWorker
+	done    chan shardDone
+	inbox   []xmsg // coordinator scratch for sorting one drain
+}
+
+// shardWorker is one shard's persistent goroutine: it runs its machine
+// to each window end the coordinator sends.
+type shardWorker struct {
+	m     *Machine
+	start chan sim.Time
+}
+
+// shardDone reports one shard's window completion; err carries a
+// recovered panic for the coordinator to re-raise.
+type shardDone struct {
+	shard int
+	err   any
+}
+
+// newShardGroup partitions the topology and builds the K shard
+// machines. cfg must already be validated.
+func newShardGroup(topo *topology.Topology, source JobSource, strat Strategy, cfg Config) *shardGroup {
+	if so, ok := strat.(SequentialOnly); ok {
+		panic("machine: strategy " + strat.Name() + " cannot run sharded: " + so.SequentialOnly())
+	}
+	k := cfg.Shards
+	if k > topo.Size() {
+		k = topo.Size()
+	}
+	part := topo.Partition(k)
+	minHop := cfg.GoalHopTime
+	if cfg.RespHopTime < minHop {
+		minHop = cfg.RespHopTime
+	}
+	if cfg.CtrlHopTime < minHop {
+		minHop = cfg.CtrlHopTime
+	}
+	g := &shardGroup{
+		topo: topo,
+		cfg:  cfg,
+		part: part,
+		k:    k,
+		home: part.Assign[cfg.RootPE],
+	}
+	// Every channel can carry every message kind, so each channel's
+	// guaranteed latency is the minimum hop time; the partition reduces
+	// that over the boundary-crossing channels.
+	if la, ok := part.MinCrossLatency(func(topology.Channel) int64 { return int64(minHop) }); ok {
+		g.lookahead = sim.Time(la)
+	} else {
+		// No channel crosses a shard boundary (single-shard groups): any
+		// window width is safe. Use the same width anyway so the
+		// one-shard protocol run exercises the window machinery the
+		// cross-checks certify.
+		g.lookahead = minHop
+	}
+	g.machines = make([]*Machine, k)
+	for s := 0; s < k; s++ {
+		g.machines[s] = newMachine(topo, source, strat, cfg, g, s)
+	}
+	// Stamp each shard's channel copies with the cross-shard member map:
+	// which other shards hear a broadcast, and whether any local member
+	// remains to hear it locally.
+	counts := make([]int, k)
+	owners := make([]int, 0, k)
+	for ci := range topo.Channels() {
+		for s := range counts {
+			counts[s] = 0
+		}
+		owners = owners[:0]
+		for _, pe := range topo.Channels()[ci].Members {
+			s := part.Assign[pe]
+			if counts[s] == 0 {
+				owners = append(owners, s)
+			}
+			counts[s]++
+		}
+		sort.Ints(owners)
+		for _, s := range owners {
+			cs := g.machines[s].chans[ci]
+			cs.localMembers = counts[s]
+			for _, o := range owners {
+				if o != s {
+					cs.crossTo = append(cs.crossTo, o)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// run executes the window-barrier loop to completion (or MaxTime) and
+// returns the merged statistics.
+func (g *shardGroup) run() *Stats {
+	home := g.machines[g.home]
+	serial := g.k == 1 || g.cfg.ShardSerial
+	if !serial {
+		// Warm the shared routing tables before goroutines race to the
+		// same sync.Once, and start one persistent worker per shard.
+		g.topo.Dist(0, 0)
+		g.startWorkers()
+		defer g.stopWorkers()
+	}
+	home.pump()
+	maxT := g.cfg.MaxTime
+	// start is the last executed instant; each window runs (start,
+	// start+lookahead]. It begins at -1 — nothing, including time 0, has
+	// executed — so the first window is [0, lookahead-1] and a send at
+	// time u always lands at u+hop >= start+1+lookahead, strictly past
+	// the window end: the conservative guarantee handOff asserts.
+	start := sim.Time(-1)
+	for {
+		end := maxT
+		if w := start + g.lookahead; w < maxT {
+			end = w
+		}
+		g.winEnd = end
+		if serial {
+			// The serial replay: same protocol, same per-window work,
+			// shard by shard on this goroutine. Shards only interact
+			// through the barriers, so this must be — and is, pinned by
+			// cross-check — bit-for-bit the parallel result.
+			for _, m := range g.machines {
+				m.eng.RunUntil(end)
+			}
+		} else {
+			g.runWindow(end)
+		}
+		g.drain()
+		if g.k == 1 {
+			// A single shard completes exactly like the sequential
+			// machine: completeJob/pump stop the engine mid-window.
+			if home.eng.Stopped() {
+				break
+			}
+		} else if home.srcDone && atomic.LoadInt64(&g.inFlight) == 0 {
+			// At a barrier every shard is quiescent, so the shared count
+			// is exact: all injected jobs responded and no arrivals
+			// remain. (In-flight control traffic may outlive completion,
+			// exactly as on the sequential machine.)
+			g.completed = true
+			break
+		}
+		if end >= maxT {
+			break
+		}
+		start = end
+		// Fast-forward over windows no shard has events in: begin the
+		// next window one unit before the globally earliest event.
+		if next, ok := g.nextEvent(); !ok {
+			start = maxT
+		} else if next > start+1 {
+			start = next - 1
+		}
+	}
+	return g.finalize()
+}
+
+func (g *shardGroup) startWorkers() {
+	g.done = make(chan shardDone, g.k)
+	g.workers = make([]shardWorker, g.k)
+	for s := range g.workers {
+		g.workers[s] = shardWorker{m: g.machines[s], start: make(chan sim.Time, 1)}
+		go g.workers[s].loop(g.done)
+	}
+}
+
+func (g *shardGroup) stopWorkers() {
+	for s := range g.workers {
+		close(g.workers[s].start)
+	}
+}
+
+func (w *shardWorker) loop(done chan<- shardDone) {
+	for end := range w.start {
+		err := w.runOne(end)
+		done <- shardDone{shard: w.m.shardID, err: err}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// runOne advances the shard to the window end, converting a panic into
+// a value so the coordinator can finish the barrier before re-raising.
+func (w *shardWorker) runOne(end sim.Time) (err any) {
+	defer func() { err = recover() }()
+	w.m.eng.RunUntil(end)
+	return nil
+}
+
+// runWindow releases every worker for one window and waits for all of
+// them — the barrier. A shard panic is re-raised here, after the
+// barrier, so no worker is left mid-window.
+func (g *shardGroup) runWindow(end sim.Time) {
+	for s := range g.workers {
+		g.workers[s].start <- end
+	}
+	var first any
+	for i := 0; i < g.k; i++ {
+		if d := <-g.done; d.err != nil && first == nil {
+			first = d.err
+		}
+	}
+	if first != nil {
+		panic(first)
+	}
+}
+
+// drain moves every cross-shard outbox into its receiving shard's
+// engine, in a thread-schedule-independent total order: by delivery
+// time, ties by sending shard, FIFO within a shard pair. Runs on the
+// coordinator between windows, when all shards are quiescent.
+func (g *shardGroup) drain() {
+	for dstID, dst := range g.machines {
+		buf := g.inbox[:0]
+		for _, src := range g.machines {
+			if src == dst {
+				continue
+			}
+			q := src.xout[dstID]
+			buf = append(buf, q...)
+			for i := range q {
+				q[i] = xmsg{}
+			}
+			src.xout[dstID] = q[:0]
+		}
+		// Stable insertion sort: windows are one lookahead wide, so the
+		// per-window buffers are small and allocation-free beats O(n log n).
+		for i := 1; i < len(buf); i++ {
+			for j := i; j > 0 && buf[j].at < buf[j-1].at; j-- {
+				buf[j], buf[j-1] = buf[j-1], buf[j]
+			}
+		}
+		for _, x := range buf {
+			x.w.m = dst
+			dst.eng.AtAction(x.at, x.w)
+		}
+		g.inbox = buf
+	}
+}
+
+// nextEvent returns the earliest pending event time across all shards.
+func (g *shardGroup) nextEvent() (sim.Time, bool) {
+	var min sim.Time
+	ok := false
+	for _, m := range g.machines {
+		if t, has := m.eng.NextEventAt(); has && (!ok || t < min) {
+			min, ok = t, true
+		}
+	}
+	return min, ok
+}
+
+// stalled is the group form of Machine.stalled: jobs in flight with no
+// goal or response anywhere — queued, executing, or in transit on any
+// shard. Transit counters increment on the sending shard and decrement
+// on the receiving one, so only their sum is meaningful.
+func (g *shardGroup) stalled() bool {
+	if g.completed || atomic.LoadInt64(&g.inFlight) == 0 || !g.machines[g.home].srcDone {
+		return false
+	}
+	var transit int64
+	for _, m := range g.machines {
+		transit += m.goalsInTransit + m.respsInTransit
+	}
+	if transit != 0 {
+		return false
+	}
+	for _, m := range g.machines {
+		for _, pe := range m.pes {
+			if pe == nil {
+				continue
+			}
+			if pe.busy || pe.queueLen() > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// finalize merges the shards' statistics into shard 0's Stats and
+// applies the group-level outcome.
+func (g *shardGroup) finalize() *Stats {
+	root := g.machines[0]
+	if g.k == 1 {
+		// The single shard carried the whole outcome itself.
+		root.finalize()
+		return root.stats
+	}
+	if g.completed {
+		// Deterministic finish rule: the last completion, ties resolved
+		// toward the higher shard (within one shard, engine order already
+		// picked the later completion's result).
+		fin := sim.Time(-1)
+		for _, m := range g.machines {
+			if m.stats.JobsDone > 0 && m.lastDone >= fin {
+				fin = m.lastDone
+				g.result = m.result
+			}
+		}
+		g.finishedAt = fin
+	}
+	for _, m := range g.machines {
+		m.completed = g.completed
+		m.finishedAt = g.finishedAt
+		m.finalize()
+	}
+	s := root.stats
+	for _, m := range g.machines[1:] {
+		s.merge(m.stats)
+	}
+	s.Completed = g.completed
+	s.Result = g.result
+	if g.completed {
+		s.Makespan = g.finishedAt
+	}
+	s.Stalled = g.stalled()
+	// Per-shard completion order interleaves; restore global completion
+	// order, then re-apply the record cap the per-shard streams enforced
+	// individually.
+	sort.Slice(s.JobRecords, func(i, j int) bool {
+		a, b := s.JobRecords[i], s.JobRecords[j]
+		if a.DoneAt != b.DoneAt {
+			return a.DoneAt < b.DoneAt
+		}
+		return a.ID < b.ID
+	})
+	if b := g.cfg.SojournBound; b > 0 && len(s.JobRecords) > b {
+		s.JobRecords = s.JobRecords[:b]
+	}
+	return s
+}

@@ -150,6 +150,57 @@ func newStats(topo *topology.Topology, workloadName, stratName string) *Stats {
 	}
 }
 
+// merge folds shard o's statistics into s — the finalize step of a
+// sharded run. Counters and totals sum; per-PE and per-channel arrays
+// add elementwise (each shard wrote only its owned entries, and channel
+// occupancy accrues per sending side); distribution metrics merge
+// bucket-exactly. Outcome fields (Completed, Stalled, Result, Makespan)
+// and labels are group-level decisions the coordinator sets — merge
+// leaves them alone. JobRecords concatenate; the caller re-sorts them
+// into completion order afterwards.
+func (s *Stats) merge(o *Stats) {
+	s.Goals += o.Goals
+	s.Events += o.Events
+	s.JobsInjected += o.JobsInjected
+	s.JobsDone += o.JobsDone
+	s.SteadyJobsDone += o.SteadyJobsDone
+	s.JobRecords = append(s.JobRecords, o.JobRecords...)
+	s.Sojourn.Merge(&o.Sojourn)
+	s.SteadySojourn.Merge(&o.SteadySojourn)
+	s.WarmupBusy += o.WarmupBusy
+	s.TotalBusy += o.TotalBusy
+	for i, b := range o.BusyPerPE {
+		s.BusyPerPE[i] += b
+	}
+	for i, g := range o.GoalsPerPE {
+		s.GoalsPerPE[i] += g
+	}
+	s.GoalsExecuted += o.GoalsExecuted
+	s.RespIntegrated += o.RespIntegrated
+	s.GoalHops.Merge(&o.GoalHops)
+	s.GoalDist.Merge(&o.GoalDist)
+	s.RespHops.Merge(&o.RespHops)
+	for k := range s.MsgCounts {
+		s.MsgCounts[k] += o.MsgCounts[k]
+	}
+	for i, b := range o.ChannelBusy {
+		s.ChannelBusy[i] += b
+	}
+	for i, n := range o.ChannelMsgs {
+		s.ChannelMsgs[i] += n
+	}
+	s.QueueDelay.Merge(&o.QueueDelay)
+	// Scenario and sampling series are empty on sharded runs (validate
+	// forbids both); the crash/scenario counters merge for completeness.
+	s.GoalsRequeued += o.GoalsRequeued
+	s.ServiceAborts += o.ServiceAborts
+	s.RootRedirects += o.RootRedirects
+	s.DownPETime += o.DownPETime
+	s.GoalsLost += o.GoalsLost
+	s.JobsAborted += o.JobsAborted
+	s.JobsRetried += o.JobsRetried
+}
+
 // Utilization returns average PE utilization in [0,1]: total busy time
 // over P×makespan.
 func (s *Stats) Utilization() float64 {

@@ -93,6 +93,17 @@ type NodeStrategy interface {
 	HandleEvent(ev Event)
 }
 
+// SequentialOnly marks strategies whose nodes read global machine state
+// — the Ideal oracle inspects every PE's true queue length on each
+// placement. Such reads are fine on the sequential machine but are
+// cross-shard data races on a sharded one, where remote PEs advance on
+// other goroutines; NewStream refuses to shard them.
+type SequentialOnly interface {
+	Strategy
+	// SequentialOnly documents why sharding is impossible.
+	SequentialOnly() string
+}
+
 // FailureAware is the opt-in for availability events: a node whose
 // WantsFailureEvents returns true receives PEFailed/PERecovered (from
 // failing neighbors, with their sentinel-load broadcast) and LinkDown/

@@ -72,6 +72,29 @@ func (h *logHist) add(x float64) {
 	h.sum += x
 }
 
+// merge folds o's observations into h. Bucket counts add exactly; the
+// result is identical to having streamed both inputs into one histogram.
+func (h *logHist) merge(o *logHist) {
+	if o.n == 0 {
+		return
+	}
+	if h.n == 0 {
+		h.lo, h.hi = o.lo, o.hi
+	} else {
+		if o.lo < h.lo {
+			h.lo = o.lo
+		}
+		if o.hi > h.hi {
+			h.hi = o.hi
+		}
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+}
+
 func (h *logHist) mean() float64 {
 	if h.n == 0 {
 		return math.NaN()

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestHistMergeEqualsCombinedStream pins the shard-merge property: a
+// merged histogram is indistinguishable from one fed both streams.
+func TestHistMergeEqualsCombinedStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a, b, both Hist
+	for i := 0; i < 500; i++ {
+		v := rng.Intn(20)
+		if i%3 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+		both.Add(v)
+	}
+	a.Merge(&b)
+	if a.Total() != both.Total() || a.Mean() != both.Mean() || a.Max() != both.Max() {
+		t.Fatalf("merged %v != combined %v", a.String(), both.String())
+	}
+	for v := 0; v <= both.Max(); v++ {
+		if a.Count(v) != both.Count(v) {
+			t.Fatalf("bucket %d: merged %d != combined %d", v, a.Count(v), both.Count(v))
+		}
+	}
+	// Merging into an empty histogram and merging an empty one are both
+	// exact.
+	var empty, c Hist
+	c.Merge(&both)
+	c.Merge(&empty)
+	if c.Total() != both.Total() || c.Percentile(0.9) != both.Percentile(0.9) {
+		t.Fatalf("empty-edge merge diverged: %v vs %v", c.String(), both.String())
+	}
+}
+
+func TestSummaryMergeMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var a, b, both Summary
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*3 + 10
+		if i < 400 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+		both.Add(x)
+	}
+	a.Merge(&b)
+	if a.N() != both.N() || a.Min() != both.Min() || a.Max() != both.Max() {
+		t.Fatalf("merged counts/extrema diverged: %v vs %v", a.String(), both.String())
+	}
+	if d := math.Abs(a.Mean() - both.Mean()); d > 1e-9 {
+		t.Fatalf("merged mean off by %g", d)
+	}
+	if d := math.Abs(a.Var() - both.Var()); d > 1e-9*both.Var() {
+		t.Fatalf("merged variance off by %g (direct %g)", d, both.Var())
+	}
+	var empty Summary
+	a.Merge(&empty)
+	if a.N() != both.N() {
+		t.Fatal("merging an empty summary changed the count")
+	}
+	empty.Merge(&a)
+	if empty.N() != a.N() || empty.Mean() != a.Mean() {
+		t.Fatal("merging into an empty summary is not a copy")
+	}
+}
+
+func TestSampleMergeExactMode(t *testing.T) {
+	var a, b, both Sample
+	for i := 0; i < 200; i++ {
+		x := float64((i * 37) % 101)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+		both.Add(x)
+	}
+	a.Merge(&b)
+	if a.N() != both.N() || a.Mean() != both.Mean() {
+		t.Fatalf("merged sample n=%d mean=%g, combined n=%d mean=%g", a.N(), a.Mean(), both.N(), both.Mean())
+	}
+	for _, p := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if a.Percentile(p) != both.Percentile(p) {
+			t.Fatalf("p%.2f: merged %g != combined %g", p, a.Percentile(p), both.Percentile(p))
+		}
+	}
+}
+
+// TestSampleMergeBounded: merging collapsed (histogram) samples is
+// bucket-exact — identical to streaming every observation through one
+// bounded sample.
+func TestSampleMergeBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var a, b, both Sample
+	a.Bound(50)
+	b.Bound(50)
+	both.Bound(50)
+	for i := 0; i < 800; i++ {
+		x := math.Exp(rng.Float64() * 8)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+		both.Add(x)
+	}
+	if !a.Bounded() || !b.Bounded() {
+		t.Fatal("inputs did not collapse")
+	}
+	a.Merge(&b)
+	if a.N() != both.N() || a.Min() != both.Min() || a.Max() != both.Max() {
+		t.Fatalf("merged bounded sample diverged: %v vs %v", a.String(), both.String())
+	}
+	// The running sums accumulate in different orders; identical up to
+	// float associativity.
+	if d := math.Abs(a.Mean() - both.Mean()); d > 1e-9*both.Mean() {
+		t.Fatalf("merged mean off by %g", d)
+	}
+	for _, p := range []float64{0.5, 0.99} {
+		if a.Percentile(p) != both.Percentile(p) {
+			t.Fatalf("p%.2f: merged %g != combined %g", p, a.Percentile(p), both.Percentile(p))
+		}
+	}
+	// Mixed modes: an exact sample absorbing a collapsed one collapses.
+	var c Sample
+	c.Add(3)
+	c.Merge(&a)
+	if !c.Bounded() || c.N() != a.N()+1 {
+		t.Fatalf("mixed-mode merge: bounded=%v n=%d want %d", c.Bounded(), c.N(), a.N()+1)
+	}
+}

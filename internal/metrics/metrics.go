@@ -32,6 +32,24 @@ func (h *Hist) Add(v int) {
 	h.sum += int64(v)
 }
 
+// Merge folds another histogram's observations into h (bucket counts
+// add), leaving o untouched. The result equals having Added both
+// streams into one histogram, in any order — the per-shard statistics
+// of a sharded run merge with this.
+func (h *Hist) Merge(o *Hist) {
+	for v, c := range o.counts {
+		if c == 0 {
+			continue
+		}
+		for v >= len(h.counts) {
+			h.counts = append(h.counts, 0)
+		}
+		h.counts[v] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+}
+
 // Count returns the number of observations in bucket v.
 func (h *Hist) Count(v int) int64 {
 	if v < 0 || v >= len(h.counts) {
@@ -129,6 +147,31 @@ func (s *Summary) Add(x float64) {
 	s.m2 += d * (x - s.mean)
 }
 
+// Merge folds another summary into s using Chan et al.'s parallel
+// variance combination, leaving o untouched. Counts, means, min and max
+// combine exactly; m2 combines up to float rounding (the same rounding
+// a different Add order exhibits).
+func (s *Summary) Merge(o *Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += d * float64(o.n) / float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+}
+
 // N returns the observation count.
 func (s *Summary) N() int64 { return s.n }
 
@@ -208,6 +251,24 @@ func (s *Sample) Add(x float64) {
 	s.sorted = false
 	if s.limit > 0 && len(s.xs) > s.limit {
 		s.collapse()
+	}
+}
+
+// Merge folds another sample's observations into s, leaving o
+// untouched. Exact-mode inputs replay observation by observation (so
+// bounds still trigger as if the values had been Added directly);
+// a collapsed input forces s to collapse too and the histograms merge
+// bucket-exactly.
+func (s *Sample) Merge(o *Sample) {
+	if o.h != nil {
+		if s.h == nil {
+			s.collapse()
+		}
+		s.h.merge(o.h)
+		return
+	}
+	for _, x := range o.xs {
+		s.Add(x)
 	}
 }
 

@@ -69,8 +69,19 @@
 //     pumps. Ticker is built on Timer, so periodic processes allocate
 //     only at construction.
 //
-// The engine is intentionally single-goroutine: one simulation run is a
-// sequential computation over virtual time. Parallelism belongs one level
-// up, where the experiment harness runs many independent simulations on
-// separate goroutines.
+// Each engine is intentionally single-goroutine: its event loop is a
+// sequential computation over virtual time, with no locks on the hot
+// path. Parallelism lives one level up, in two forms. The experiment
+// harness runs many independent simulations on separate goroutines.
+// And one large simulation can be sharded (machine.Config.Shards): K
+// engines each own a slice of the machine and advance in lockstep
+// through bounded windows via RunUntil(deadline) — fire everything due
+// by the deadline, report whether live events remain — with
+// NextEventAt letting the coordinator fast-forward over windows no
+// engine has events in. Windowed stepping is exact: any partition of a
+// run into RunUntil calls fires the same events in the same order as
+// one call, so the window protocol adds synchronization points, never
+// reordering. Cross-engine sends are injected between windows via
+// AtAction by the coordinating goroutine while the engines are
+// quiescent; the engine itself stays lock-free.
 package sim

@@ -300,6 +300,22 @@ func (e *Engine) RunUntil(deadline Time) bool {
 	}
 }
 
+// NextEventAt returns the timestamp of the earliest pending live
+// (uncancelled) event; ok is false when nothing is pending or the
+// engine is stopped. Windowed drivers (the sharded machine's
+// conservative-lookahead loop) use it to fast-forward across windows
+// no shard has work in.
+func (e *Engine) NextEventAt() (t Time, ok bool) {
+	if e.stopped {
+		return 0, false
+	}
+	ev := e.sched.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
 // Stop halts Run/RunUntil after the current event. Further Step calls
 // return false. Pending events are retained (inspectable) but will not
 // fire.

@@ -1,0 +1,145 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// partitionFixtures covers every topology family the package builds.
+func partitionFixtures() []*Topology {
+	return []*Topology{
+		NewGrid(8, 8),
+		NewGrid(3, 7),
+		NewTorus(5, 5),
+		NewTorus3D(3, 3, 3),
+		NewDLM(6, 6, 3),
+		NewHypercube(6),
+		NewRing(17),
+		NewChordalRing(16, 5),
+		NewComplete(9),
+		NewStar(9),
+		NewTree(2, 4),
+		NewBusGlobal(7),
+	}
+}
+
+func TestPartitionCoversDisjointly(t *testing.T) {
+	for _, topo := range partitionFixtures() {
+		for _, k := range []int{1, 2, 3, 4, 7, 8} {
+			if k > topo.Size() {
+				continue
+			}
+			p := topo.Partition(k)
+			if p.Shards != k || len(p.Assign) != topo.Size() || len(p.Starts) != k+1 {
+				t.Fatalf("%s k=%d: malformed partition %+v", topo.Name(), k, p)
+			}
+			// Starts must be a strictly increasing full cover: every PE
+			// in exactly one shard, every shard non-empty.
+			if p.Starts[0] != 0 || p.Starts[k] != topo.Size() {
+				t.Fatalf("%s k=%d: starts %v do not span [0,%d)", topo.Name(), k, p.Starts, topo.Size())
+			}
+			for s := 0; s < k; s++ {
+				if p.Size(s) <= 0 {
+					t.Fatalf("%s k=%d: shard %d empty (starts %v)", topo.Name(), k, s, p.Starts)
+				}
+				for pe := p.Starts[s]; pe < p.Starts[s+1]; pe++ {
+					if p.Assign[pe] != s || p.Owner(pe) != s {
+						t.Fatalf("%s k=%d: PE %d assigned to %d, block says %d", topo.Name(), k, pe, p.Assign[pe], s)
+					}
+				}
+			}
+			// Balance: contiguous blocks must differ by at most one PE.
+			lo, hi := topo.Size(), 0
+			for s := 0; s < k; s++ {
+				n := p.Size(s)
+				if n < lo {
+					lo = n
+				}
+				if n > hi {
+					hi = n
+				}
+			}
+			if hi-lo > 1 {
+				t.Fatalf("%s k=%d: imbalanced blocks (sizes span %d..%d)", topo.Name(), k, lo, hi)
+			}
+		}
+	}
+}
+
+func TestPartitionCrossChannels(t *testing.T) {
+	for _, topo := range partitionFixtures() {
+		for _, k := range []int{1, 2, 3, 4, 7, 8} {
+			if k > topo.Size() {
+				continue
+			}
+			p := topo.Partition(k)
+			cross := make(map[int]bool, len(p.Cross))
+			prev := -1
+			for _, ci := range p.Cross {
+				if ci <= prev {
+					t.Fatalf("%s k=%d: Cross not ascending/unique: %v", topo.Name(), k, p.Cross)
+				}
+				prev = ci
+				cross[ci] = true
+			}
+			for _, ch := range topo.Channels() {
+				shards := make(map[int]bool)
+				for _, pe := range ch.Members {
+					shards[p.Assign[pe]] = true
+				}
+				if spans := len(shards) > 1; spans != cross[ch.ID] {
+					t.Fatalf("%s k=%d: channel %d spans %d shards but Cross=%v",
+						topo.Name(), k, ch.ID, len(shards), cross[ch.ID])
+				}
+			}
+			if k == 1 && len(p.Cross) != 0 {
+				t.Fatalf("%s: single-shard partition has cross channels %v", topo.Name(), p.Cross)
+			}
+		}
+	}
+}
+
+// TestPartitionLookaheadProperty pins the conservative-lookahead bound:
+// under arbitrary positive per-channel latencies, MinCrossLatency never
+// exceeds the latency of ANY cross-shard channel (running shards in
+// windows of that width can therefore never deliver a message into a
+// shard's past), and it is achieved by at least one of them.
+func TestPartitionLookaheadProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, topo := range partitionFixtures() {
+		for _, k := range []int{2, 3, 4, 8} {
+			if k > topo.Size() {
+				continue
+			}
+			p := topo.Partition(k)
+			lats := make([]int64, len(topo.Channels()))
+			for i := range lats {
+				lats[i] = 1 + rng.Int63n(50)
+			}
+			lat := func(ch Channel) int64 { return lats[ch.ID] }
+			min, ok := p.MinCrossLatency(lat)
+			if len(p.Cross) == 0 {
+				if ok {
+					t.Fatalf("%s k=%d: lookahead bound %d with no cross channels", topo.Name(), k, min)
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("%s k=%d: no lookahead bound despite %d cross channels", topo.Name(), k, len(p.Cross))
+			}
+			achieved := false
+			for _, ci := range p.Cross {
+				if min > lats[ci] {
+					t.Fatalf("%s k=%d: lookahead %d exceeds cross channel %d latency %d",
+						topo.Name(), k, min, ci, lats[ci])
+				}
+				if min == lats[ci] {
+					achieved = true
+				}
+			}
+			if !achieved {
+				t.Fatalf("%s k=%d: lookahead %d matches no cross-channel latency", topo.Name(), k, min)
+			}
+		}
+	}
+}
