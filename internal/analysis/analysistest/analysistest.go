@@ -1,0 +1,133 @@
+// Package analysistest runs an analyzer over a fixture module and
+// checks its diagnostics against `// want` expectations embedded in
+// the fixture source — the same contract as
+// golang.org/x/tools/go/analysis/analysistest, rebuilt on the repo's
+// stdlib-only analysis framework.
+//
+// A fixture is a directory under testdata/src/<name>/ with its own
+// go.mod (so the fixture is a self-contained module the loader can
+// `go list`) and ordinary Go files. A line expected to trigger a
+// diagnostic carries a trailing comment
+//
+//	x = time.Now() // want `time\.Now is wall-clock`
+//
+// holding one or more quoted regular expressions. Every diagnostic
+// must match a want on its line, and every want must be matched by a
+// diagnostic — unexpected findings and unmatched expectations are both
+// test failures, so a fixture with no wants doubles as a proof the
+// analyzer stays silent on compliant code.
+package analysistest
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cwnsim/internal/analysis"
+)
+
+// want is one parsed expectation: a regex anchored to a file line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture module at dir, applies the analyzer, and
+// reports any mismatch between diagnostics and `// want` expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s contains no packages", dir)
+	}
+
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					ws, err := parseWants(pkg.Fset, c.Pos(), c.Text)
+					if err != nil {
+						t.Fatalf("%s: %v", pkg.Fset.Position(c.Pos()), err)
+					}
+					wants = append(wants, ws...)
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s over %s: %v", a.Name, dir, err)
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// regex matches the message.
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts the quoted regexes from a `// want "re" ...`
+// comment; a comment without the marker yields nil.
+func parseWants(fset *token.FileSet, pos token.Pos, text string) ([]*want, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	if !strings.HasPrefix(rest, "want ") && !strings.HasPrefix(rest, "want\t") {
+		return nil, nil
+	}
+	rest = strings.TrimPrefix(rest, "want")
+	p := fset.Position(pos)
+	var out []*want
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, strconv.ErrSyntax
+		}
+		pat, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &want{file: p.Filename, line: p.Line, re: re, raw: pat})
+		rest = rest[len(q):]
+	}
+	if len(out) == 0 {
+		return nil, strconv.ErrSyntax // a bare "// want" is a fixture bug
+	}
+	return out, nil
+}

@@ -1,0 +1,340 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Poolsafe enforces the free-list discipline around pooled objects
+// (types tagged //simlint:pooled, freed by functions tagged
+// //simlint:free):
+//
+//  1. Use-after-free: once a variable is passed to a free function,
+//     later statements in the same block must not touch it — the
+//     object may already be wearing its next identity. (The check is
+//     lexical within the enclosing statement list; frees on one loop
+//     iteration observed on the next are out of scope.)
+//  2. Zeroing: the free function itself must clear every
+//     pointer-bearing field of the pooled type before the object
+//     parks on the free list, or the retained working set anchors
+//     dead object graphs for the garbage collector (the PR 5 pooling
+//     regression shape). Fields deliberately retained across recycles
+//     are tagged //simlint:keep <reason>.
+//
+// A free function's subject is its unique parameter of pooled type
+// (use-after-free + zeroing) or its []T result for slab-style
+// releases (zeroing only, satisfied by a whole-element composite
+// store xs[i] = T{...} or clear(xs)).
+var Poolsafe = &Analyzer{
+	Name: "poolsafe",
+	Doc:  "flag use of pooled objects after their free-list put, and free functions that skip pointer-field zeroing",
+	Run:  runPoolsafe,
+}
+
+// freeSubject describes what a //simlint:free function recycles.
+type freeSubject struct {
+	fn       *types.Func
+	decl     *ast.FuncDecl
+	pooled   *types.TypeName
+	strct    *types.Struct
+	paramIdx int // index into call args of the freed param; -1 for result subjects
+	param    *types.Var
+	slice    bool // subject is a []T slab, not a single *T
+}
+
+func runPoolsafe(pass *Pass) error {
+	tags := pass.CollectTags()
+
+	// Resolve each tagged free function to its subject.
+	subjects := make(map[*types.Func]*freeSubject)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if _, tagged := tags.FuncTag(fn, "free"); !tagged {
+				continue
+			}
+			sub := pass.resolveFreeSubject(tags, fn, fd)
+			if sub == nil {
+				pass.Reportf(fd.Pos(), "//simlint:free on %s, but no parameter or result has a //simlint:pooled type (directly, as pointer, or as slice)", fn.Name())
+				continue
+			}
+			subjects[fn] = sub
+			pass.checkZeroing(tags, sub)
+		}
+	}
+	if len(subjects) == 0 {
+		return nil
+	}
+
+	// Use-after-free scan over every function body in the package.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			pass.checkUseAfterFree(file, fd, subjects)
+		}
+	}
+	return nil
+}
+
+func (pass *Pass) resolveFreeSubject(tags *Tags, fn *types.Func, fd *ast.FuncDecl) *freeSubject {
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if tn, sl, ok := pooledElem(tags, p.Type()); ok {
+			return &freeSubject{fn: fn, decl: fd, pooled: tn, strct: structOf(tn), paramIdx: i, param: p, slice: sl}
+		}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		r := sig.Results().At(i)
+		if tn, sl, ok := pooledElem(tags, r.Type()); ok && sl {
+			return &freeSubject{fn: fn, decl: fd, pooled: tn, strct: structOf(tn), paramIdx: -1, slice: true}
+		}
+	}
+	return nil
+}
+
+// pooledElem reports the pooled type behind T, *T or []T.
+func pooledElem(tags *Tags, t types.Type) (*types.TypeName, bool, bool) {
+	if sl, ok := t.Underlying().(*types.Slice); ok {
+		if tn, ok := tags.TaggedType(sl.Elem(), "pooled"); ok {
+			return tn, true, true
+		}
+		return nil, false, false
+	}
+	if tn, ok := tags.TaggedType(t, "pooled"); ok {
+		return tn, false, true
+	}
+	return nil, false, false
+}
+
+func structOf(tn *types.TypeName) *types.Struct {
+	st, _ := tn.Type().Underlying().(*types.Struct)
+	return st
+}
+
+// checkZeroing verifies the free function clears every pointer-bearing
+// field of its pooled subject.
+func (pass *Pass) checkZeroing(tags *Tags, sub *freeSubject) {
+	if sub.strct == nil {
+		return
+	}
+	if sub.slice {
+		if !pass.hasElementWipe(sub) {
+			pass.Reportf(sub.decl.Pos(), "%s releases a []%s slab without clearing its elements (need xs[i] = %s{...} over the array, or clear(xs)): parked slots would retain pointers into the dead run", sub.fn.Name(), sub.pooled.Name(), sub.pooled.Name())
+		}
+		return
+	}
+	var missing []string
+	for i := 0; i < sub.strct.NumFields(); i++ {
+		f := sub.strct.Field(i)
+		if !pointerBearing(f.Type()) {
+			continue
+		}
+		if d, ok := tags.FieldTag(f, "keep"); ok {
+			if d.Args == "" {
+				pass.Reportf(f.Pos(), "//simlint:keep on %s.%s needs a reason: say why the free list may retain this reference", sub.pooled.Name(), f.Name())
+			}
+			continue
+		}
+		if !pass.fieldAssigned(sub, f) {
+			missing = append(missing, f.Name())
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sub.decl.Pos(), "%s parks a *%s on the free list without zeroing pointer-bearing field(s) %s: recycled objects must not retain references into the dead object graph (tag //simlint:keep <reason> if deliberate)", sub.fn.Name(), sub.pooled.Name(), strings.Join(missing, ", "))
+	}
+}
+
+// fieldAssigned reports whether the free function assigns p.f (for the
+// subject parameter p) or wipes *p wholesale.
+func (pass *Pass) fieldAssigned(sub *freeSubject, f *types.Var) bool {
+	found := false
+	ast.Inspect(sub.decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || found {
+			return !found
+		}
+		for _, lhs := range as.Lhs {
+			switch l := lhs.(type) {
+			case *ast.SelectorExpr:
+				if pass.TypesInfo.Uses[l.Sel] == f && pass.isSubjectParam(sub, l.X) {
+					found = true
+				}
+			case *ast.StarExpr:
+				if pass.isSubjectParam(sub, l.X) {
+					found = true // *p = T{} wipes every field
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (pass *Pass) isSubjectParam(sub *freeSubject, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return pass.TypesInfo.Uses[id] == sub.param
+}
+
+// hasElementWipe looks for xs[i] = T{...} or clear(xs) over a slice of
+// the pooled type.
+func (pass *Pass) hasElementWipe(sub *freeSubject) bool {
+	found := false
+	ast.Inspect(sub.decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if tv, ok := pass.TypesInfo.Types[ix]; ok && namedBase(tv.Type) == sub.pooled {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "clear" && len(n.Args) == 1 {
+					if tv, ok := pass.TypesInfo.Types[n.Args[0]]; ok {
+						if sl, ok := tv.Type.Underlying().(*types.Slice); ok && namedBase(sl.Elem()) == sub.pooled {
+							found = true
+						}
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkUseAfterFree scans fd's body for calls to free functions and
+// flags later uses of the freed variable in the same statement list.
+func (pass *Pass) checkUseAfterFree(file *ast.File, fd *ast.FuncDecl, subjects map[*types.Func]*freeSubject) {
+	// Every statement list in the body, scanned independently.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var stmts []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			stmts = n.List
+		case *ast.CaseClause:
+			stmts = n.Body
+		case *ast.CommClause:
+			stmts = n.Body
+		default:
+			return true
+		}
+		for i, stmt := range stmts {
+			for _, freed := range pass.freedVarsIn(stmt, subjects) {
+				pass.reportLaterUses(stmts[i+1:], freed)
+			}
+		}
+		return true
+	})
+}
+
+type freedVar struct {
+	obj  types.Object
+	name string
+	typ  string
+	fn   string
+}
+
+// freedVarsIn returns the plain variables statement stmt passes to a
+// free function (nested calls included, but not calls inside nested
+// blocks — those belong to the inner statement list).
+func (pass *Pass) freedVarsIn(stmt ast.Stmt, subjects map[*types.Func]*freeSubject) []freedVar {
+	var out []freedVar
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, isBlock := n.(*ast.BlockStmt); isBlock {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var callee *types.Func
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			callee, _ = pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		case *ast.Ident:
+			callee, _ = pass.TypesInfo.Uses[fun].(*types.Func)
+		}
+		sub, ok := subjects[callee]
+		if !ok || sub.paramIdx < 0 || sub.paramIdx >= len(call.Args) {
+			return true
+		}
+		id, ok := call.Args[sub.paramIdx].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		out = append(out, freedVar{obj: obj, name: id.Name, typ: sub.pooled.Name(), fn: sub.fn.Name()})
+		return true
+	})
+	return out
+}
+
+// reportLaterUses walks the statements after a free and reports uses
+// of the freed variable, stopping once it is reassigned.
+func (pass *Pass) reportLaterUses(stmts []ast.Stmt, freed freedVar) {
+	for _, stmt := range stmts {
+		if as, ok := stmt.(*ast.AssignStmt); ok {
+			// RHS executes before the variable is rebound.
+			for _, rhs := range as.Rhs {
+				if pos, ok := pass.findUse(rhs, freed.obj); ok {
+					pass.report(pos, freed)
+					return
+				}
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == freed.obj {
+					return // reassigned: the variable wears a new identity
+				}
+			}
+			continue
+		}
+		if pos, ok := pass.findUse(stmt, freed.obj); ok {
+			pass.report(pos, freed)
+			return
+		}
+	}
+}
+
+func (pass *Pass) report(pos ast.Node, freed freedVar) {
+	pass.Reportf(pos.Pos(), "%s is used after %s returned it to the free list: the object may already be recycled under a new identity (pool-safety contract)", freed.name, freed.fn)
+}
+
+func (pass *Pass) findUse(n ast.Node, obj types.Object) (ast.Node, bool) {
+	var hit ast.Node
+	ast.Inspect(n, func(c ast.Node) bool {
+		if hit != nil {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			hit = id
+		}
+		return hit == nil
+	})
+	return hit, hit != nil
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Seqonly keeps the sequential-only boundary from drifting: functions
+// reachable from the shard path (every function declared in a file
+// tagged //simlint:seqonly — machine/shard.go) must not reach
+// global-state features that Config.validate rejects for sharded runs
+// (fields tagged //simlint:globalstate: Scenario, Trace, Pool,
+// sampling). Those features assume one single-threaded machine; a
+// shard touching them would race or silently diverge from the serial
+// replay.
+//
+// A reference is allowed when the code demonstrably knows the feature
+// is off on the shard path: reading the field inside an if/for/switch
+// condition, or anywhere inside the body of an if whose condition
+// tests the same field (the `if cfg.Trace != nil { ... }` shape —
+// validate guarantees the branch never runs sharded). Shared functions
+// that are safe for subtler reasons are trusted boundaries: tag them
+// //simlint:seqsafe <reason> and the traversal stops there.
+//
+// The call graph is static and package-local: calls through interfaces
+// (strategies, job sources) are not followed. That is the right
+// boundary here — strategy code cannot name machine internals.
+var Seqonly = &Analyzer{
+	Name: "seqonly",
+	Doc:  "flag shard-path code reaching sequential-only (global-state) features unguarded",
+	Run:  runSeqonly,
+}
+
+func runSeqonly(pass *Pass) error {
+	tags := pass.CollectTags()
+	if len(tags.SeqonlyFiles) == 0 {
+		return nil
+	}
+
+	// Any globalstate fields declared at all? (They may be tagged in
+	// this package even if the seqonly file is elsewhere — both must be
+	// package-local for the analysis to see them.)
+	hasGlobalState := false
+	for _, ds := range tags.Fields {
+		if hasVerb(ds, "globalstate") {
+			hasGlobalState = true
+		}
+	}
+	if !hasGlobalState {
+		return nil
+	}
+
+	// Declared functions of this package, and the call edges between
+	// them.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	fileOf := make(map[*types.Func]*ast.File)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+					fileOf[fn] = file
+				}
+			}
+		}
+	}
+
+	callees := func(fd *ast.FuncDecl) []*types.Func {
+		var out []*types.Func
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() != pass.Pkg || seen[fn] {
+				return true
+			}
+			if _, declared := decls[fn]; declared {
+				seen[fn] = true
+				out = append(out, fn)
+			}
+			return true
+		})
+		return out
+	}
+
+	// BFS from the seqonly files' functions, stopping at seqsafe
+	// boundaries; remember how each function was reached.
+	parent := make(map[*types.Func]*types.Func)
+	var queue []*types.Func
+	visited := make(map[*types.Func]bool)
+	enqueue := func(fn *types.Func, from *types.Func) {
+		if visited[fn] {
+			return
+		}
+		if d, trusted := tags.FuncTag(fn, "seqsafe"); trusted {
+			if d.Args == "" {
+				pass.Reportf(decls[fn].Pos(), "//simlint:seqsafe on %s needs a reason: say why shard-path reachability is safe here", fn.Name())
+			}
+			return
+		}
+		visited[fn] = true
+		parent[fn] = from
+		queue = append(queue, fn)
+	}
+	for file := range tags.SeqonlyFiles {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					enqueue(fn, nil)
+				}
+			}
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fd := decls[fn]
+		pass.checkGlobalStateRefs(tags, fn, fd, fileOf[fn], parent)
+		for _, callee := range callees(fd) {
+			enqueue(callee, fn)
+		}
+	}
+	return nil
+}
+
+// checkGlobalStateRefs reports unguarded references to
+// //simlint:globalstate fields inside fd.
+func (pass *Pass) checkGlobalStateRefs(tags *Tags, fn *types.Func, fd *ast.FuncDecl, file *ast.File, parent map[*types.Func]*types.Func) {
+	var parents map[ast.Node]ast.Node // built lazily: most functions have no refs
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil {
+			return true
+		}
+		if _, tagged := tags.FieldTag(obj, "globalstate"); !tagged {
+			return true
+		}
+		if parents == nil {
+			parents = parentMap(file)
+		}
+		if guardedRef(pass, parents, sel, obj) {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "shard-path code reaches sequential-only feature %s unguarded (%s): Config.validate rejects it for sharded runs — guard on the field, move the code off the shard path, or tag the function //simlint:seqsafe <reason>", obj.Name(), chain(fn, parent))
+		return true
+	})
+}
+
+// guardedRef reports whether the reference sits in a conditional
+// position, or inside the body of an if whose condition tests the same
+// field.
+func guardedRef(pass *Pass, parents map[ast.Node]ast.Node, ref ast.Expr, field types.Object) bool {
+	var prev ast.Node = ref
+	for n := parents[ref]; n != nil; prev, n = n, parents[n] {
+		switch s := n.(type) {
+		case *ast.IfStmt:
+			if prev == s.Cond || prev == s.Init {
+				return true // the reference is the guard itself
+			}
+			if prev == s.Body && mentionsField(pass, s.Cond, field) {
+				return true // guarded body: validate keeps this branch off shards
+			}
+		case *ast.ForStmt:
+			if prev == s.Cond || prev == s.Init || prev == s.Post {
+				return true
+			}
+		case *ast.SwitchStmt:
+			if prev == s.Tag || prev == s.Init {
+				return true
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false // don't escape the enclosing function
+		}
+	}
+	return false
+}
+
+func mentionsField(pass *Pass, cond ast.Expr, field types.Object) bool {
+	if cond == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == field {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// chain renders the reach path root → ... → fn for the diagnostic.
+func chain(fn *types.Func, parent map[*types.Func]*types.Func) string {
+	var names []string
+	for f := fn; f != nil; f = parent[f] {
+		names = append(names, f.Name())
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return "reached via " + strings.Join(names, " → ")
+}

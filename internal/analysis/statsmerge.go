@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Statsmerge enforces the exact-merge contract of sharded statistics:
+// every field of a struct tagged //simlint:mergeable must be touched
+// by the type's merge method, so a field added to the struct but
+// forgotten in the merge — which would silently drop that statistic
+// from every sharded run — fails the build instead of rotting until an
+// equivalence test notices. Fields deliberately left out of the merge
+// (labels, group-level outcome fields the coordinator owns, series the
+// sharded path forbids) are tagged //simlint:nomerge <reason>.
+//
+// A merge method is any method on T or *T named merge or Merge whose
+// single parameter is T or *T. A mergeable type with no merge method
+// at all is itself reported.
+var Statsmerge = &Analyzer{
+	Name: "statsmerge",
+	Doc:  "check every field of //simlint:mergeable structs is folded by the type's merge method",
+	Run:  runStatsmerge,
+}
+
+func runStatsmerge(pass *Pass) error {
+	tags := pass.CollectTags()
+
+	// Tagged struct types in this package.
+	type mergeable struct {
+		obj    *types.TypeName
+		strct  *types.Struct
+		merges []*ast.FuncDecl
+	}
+	var targets []*mergeable
+	byObj := make(map[types.Object]*mergeable)
+	for obj, ds := range tags.Types {
+		if !hasVerb(ds, "mergeable") {
+			continue
+		}
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			pass.Reportf(obj.Pos(), "//simlint:mergeable applies to struct types; %s is not a struct", obj.Name())
+			continue
+		}
+		m := &mergeable{obj: tn, strct: st}
+		targets = append(targets, m)
+		byObj[obj] = m
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+
+	// Attach merge methods: methods named merge/Merge on (*)T with one
+	// (*)T parameter.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "merge" && fd.Name.Name != "Merge" {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			if sig.Params().Len() != 1 {
+				continue
+			}
+			recvObj := namedBase(sig.Recv().Type())
+			paramObj := namedBase(sig.Params().At(0).Type())
+			if recvObj == nil || recvObj != paramObj {
+				continue
+			}
+			if m, ok := byObj[recvObj]; ok {
+				m.merges = append(m.merges, fd)
+			}
+		}
+	}
+
+	for _, m := range targets {
+		if len(m.merges) == 0 {
+			pass.Reportf(m.obj.Pos(), "type %s is tagged //simlint:mergeable but has no merge method (a method named merge/Merge on the type taking one %s parameter): sharded copies of it cannot be folded", m.obj.Name(), m.obj.Name())
+			continue
+		}
+		touched := make(map[types.Object]bool)
+		for _, fd := range m.merges {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil {
+					touched[obj] = true
+				}
+				return true
+			})
+		}
+		for i := 0; i < m.strct.NumFields(); i++ {
+			f := m.strct.Field(i)
+			if touched[f] {
+				continue
+			}
+			if d, ok := tags.FieldTag(f, "nomerge"); ok {
+				if d.Args == "" {
+					pass.Reportf(f.Pos(), "//simlint:nomerge on %s.%s needs a reason: say why shard copies of this field must not be folded", m.obj.Name(), f.Name())
+				}
+				continue
+			}
+			pass.Reportf(f.Pos(), "field %s.%s is not referenced by the type's merge method: sharded runs would silently drop this statistic — fold it into the merge, or tag it //simlint:nomerge <reason>", m.obj.Name(), f.Name())
+		}
+	}
+	return nil
+}
+
+// namedBase returns the *types.TypeName behind T or *T, or nil.
+func namedBase(t types.Type) types.Object {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}

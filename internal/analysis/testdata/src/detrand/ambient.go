@@ -1,0 +1,69 @@
+// Package simfix exercises the detrand analyzer. The fixture module's
+// path ends in internal/sim, so the analyzer treats it as
+// simulation-path code.
+package simfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+var clock int64
+
+func wallClock() {
+	clock = time.Now().UnixNano() // want `time\.Now is wall-clock`
+}
+
+func globalDraw() int {
+	return rand.Intn(6) // want `rand\.Intn draws from the process-global random stream`
+}
+
+// seededDraw is compliant: the rand constructors build an explicitly
+// seeded stream instead of drawing from the global one.
+func seededDraw(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+// suppressedClock proves //lint:ignore directives are honored: the
+// time.Now below would otherwise be a finding.
+func suppressedClock() int64 {
+	//lint:ignore detrand fixture: proves suppression directives are honored
+	return time.Now().UnixNano()
+}
+
+func leakOrder(m map[int]int) []int {
+	var out []int
+	for k := range m { // want `map iteration order is nondeterministic`
+		out = append(out, k)
+	}
+	return out
+}
+
+// collectThenSort is the tolerated shape: the loop only collects, and
+// a later statement in the same block sorts the slice.
+func collectThenSort(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// drain only deletes from the ranged map itself — order-insensitive.
+func drain(m map[int]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// sliceRange is not a map range at all; never flagged.
+func sliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,3 @@
+module detrandfix/internal/sim
+
+go 1.24

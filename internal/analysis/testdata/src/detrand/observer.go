@@ -1,0 +1,34 @@
+package simfix
+
+import "math/rand"
+
+// sampler reproduces the shape of the machine's utilization sampler:
+// one shared simulation stream and one dedicated observer stream.
+type sampler struct {
+	rng    *rand.Rand // the simulation's tie-break stream
+	obsRng *rand.Rand //simlint:obsstream dedicated observer stream, salted from the run seed
+}
+
+// staggerBad is the historical PR 2 bug shape: the observer ticker
+// drew its stagger phase from the shared simulation stream, so merely
+// enabling sampling reordered the run's tie-break draws and changed
+// the simulated result.
+//
+//simlint:observer
+func (s *sampler) staggerBad(period int64) int64 {
+	return s.rng.Int63n(period) // want `observer code draws from a simulation RNG stream`
+}
+
+// staggerGood draws from the obsstream-tagged field: measurement
+// randomness stays disjoint from the simulation's.
+//
+//simlint:observer
+func (s *sampler) staggerGood(period int64) int64 {
+	return s.obsRng.Int63n(period)
+}
+
+// simDraw is untagged simulation code: drawing from the simulation
+// stream here is exactly right.
+func (s *sampler) simDraw(period int64) int64 {
+	return s.rng.Int63n(period)
+}

@@ -1,0 +1,3 @@
+module utilfix
+
+go 1.24

@@ -1,0 +1,14 @@
+// Package utilfix is NOT simulation-path code (its module path has no
+// internal/sim-like segment): detrand must stay silent here even
+// though the file reads the wall clock and the global rand stream —
+// tooling and benchmark drivers legitimately do both.
+package utilfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() int64 { return time.Now().UnixNano() }
+
+func Jitter() int { return rand.Intn(100) }

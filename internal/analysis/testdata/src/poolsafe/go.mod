@@ -1,0 +1,3 @@
+module poolsafefix
+
+go 1.24

@@ -1,0 +1,58 @@
+// Package poolsafefix exercises the poolsafe analyzer: free functions
+// must zero pointer-bearing fields of pooled objects, and callers must
+// not touch an object after handing it to a free function.
+package poolsafefix
+
+// obj is a pooled node; next must be zeroed when it parks on the free
+// list or parked objects anchor dead object graphs.
+//
+//simlint:pooled
+type obj struct {
+	next *obj
+	id   int
+}
+
+var pool []*obj
+
+// freeObj is the compliant free: zeroes the pointer field, then parks.
+//
+//simlint:free
+func freeObj(p *obj) {
+	p.next = nil
+	pool = append(pool, p)
+}
+
+//simlint:free
+func freeLeaky(p *obj) { // want `freeLeaky parks a \*obj on the free list without zeroing pointer-bearing field\(s\) next`
+	pool = append(pool, p)
+}
+
+func newObj() *obj {
+	if n := len(pool); n > 0 {
+		p := pool[n-1]
+		pool = pool[:n-1]
+		return p
+	}
+	return &obj{}
+}
+
+func useAfterFree(p *obj) int {
+	freeObj(p)
+	return p.id // want `p is used after freeObj returned it to the free list`
+}
+
+// freeLast is the compliant call shape: the object is read before the
+// free, never after.
+func freeLast(p *obj) int {
+	id := p.id
+	freeObj(p)
+	return id
+}
+
+// rebind is also compliant: reassigning the variable gives it a new
+// identity, so later uses are not uses of the freed object.
+func rebind(p *obj) int {
+	freeObj(p)
+	p = newObj()
+	return p.id
+}

@@ -1,0 +1,57 @@
+package poolsafefix
+
+// slot is a slab element: released as whole arrays, so the free
+// function's subject is the []slot it returns.
+//
+//simlint:pooled
+type slot struct {
+	task *obj
+	id   int64
+}
+
+// releaseSlots is the compliant slab release: clear wipes every
+// element before the array is recycled.
+//
+//simlint:free
+func releaseSlots(xs []slot) []slot {
+	clear(xs)
+	return xs
+}
+
+//simlint:free
+func releaseDirty(xs []slot) []slot { // want `releaseDirty releases a \[\]slot slab without clearing its elements`
+	return xs
+}
+
+// wrap deliberately retains its buffer across recycles — but the keep
+// tag below is missing its mandatory reason.
+//
+//simlint:pooled
+type wrap struct {
+	//simlint:keep
+	buf []byte // want `//simlint:keep on wrap\.buf needs a reason`
+	n   int
+}
+
+var wrapPool []*wrap
+
+//simlint:free
+func freeWrap(w *wrap) {
+	wrapPool = append(wrapPool, w)
+}
+
+// arena retains its buffer too, with the reason the tag demands: the
+// whole point of pooling it is keeping the allocation.
+//
+//simlint:pooled
+type arena struct {
+	buf []byte //simlint:keep the backing array is the pooled asset; len is reset by the next init
+	n   int
+}
+
+var arenaPool []*arena
+
+//simlint:free
+func freeArena(a *arena) {
+	arenaPool = append(arenaPool, a)
+}

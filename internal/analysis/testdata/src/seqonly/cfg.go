@@ -1,0 +1,50 @@
+// Package seqonlyfix exercises the seqonly analyzer: functions
+// reachable from a //simlint:seqonly file must not reach
+// //simlint:globalstate fields unguarded.
+package seqonlyfix
+
+type sink interface{ Emit(string) }
+
+type script struct{ events []string }
+
+type config struct {
+	Trace          sink    //simlint:globalstate traces interleave cross-shard events; validate rejects it for sharded runs
+	SampleInterval int64   //simlint:globalstate the sampler reads every PE at one instant; validate rejects it for sharded runs
+	Scenario       *script //simlint:globalstate scripted environments run sequentially
+}
+
+type machine struct {
+	cfg  config
+	seen int64
+}
+
+// emit is guarded: the nil check on the field itself proves the branch
+// is dead on sharded runs, where validate keeps Trace nil.
+func (m *machine) emit(ev string) {
+	if m.cfg.Trace != nil {
+		m.cfg.Trace.Emit(ev)
+	}
+}
+
+func (m *machine) sampleWindow() int64 {
+	return m.cfg.SampleInterval // want `shard-path code reaches sequential-only feature SampleInterval unguarded \(reached via step → sampleWindow\)`
+}
+
+// replay is a trusted boundary: the traversal stops here and its
+// Scenario reference below is never reported.
+//
+//simlint:seqsafe only called back from the sequential driver after the shard group has torn down
+func (m *machine) replay() {
+	m.cfg.Scenario.events = nil
+}
+
+//simlint:seqsafe
+func (m *machine) replayNoReason() { // want `//simlint:seqsafe on replayNoReason needs a reason`
+	m.cfg.Scenario.events = nil
+}
+
+// offPath reaches Trace unguarded but is not reachable from the
+// seqonly file: never reported.
+func (m *machine) offPath() {
+	m.cfg.Trace.Emit("sequential-only caller")
+}

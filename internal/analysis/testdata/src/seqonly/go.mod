@@ -1,0 +1,3 @@
+module seqonlyfix
+
+go 1.24

@@ -1,0 +1,26 @@
+package seqonlyfix
+
+// This file is shard-path: its functions root the seqonly traversal,
+// like machine/shard.go in the real module.
+//
+//simlint:seqonly
+
+func (m *machine) step(ev string) {
+	m.emit(ev)
+	m.seen += m.sampleWindow()
+	m.replay()
+	m.replayNoReason()
+}
+
+func (m *machine) direct() {
+	m.cfg.Trace.Emit("x") // want `shard-path code reaches sequential-only feature Trace unguarded \(reached via direct\)`
+}
+
+// guardedDirect reads the field only in an if condition — that read is
+// itself the guard, so it is allowed.
+func (m *machine) guardedDirect() int64 {
+	if m.cfg.SampleInterval > 0 {
+		return 10
+	}
+	return 0
+}

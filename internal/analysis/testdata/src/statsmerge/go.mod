@@ -1,0 +1,3 @@
+module statsmergefix
+
+go 1.24

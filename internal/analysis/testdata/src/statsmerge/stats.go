@@ -1,0 +1,51 @@
+// Package statsmergefix exercises the statsmerge analyzer: every
+// field of a //simlint:mergeable struct must be folded by the type's
+// merge method or carry a reasoned //simlint:nomerge tag.
+package statsmergefix
+
+// stats mirrors the shape of the machine's shard-merged statistics,
+// with one field deliberately missing from the merge — the regression
+// the analyzer exists to catch (a field added to the struct but
+// forgotten in the shard fold would silently drop that statistic from
+// every sharded run).
+//
+//simlint:mergeable
+type stats struct {
+	Goals int64
+	Msgs  int64
+	Label string //simlint:nomerge identifying label, not a statistic
+	//simlint:nomerge
+	Flags   int   // want `//simlint:nomerge on stats\.Flags needs a reason`
+	Dropped int64 // want `field stats\.Dropped is not referenced by the type's merge method`
+}
+
+func (s *stats) merge(o *stats) {
+	s.Goals += o.Goals
+	s.Msgs += o.Msgs
+}
+
+// counts is the compliant shape: every field folded, upper-case Merge
+// accepted the same as merge.
+//
+//simlint:mergeable
+type counts struct {
+	Hits   int64
+	Misses int64
+}
+
+func (c *counts) Merge(o *counts) {
+	c.Hits += o.Hits
+	c.Misses += o.Misses
+}
+
+// orphan is tagged mergeable but has no merge method at all.
+//
+//simlint:mergeable
+type orphan struct { // want `type orphan is tagged //simlint:mergeable but has no merge method`
+	N int
+}
+
+// plain is untagged: nothing is checked, merge or not.
+type plain struct {
+	A, B int
+}

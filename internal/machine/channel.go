@@ -126,8 +126,10 @@ type envNote struct {
 // replacement for the per-hop closures the hot path used to allocate.
 // It implements sim.Action; delivery dispatches on kind. Messages are
 // recycled through the machine's free list the moment they deliver.
+//
+//simlint:pooled
 type wireMsg struct {
-	m        *Machine
+	m        *Machine //simlint:keep rebound on every newMsg pop; pooled lists may cross runs (Pool), where the old machine is dead but unreachable state, not an aliasing hazard
 	kind     wireKind
 	ch       *chanState // broadcast kinds: deliver to all other members
 	goal     *Goal
@@ -158,6 +160,8 @@ func (m *Machine) newMsg(kind wireKind, from int, sentLoad int) *wireMsg {
 }
 
 // freeMsg clears the message's references and returns it to the pool.
+//
+//simlint:free
 func (m *Machine) freeMsg(w *wireMsg) {
 	w.ch = nil
 	w.goal = nil

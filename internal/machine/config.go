@@ -79,14 +79,14 @@ type Config struct {
 
 	// SampleInterval is the utilization time-series sampling period
 	// (plots 11-16); <= 0 disables sampling.
-	SampleInterval sim.Time
+	SampleInterval sim.Time //simlint:globalstate the sampler reads every PE at one instant; validate rejects it under Shards
 	// MonitorPE additionally records every PE's utilization at each
 	// sample — ORACLE's load-distribution monitor (requires
 	// SampleInterval > 0). Frames land in Stats.Monitor.
-	MonitorPE bool
+	MonitorPE bool //simlint:globalstate monitor frames span all PEs; requires SampleInterval, which Shards rejects
 	// Trace receives lifecycle events (goal created/sent/accepted/
 	// executed, responses). nil disables tracing.
-	Trace trace.Sink
+	Trace trace.Sink //simlint:globalstate traces interleave cross-shard events; validate rejects it under Shards
 
 	// RootPE is where the root goal is injected.
 	RootPE int
@@ -164,14 +164,14 @@ type Config struct {
 	// Results are unaffected (recycled objects are fully reinitialized);
 	// only allocation volume changes. Not safe for concurrent machines —
 	// one Pool per worker goroutine.
-	Pool *Pool
+	Pool *Pool //simlint:globalstate free lists are single-threaded; validate rejects it under Shards
 
 	// Scenario optionally scripts a dynamic environment into the run:
 	// PE slowdowns and failures, link degradation and outages, and
 	// arrival-rate shocks, replayed deterministically at their scripted
 	// virtual times. nil (or an empty script) leaves the run bit-for-bit
 	// identical to an unscripted one.
-	Scenario *scenario.Script
+	Scenario *scenario.Script //simlint:globalstate scripted environments mutate arbitrary PEs from one timeline; validate rejects it under Shards
 
 	// Shards > 0 partitions the PE index space into that many contiguous
 	// spatial shards, each owning its own event engine and (for Shards

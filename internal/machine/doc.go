@@ -107,7 +107,12 @@
 // pending tasks, job states) recycles through slice-stack free lists.
 // The engine underneath runs the two-tier wheel scheduler by default
 // (Config.Scheduler, internal/sim); both knobs are A/B-measurable
-// through the perf ledger (cmd/bench).
+// through the perf ledger (cmd/bench). The free-list discipline —
+// pointer fields zeroed on free, no touching an object after its
+// free-list put — is machine-checked: pooled types carry
+// //simlint:pooled and free functions //simlint:free, and the poolsafe
+// analyzer (internal/analysis, run by CI as cmd/simlint) enforces both
+// rules at vet time.
 //
 // # Sharded execution
 //
@@ -143,5 +148,10 @@
 // and strategies whose correctness needs a single global timeline
 // declare it via SequentialOnly (core's ORACLE/ideal baseline does),
 // which sharded construction refuses with the strategy's stated
-// reason.
+// reason. Both halves of that boundary are machine-checked by
+// internal/analysis: statsmerge proves every Stats field is either
+// folded by the shard merge or tagged //simlint:nomerge with a reason,
+// and seqonly walks the call graph rooted at shard.go
+// (//simlint:seqonly) flagging unguarded reaches into the
+// //simlint:globalstate Config fields.
 package machine

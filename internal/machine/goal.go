@@ -14,7 +14,11 @@ import (
 // tasks) its children's responses have been combined, the machine
 // recycles the object for a future goal. Strategies must therefore not
 // retain a *Goal after handing it back to the machine via Accept,
-// SendGoal or RouteGoal — the shipped strategies never do.
+// SendGoal or RouteGoal — the shipped strategies never do. The
+// poolsafe analyzer (internal/analysis) enforces the machine-side
+// discipline at vet time.
+//
+//simlint:pooled
 type Goal struct {
 	// ID is unique within a run, in creation order (0 = the first
 	// job's root).
@@ -78,6 +82,8 @@ type item struct {
 // responses. It never migrates (Section 2 of the paper). Pending tasks
 // are pooled alongside goals; vals keeps its backing array across
 // reuses.
+//
+//simlint:pooled
 type pendingTask struct {
 	goal      *Goal
 	remaining int

@@ -31,7 +31,7 @@ type Machine struct {
 
 	nextGoalID int64
 	srcRng     *rand.Rand
-	obsRng     *rand.Rand // observer (sampling) phases; nil unless sampling
+	obsRng     *rand.Rand //simlint:obsstream observer (sampling) phases; nil unless sampling
 	srcDone    bool       // the source has been exhausted
 	inFlight   int64      // jobs injected but not yet responded
 	started    bool
@@ -383,6 +383,8 @@ func (m *Machine) NewTicker(pe *PE, period sim.Time, fn func()) *sim.Ticker {
 // derived from the seed — not the engine stream — so that configuring
 // SampleInterval/MonitorPE never reorders the simulation's tie-break
 // draws: the observer must not perturb the observed.
+//
+//simlint:observer
 func (m *Machine) newObserverTicker(period sim.Time, fn func()) *sim.Ticker {
 	var phase sim.Time
 	if m.cfg.StaggerTicks && period > 1 {
@@ -425,6 +427,8 @@ func (m *Machine) newGoal(task *workload.Task, j *jobState, parentPE int, parent
 
 // freeGoal recycles a goal whose journey is definitively over: it
 // executed, and any children's responses have been combined.
+//
+//simlint:free
 func (m *Machine) freeGoal(g *Goal) {
 	g.Task = nil
 	g.job = nil
@@ -453,6 +457,8 @@ func (m *Machine) newPending(g *Goal, kids int) *pendingTask {
 }
 
 // freePending recycles a completed pending-task record.
+//
+//simlint:free
 func (m *Machine) freePending(p *pendingTask) {
 	p.goal = nil
 	p.vals = p.vals[:0]
@@ -535,6 +541,7 @@ func (m *Machine) completeJob(j *jobState, value int64) {
 		m.winSoj = append(m.winSoj, soj)
 	}
 	if m.injSoj != nil {
+		//lint:ignore seqonly injSoj is allocated only when SampleInterval > 0, which validate rejects under Shards — the nil check above is the guard
 		w := int(j.injectedAt / (m.cfg.SampleInterval * sim.Time(m.injStride)))
 		for len(m.injSoj) <= w {
 			m.injSoj = append(m.injSoj, nil)
@@ -849,6 +856,8 @@ func (m *Machine) injectRoot(j *jobState) {
 }
 
 // freeJob recycles a completed job's state record.
+//
+//simlint:free
 func (m *Machine) freeJob(j *jobState) {
 	j.tree = nil
 	m.jobFree = append(m.jobFree, j)
@@ -901,6 +910,7 @@ func (m *Machine) finalize() {
 			if len(sojs) == 0 {
 				continue
 			}
+			//lint:ignore seqonly injSoj is allocated only when SampleInterval > 0, which validate rejects under Shards — the enclosing nil check is the guard
 			end := sim.Time(w+1) * m.cfg.SampleInterval * sim.Time(m.injStride)
 			if end <= m.cfg.Warmup {
 				continue // the window holds only pre-warm-up injections

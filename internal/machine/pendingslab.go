@@ -15,6 +15,8 @@ package machine
 // allocates each PE's table once per worker, not once per run.
 
 // pendingSlot is one table entry; id is slabEmpty when vacant.
+//
+//simlint:pooled
 type pendingSlot struct {
 	id   int64
 	task *pendingTask
@@ -53,6 +55,8 @@ func (s *pendingSlab) init(slots []pendingSlot) {
 // release detaches and returns the slot array, cleared for reuse. Only
 // entries still live (a run cut off at MaxTime) need wiping — deletion
 // already clears vacated slots — so a drained machine pays nothing.
+//
+//simlint:free
 func (s *pendingSlab) release() []pendingSlot {
 	slots := s.slots
 	s.slots = nil

@@ -1,3 +1,10 @@
+// This file is shard-path code: everything here runs inside a sharded
+// run, where Config.validate has already rejected the global-state
+// features (Scenario, Trace, SampleInterval, Pool). The seqonly
+// analyzer (internal/analysis) walks the call graph rooted at this
+// file's functions and flags any unguarded reach into those features.
+//
+//simlint:seqonly
 package machine
 
 import (

@@ -188,6 +188,8 @@ func (s *burst) Next(*rand.Rand) (sim.Time, *workload.Tree, bool) {
 // tree (per-job, so heterogeneous streams are possible) and the times
 // bounding its sojourn in the system. Job states are pooled — recycled
 // when the root response is delivered.
+//
+//simlint:pooled
 type jobState struct {
 	id         int64
 	tree       *workload.Tree

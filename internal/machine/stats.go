@@ -13,12 +13,21 @@ import (
 // Stats holds everything ORACLE reported for one run: utilization
 // (overall, per-PE, over time), completion time, channel utilizations,
 // message counts and distance distributions, plus the program's result.
+//
+// Stats is mergeable: a sharded run folds per-shard copies with merge
+// at finalize, and the statsmerge analyzer (internal/analysis) checks
+// at vet time that every field is either folded there or carries a
+// //simlint:nomerge tag saying why not — so a field added here but
+// forgotten in merge fails the build instead of silently dropping a
+// statistic from sharded runs.
+//
+//simlint:mergeable
 type Stats struct {
-	// Labels.
-	Topology string
-	Strategy string
-	Workload string
-	P        int
+	// Labels, set identically on every shard by the coordinator.
+	Topology string //simlint:nomerge label: group-level, set at construction
+	Strategy string //simlint:nomerge label: group-level, set at construction
+	Workload string //simlint:nomerge label: group-level, set at construction
+	P        int    //simlint:nomerge label: the full machine size, not a per-shard count
 	Goals    int
 
 	// Outcome. Completed means every injected job delivered its root
@@ -27,10 +36,10 @@ type Stats struct {
 	// Stalled flags an incomplete run where jobs remained in flight but
 	// nothing was queued, executing, or on a channel — a lost goal or
 	// deadlock, as opposed to honest saturation at MaxTime.
-	Completed bool
-	Stalled   bool
-	Result    int64
-	Makespan  sim.Time
+	Completed bool     //simlint:nomerge outcome: a group-level decision the coordinator sets at a window barrier
+	Stalled   bool     //simlint:nomerge outcome: group-level, decided at window barriers
+	Result    int64    //simlint:nomerge outcome: the last completed job's value, chosen by the coordinator
+	Makespan  sim.Time //simlint:nomerge outcome: group virtual time, not a per-shard sum
 	Events    uint64
 
 	// Job stream accounting. JobsInjected counts arrivals; JobsDone
@@ -51,7 +60,7 @@ type Stats struct {
 	JobRecords     []JobRecord
 	Sojourn        metrics.Sample
 	SteadySojourn  metrics.Sample
-	Warmup         sim.Time
+	Warmup         sim.Time //simlint:nomerge config echo: identical on every shard by construction
 	WarmupBusy     sim.Time
 
 	// PE activity.
@@ -83,18 +92,18 @@ type Stats struct {
 
 	// Timeline is percent utilization per sampling window (plots 11-16);
 	// empty unless Config.SampleInterval > 0.
-	Timeline metrics.Series
+	Timeline metrics.Series //simlint:nomerge sampling series: validate rejects SampleInterval on sharded runs
 
 	// QueueLen and QueueImbalance sample the ready queues alongside the
 	// utilization timeline: mean queue length across PEs, and Jain's
 	// fairness index over per-PE queue lengths (1 = perfectly even).
 	// Empty unless Config.SampleInterval > 0.
-	QueueLen       metrics.Series
-	QueueImbalance metrics.Series
+	QueueLen       metrics.Series //simlint:nomerge sampling series: validate rejects SampleInterval on sharded runs
+	QueueImbalance metrics.Series //simlint:nomerge sampling series: validate rejects SampleInterval on sharded runs
 
 	// Monitor holds the per-PE utilization frames of ORACLE's load
 	// monitor; empty unless Config.MonitorPE and SampleInterval are set.
-	Monitor trace.Monitor
+	Monitor trace.Monitor //simlint:nomerge sampling frames: validate rejects MonitorPE on sharded runs
 
 	// Scenario accounting (internal/scenario); all zero on unscripted
 	// runs. GoalsRequeued counts goals evacuated from failed PEs or
@@ -108,7 +117,7 @@ type Stats struct {
 	ServiceAborts  int64
 	RootRedirects  int64
 	DownPETime     sim.Time
-	SojournWindows metrics.Series
+	SojournWindows metrics.Series //simlint:nomerge scenario series: validate rejects Scenario on sharded runs
 
 	// Crash-with-state-loss accounting (the `crash:` scenario op; all
 	// zero under blackout-only scripts). GoalsLost counts goals whose
@@ -133,7 +142,7 @@ type Stats struct {
 	// lets blackout stragglers echo into post-restore windows; this
 	// keying does not. Computed at finalize; same scenario+sampling
 	// gate as SojournWindows.
-	InjSojournWindows metrics.Series
+	InjSojournWindows metrics.Series //simlint:nomerge scenario series: validate rejects Scenario on sharded runs
 }
 
 func newStats(topo *topology.Topology, workloadName, stratName string) *Stats {

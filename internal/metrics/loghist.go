@@ -10,6 +10,8 @@ import "math"
 // bucket (absolute error < 1 — sojourn times are integers ≥ 0). Memory
 // is a fixed ~16 KB regardless of stream length, and the structure is
 // fully deterministic: no sampling, no randomness.
+//
+//simlint:mergeable
 type logHist struct {
 	counts []int64
 	n      int64

@@ -13,6 +13,8 @@ import (
 
 // Hist is a histogram over small non-negative integers (e.g. hop counts).
 // The zero value is ready to use.
+//
+//simlint:mergeable
 type Hist struct {
 	counts []int64
 	total  int64
@@ -121,6 +123,8 @@ func (h *Hist) String() string {
 
 // Summary accumulates a stream of float64 observations with Welford's
 // online algorithm. The zero value is ready to use.
+//
+//simlint:mergeable
 type Summary struct {
 	n    int64
 	mean float64
@@ -208,10 +212,12 @@ func (s *Summary) String() string {
 // into a streaming log-linear histogram whose percentiles carry ~3%
 // relative error while mean, min, max and count stay exact. The zero
 // value is ready to use (exact mode).
+//
+//simlint:mergeable
 type Sample struct {
 	xs     []float64
-	sorted bool
-	limit  int      // 0 = exact mode; otherwise collapse past this count
+	sorted bool     //simlint:nomerge folded via Add replay in Merge, which resets it per observation
+	limit  int      //simlint:nomerge bound config: the destination sample's bound governs the merged stream
 	h      *logHist // non-nil once collapsed
 }
 

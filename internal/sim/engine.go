@@ -15,7 +15,10 @@ type Time int64
 const Never Time = -1
 
 // Event is a handle to a scheduled closure. It can be cancelled up to the
-// moment it fires.
+// moment it fires. Pooled events (ScheduleAction/AtAction) are recycled
+// through the engine free list after firing.
+//
+//simlint:pooled
 type Event struct {
 	at       Time
 	seq      uint64
@@ -223,9 +226,15 @@ func (e *Engine) AtAction(t Time, a Action) {
 	e.sched.push(ev)
 }
 
-// recycle returns a pooled event to the free list.
+// recycle returns a pooled event to the free list. The scheduler has
+// already unlinked the event (next/prev are nil after a wheel pop), but
+// they are re-zeroed here so the free list never pins a dead chain
+// regardless of scheduler.
+//
+//simlint:free
 func (e *Engine) recycle(ev *Event) {
 	ev.fn, ev.act, ev.canceled, ev.pooled = nil, nil, false, false
+	ev.next, ev.prev = nil, nil
 	e.free = append(e.free, ev)
 }
 
