@@ -50,6 +50,7 @@ func main() {
 		csvPath  = flag.String("csv", "", "also write the flat result table as CSV")
 		scenArg  = flag.String("scenario", "", `scripted environment applied to every run, e.g. "fail:pes=25%@t=5000,recover@t=10000"`)
 		sample   = flag.Int64("sample", 0, "sampling interval for recovery metrics (0 = auto when -scenario is set)")
+		traceOut = flag.String("trace-out", "", "write a Perfetto span export (Chrome trace-event JSON) of the first configuration's run")
 	)
 	flag.Parse()
 
@@ -231,6 +232,13 @@ func main() {
 		defer f.Close()
 		fail(detail.WriteCSV(f))
 		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+
+	// The span export traces one extra run of the first configuration:
+	// sinks cannot be shared across the batch's concurrent runs.
+	if *traceOut != "" {
+		fail(experiments.WriteTrace(specs[0], *traceOut))
+		fmt.Printf("\nwrote %s (load in https://ui.perfetto.dev or chrome://tracing)\n", *traceOut)
 	}
 }
 

@@ -1,16 +1,22 @@
 // Package seqonlyfix exercises the seqonly analyzer: functions
 // reachable from a //simlint:seqonly file must not reach
-// //simlint:globalstate fields unguarded.
+// //simlint:globalstate fields unguarded. Trace and SampleInterval are
+// deliberately untagged — they model the shard-safe observability
+// features (per-shard capture merged at finalize), so the analyzer must
+// stay silent on unguarded reaches into them.
 package seqonlyfix
 
 type sink interface{ Emit(string) }
 
 type script struct{ events []string }
 
+type pool struct{ free []int64 }
+
 type config struct {
-	Trace          sink    //simlint:globalstate traces interleave cross-shard events; validate rejects it for sharded runs
-	SampleInterval int64   //simlint:globalstate the sampler reads every PE at one instant; validate rejects it for sharded runs
+	Trace          sink    // shard-safe: per-shard buffers replayed at finalize
+	SampleInterval int64   // shard-safe: synchronized per-shard sampling
 	Scenario       *script //simlint:globalstate scripted environments run sequentially
+	Pool           *pool   //simlint:globalstate free lists are single-threaded
 }
 
 type machine struct {
@@ -18,16 +24,20 @@ type machine struct {
 	seen int64
 }
 
-// emit is guarded: the nil check on the field itself proves the branch
-// is dead on sharded runs, where validate keeps Trace nil.
+// emit reaches the untagged Trace field unguarded — shard-safe, never
+// reported.
 func (m *machine) emit(ev string) {
-	if m.cfg.Trace != nil {
-		m.cfg.Trace.Emit(ev)
-	}
+	m.cfg.Trace.Emit(ev)
 }
 
+// sampleWindow reaches the untagged SampleInterval unguarded — also
+// never reported.
 func (m *machine) sampleWindow() int64 {
-	return m.cfg.SampleInterval // want `shard-path code reaches sequential-only feature SampleInterval unguarded \(reached via step → sampleWindow\)`
+	return m.cfg.SampleInterval
+}
+
+func (m *machine) poolGet() int64 {
+	return m.cfg.Pool.free[0] // want `shard-path code reaches sequential-only feature Pool unguarded \(reached via step → poolGet\)`
 }
 
 // replay is a trusted boundary: the traversal stops here and its
@@ -43,8 +53,8 @@ func (m *machine) replayNoReason() { // want `//simlint:seqsafe on replayNoReaso
 	m.cfg.Scenario.events = nil
 }
 
-// offPath reaches Trace unguarded but is not reachable from the
+// offPath reaches Scenario unguarded but is not reachable from the
 // seqonly file: never reported.
 func (m *machine) offPath() {
-	m.cfg.Trace.Emit("sequential-only caller")
+	m.cfg.Scenario.events = nil
 }

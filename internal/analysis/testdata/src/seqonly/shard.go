@@ -8,18 +8,19 @@ package seqonlyfix
 func (m *machine) step(ev string) {
 	m.emit(ev)
 	m.seen += m.sampleWindow()
+	m.seen += m.poolGet()
 	m.replay()
 	m.replayNoReason()
 }
 
 func (m *machine) direct() {
-	m.cfg.Trace.Emit("x") // want `shard-path code reaches sequential-only feature Trace unguarded \(reached via direct\)`
+	m.cfg.Scenario.events = nil // want `shard-path code reaches sequential-only feature Scenario unguarded \(reached via direct\)`
 }
 
 // guardedDirect reads the field only in an if condition — that read is
 // itself the guard, so it is allowed.
 func (m *machine) guardedDirect() int64 {
-	if m.cfg.SampleInterval > 0 {
+	if m.cfg.Pool != nil {
 		return 10
 	}
 	return 0

@@ -10,6 +10,7 @@ import (
 	"cwnsim/internal/machine"
 	"cwnsim/internal/scenario"
 	"cwnsim/internal/sim"
+	"cwnsim/internal/trace"
 )
 
 // RunSpec is one complete simulation specification.
@@ -55,6 +56,13 @@ type RunSpec struct {
 	// GoalDist bookkeeping (machine.Config.TrackGoalDetail) for sweeps
 	// that only read latency and throughput.
 	NoGoalDetail bool `json:"noGoalDetail,omitempty"`
+
+	// Trace attaches an event sink to the run (machine.Config.Trace);
+	// nil = no tracing. Not serializable — set programmatically, e.g.
+	// by the CLIs' -trace-out span export. Sinks see events on one
+	// goroutine only (sharded runs replay at finalize), but a sink must
+	// still not be shared between concurrently executing specs.
+	Trace trace.Sink `json:"-"`
 }
 
 // Name returns a human-readable run identifier.
@@ -113,6 +121,7 @@ func (rs RunSpec) Config() machine.Config {
 	}
 	cfg.Shards = rs.Shards
 	cfg.ShardSerial = rs.ShardSerial
+	cfg.Trace = rs.Trace
 	return cfg
 }
 

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"os"
+
+	"cwnsim/internal/trace"
+)
+
+// WriteTrace executes spec once with a span-folding trace sink attached
+// and writes the causal span export — Chrome trace-event JSON, loadable
+// in Perfetto or chrome://tracing — to path. The traced run is separate
+// from any batch execution of the same spec: a sink must not be shared
+// across concurrently executing specs, and tracing every cell of a
+// sweep would dominate its memory. The run is deterministic for the
+// spec's seed, sharded or not (sharded runs replay the merged event
+// stream at finalize), so the exported spans are reproducible.
+func WriteTrace(spec RunSpec, path string) error {
+	var sp trace.Spans
+	spec.Trace = &sp
+	if _, err := spec.ExecuteErr(); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sp.WritePerfetto(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -78,15 +78,27 @@ type Config struct {
 	LoadMetric LoadMetric
 
 	// SampleInterval is the utilization time-series sampling period
-	// (plots 11-16); <= 0 disables sampling.
-	SampleInterval sim.Time //simlint:globalstate the sampler reads every PE at one instant; validate rejects it under Shards
+	// (plots 11-16); <= 0 disables sampling. Shard-safe: on a sharded
+	// run every shard samples its own PE block at the same globally
+	// synchronized instants (the observer ticker's phase derives from
+	// the plain run seed, identical on every shard), and the
+	// coordinator folds the per-shard partial sums into one
+	// machine-wide series at finalize. One shard reproduces the
+	// sequential series bit for bit.
+	SampleInterval sim.Time
 	// MonitorPE additionally records every PE's utilization at each
 	// sample — ORACLE's load-distribution monitor (requires
-	// SampleInterval > 0). Frames land in Stats.Monitor.
-	MonitorPE bool //simlint:globalstate monitor frames span all PEs; requires SampleInterval, which Shards rejects
+	// SampleInterval > 0). Frames land in Stats.Monitor; a sharded run
+	// concatenates each shard's PE block into full-machine frames at
+	// finalize.
+	MonitorPE bool
 	// Trace receives lifecycle events (goal created/sent/accepted/
-	// executed, responses). nil disables tracing.
-	Trace trace.Sink //simlint:globalstate traces interleave cross-shard events; validate rejects it under Shards
+	// executed, responses). nil disables tracing. Shard-safe: shards
+	// buffer their events privately in engine order and the coordinator
+	// replays the merged (At, shard, seq)-ordered stream into the sink
+	// at finalize, so Record always runs on one goroutine (trace
+	// package doc, "Sharded runs").
+	Trace trace.Sink
 
 	// RootPE is where the root goal is injected.
 	RootPE int
@@ -186,8 +198,10 @@ type Config struct {
 	// differently than the sequential machine, so only conservation
 	// totals — per-PE goal counts, job counts, sojourn distributions —
 	// are comparable bit-for-bit against it. The count is clamped to the
-	// machine size. Sharded runs reject Scenario, Trace, SampleInterval
-	// and Pool (see validate) and refuse SequentialOnly strategies.
+	// machine size. Sharded runs reject Scenario and Pool (see
+	// validate) and refuse SequentialOnly strategies; sampling,
+	// monitoring and tracing are shard-safe (per-shard capture, merged
+	// deterministically at finalize).
 	Shards int
 
 	// ShardSerial executes a sharded run's window protocol on a single
@@ -277,19 +291,14 @@ func (c *Config) validate(numPEs int) {
 	}
 	if c.Shards > 0 {
 		// The sharded runtime covers the steady-state measurement
-		// configuration (big machines, arrival streams, final statistics).
-		// Global-state features stay sequential: scripted environments
-		// mutate arbitrary PEs/channels from one timeline, the utilization
-		// sampler reads every PE at one instant, traces interleave
-		// cross-shard events, and Pool free lists are single-threaded.
+		// configuration (big machines, arrival streams, final statistics)
+		// plus the observability features (sampling, monitoring, tracing
+		// — captured per shard, merged deterministically at finalize).
+		// The remaining global-state features stay sequential: scripted
+		// environments mutate arbitrary PEs/channels from one timeline,
+		// and Pool free lists are single-threaded.
 		if !c.Scenario.Empty() {
 			panic("machine: Shards is incompatible with Scenario (scripted environments run sequentially)")
-		}
-		if c.SampleInterval > 0 {
-			panic("machine: Shards is incompatible with SampleInterval (the global sampler runs sequentially)")
-		}
-		if c.Trace != nil {
-			panic("machine: Shards is incompatible with Trace")
 		}
 		if c.Pool != nil {
 			panic("machine: Shards is incompatible with Pool (free lists are per-shard)")

@@ -142,16 +142,33 @@
 // streams, so against sequential only conservation holds: completion,
 // the computed result, goal/response/job totals and the sojourn count.
 //
-// Sharding is a runtime for large machines' final statistics; the
-// global-state features — Scenario, SampleInterval/MonitorPE, Trace,
-// Pool — stay sequential (Config.validate rejects the combinations),
-// and strategies whose correctness needs a single global timeline
-// declare it via SequentialOnly (core's ORACLE/ideal baseline does),
-// which sharded construction refuses with the strategy's stated
-// reason. Both halves of that boundary are machine-checked by
-// internal/analysis: statsmerge proves every Stats field is either
-// folded by the shard merge or tagged //simlint:nomerge with a reason,
-// and seqonly walks the call graph rooted at shard.go
-// (//simlint:seqonly) flagging unguarded reaches into the
-// //simlint:globalstate Config fields.
+// Observability is shard-safe: sampling (SampleInterval, MonitorPE)
+// and tracing (Trace) run under any shard count with a per-shard
+// capture / deterministic merge discipline. Every shard's observer
+// ticker draws its phase from the plain run seed, so sample instants
+// are globally synchronized; each shard records raw partials for its
+// own PE block (busy-time deltas, queue-length sums and sums of
+// squares, monitor frames) and finalize folds them into the merged
+// Stats with the sequential machine's exact arithmetic — Jain's
+// imbalance index is recomputed from the pooled raw sums because it
+// does not merge from per-shard indices. Trace events buffer per shard
+// and replay into the configured sink on the coordinator after the
+// workers join, sorted by (time, shard, emission order), preserving
+// the Sink single-goroutine contract. Shards == 1 reproduces the
+// sequential series and event stream bit for bit; K >= 2 keeps the
+// parallel == serial-replay guarantee and conserves per-kind event
+// counts for placement-independent kinds against sequential.
+//
+// Two global-state features remain sequential-only (Config.validate
+// rejects the combinations): Scenario, whose scripted timeline mutates
+// arbitrary PEs and channels from one global clock, and Pool, whose
+// free lists are single-threaded by design. Strategies whose
+// correctness needs a single global timeline declare it via
+// SequentialOnly (core's ORACLE/ideal baseline does), which sharded
+// construction refuses with the strategy's stated reason. The
+// boundary is machine-checked by internal/analysis: statsmerge proves
+// every Stats field is either folded by the shard merge or tagged
+// //simlint:nomerge with a reason, and seqonly walks the call graph
+// rooted at shard.go (//simlint:seqonly) flagging unguarded reaches
+// into the //simlint:globalstate Config fields.
 package machine

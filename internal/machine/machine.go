@@ -113,13 +113,39 @@ type Machine struct {
 	peHi     int
 	xout     [][]xmsg
 	lastDone sim.Time
+
+	// Shard-local observability capture (k >= 2 groups only). The Sink
+	// contract is single-goroutine, so a multi-shard run never calls
+	// Record live: each shard appends its events to traceBuf in its own
+	// engine order and the coordinator replays the union, sorted by
+	// (At, shard, buffer index), at finalize. shardSamples holds the
+	// shard's deferred sampling partials the same way — one entry per
+	// globally synchronized sample instant, folded into full-machine
+	// series points by shardGroup.finalize.
+	traceBuf     []trace.Event
+	shardSamples []shardSample
+
+	// traceCollector is cfg.Trace downcast once at construction, so the
+	// injection path can pre-size the event slice with a goal-count hint
+	// instead of re-doubling it as a long traced run appends.
+	traceCollector *trace.Collector
 }
 
-// emit records a trace event if tracing is enabled.
+// emit records a trace event if tracing is enabled. Multi-shard runs
+// buffer instead of recording live: the Sink sees nothing until the
+// coordinator replays the merged stream at finalize (a one-shard group
+// reproduces the sequential Record call sequence bit for bit, so it
+// records directly).
 func (m *Machine) emit(kind trace.Kind, pe, other int, goal int64) {
-	if m.cfg.Trace != nil {
-		m.cfg.Trace.Record(trace.Event{At: m.eng.Now(), Kind: kind, PE: pe, Other: other, Goal: goal})
+	if m.cfg.Trace == nil {
+		return
 	}
+	ev := trace.Event{At: m.eng.Now(), Kind: kind, PE: pe, Other: other, Goal: goal}
+	if m.grp != nil && m.grp.k > 1 {
+		m.traceBuf = append(m.traceBuf, ev)
+		return
+	}
+	m.cfg.Trace.Record(ev)
 }
 
 // New constructs a closed-system machine executing one tree to
@@ -270,11 +296,18 @@ func newMachine(topo *topology.Topology, source JobSource, strat Strategy, cfg C
 
 	if cfg.SampleInterval > 0 {
 		if cfg.MonitorPE {
-			m.prevBusyPerPE = make([]sim.Time, len(m.pes))
-			m.frameBuf = make([]float64, len(m.pes))
+			// Sized to the owned PE block (the whole machine when
+			// unsharded): a shard monitors only its own PEs, and the
+			// coordinator concatenates the blocks into full frames.
+			m.prevBusyPerPE = make([]sim.Time, m.peHi-m.peLo)
+			m.frameBuf = make([]float64, m.peHi-m.peLo)
 		}
+		// Every shard draws the same stagger phase (newObserverRng salts
+		// from the plain seed, not the per-shard one), so sample instants
+		// are globally synchronized across the group.
 		m.newObserverTicker(cfg.SampleInterval, m.sample)
 	}
+	m.traceCollector, _ = cfg.Trace.(*trace.Collector)
 
 	// Snapshot the busy-time accrued during warm-up so steady-state
 	// utilization can exclude the ramp. Only scheduled when a warm-up is
@@ -541,7 +574,9 @@ func (m *Machine) completeJob(j *jobState, value int64) {
 		m.winSoj = append(m.winSoj, soj)
 	}
 	if m.injSoj != nil {
-		//lint:ignore seqonly injSoj is allocated only when SampleInterval > 0, which validate rejects under Shards — the nil check above is the guard
+		// injSoj is allocated only on scenario runs with sampling, and
+		// validate rejects Scenario under Shards — the nil check above
+		// keeps this off the sharded path.
 		w := int(j.injectedAt / (m.cfg.SampleInterval * sim.Time(m.injStride)))
 		for len(m.injSoj) <= w {
 			m.injSoj = append(m.injSoj, nil)
@@ -646,6 +681,14 @@ func (m *Machine) routeGoal(cur, dst int, g *Goal) {
 // window since the previous sample — the staggered first window is
 // shorter than SampleInterval, and dividing by the full period there
 // distorted the first timeline point.
+//
+// Each shard of a multi-shard group runs its own copy of this ticker
+// over its own PE block at the same synchronized instants; instead of
+// emitting series points (which need the whole machine), it defers the
+// window's raw partials — busy delta, queue-length sum and sum of
+// squares, and the per-PE frame block — for shardGroup.finalize to fold.
+// Jain's fairness index is not mergeable from per-shard indices, which
+// is why the partials are deferred rather than the folded values.
 func (m *Machine) sample() {
 	now := m.eng.Now()
 	window := now - m.prevSampleAt
@@ -653,20 +696,18 @@ func (m *Machine) sample() {
 		return // an unstaggered first firing at t=0 has no window yet
 	}
 	var busy sim.Time
-	for _, pe := range m.pes {
+	for _, pe := range m.pes[m.peLo:m.peHi] {
 		busy += pe.committedBusy()
 	}
-	util := 100 * float64(busy-m.prevBusySample) / (float64(window) * float64(len(m.pes)))
+	busyDelta := busy - m.prevBusySample
 	m.prevBusySample = busy
-	m.stats.Timeline.Add(float64(now), util)
 
 	if m.prevBusyPerPE != nil {
-		for i, pe := range m.pes {
+		for i, pe := range m.pes[m.peLo:m.peHi] {
 			b := pe.committedBusy()
 			m.frameBuf[i] = float64(b-m.prevBusyPerPE[i]) / float64(window)
 			m.prevBusyPerPE[i] = b
 		}
-		m.stats.Monitor.Append(now, m.frameBuf)
 	}
 
 	// Queue balance at the sample instant: mean ready-queue length and
@@ -674,10 +715,26 @@ func (m *Machine) sample() {
 	// curve a scenario run's recovery is read from. Pure observation:
 	// no events, no random draws.
 	var qsum, qsq float64
-	for _, pe := range m.pes {
+	for _, pe := range m.pes[m.peLo:m.peHi] {
 		q := float64(pe.queueLen())
 		qsum += q
 		qsq += q * q
+	}
+
+	if m.grp != nil && m.grp.k > 1 {
+		samp := shardSample{at: now, window: window, busyDelta: busyDelta, qsum: qsum, qsq: qsq}
+		if m.frameBuf != nil {
+			samp.frame = append([]float64(nil), m.frameBuf...)
+		}
+		m.shardSamples = append(m.shardSamples, samp)
+		m.prevSampleAt = now
+		return
+	}
+
+	util := 100 * float64(busyDelta) / (float64(window) * float64(len(m.pes)))
+	m.stats.Timeline.Add(float64(now), util)
+	if m.prevBusyPerPE != nil {
+		m.stats.Monitor.Append(now, m.frameBuf)
 	}
 	m.stats.QueueLen.Add(float64(now), qsum/float64(len(m.pes)))
 	imb := 1.0
@@ -832,6 +889,12 @@ func (m *Machine) inject(tree *workload.Tree) {
 	}
 	m.stats.JobsInjected++
 	m.stats.Goals += tree.Count()
+	if m.traceCollector != nil && (m.grp == nil || m.grp.k == 1) {
+		// Each goal contributes a bounded handful of lifecycle events
+		// plus a topology-dependent number of hops; 8 covers the shipped
+		// strategies' typical walks so the collector rarely re-doubles.
+		m.traceCollector.Grow(tree.Count() * 8)
+	}
 	if g := m.grp; g != nil {
 		atomic.AddInt64(&g.inFlight, 1)
 	} else {
@@ -910,7 +973,6 @@ func (m *Machine) finalize() {
 			if len(sojs) == 0 {
 				continue
 			}
-			//lint:ignore seqonly injSoj is allocated only when SampleInterval > 0, which validate rejects under Shards — the enclosing nil check is the guard
 			end := sim.Time(w+1) * m.cfg.SampleInterval * sim.Time(m.injStride)
 			if end <= m.cfg.Warmup {
 				continue // the window holds only pre-warm-up injections

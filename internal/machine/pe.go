@@ -396,6 +396,7 @@ func (pe *PE) startNext() {
 		if pe.m.cfg.TrackGoalDetail {
 			pe.m.stats.QueueDelay.Add(float64(pe.m.eng.Now() - it.goal.AcceptedAt))
 		}
+		pe.m.emit(trace.GoalExecStarted, pe.id, -1, it.goal.ID)
 	case itemResponse:
 		dur = pe.m.cfg.CombineTime
 	}

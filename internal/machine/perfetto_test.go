@@ -1,0 +1,85 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cwnsim/internal/topology"
+	"cwnsim/internal/trace"
+	"cwnsim/internal/workload"
+)
+
+var updatePerfettoGolden = flag.Bool("update-perfetto-golden", false,
+	"rewrite testdata/perfetto_golden.json from the pinned run")
+
+// TestWritePerfettoGolden pins the span exporter's output byte for byte
+// on a seed-pinned run: the golden file is what -trace-out would write,
+// and any schema drift (field renames, ordering changes, float
+// formatting) fails here before it breaks a user's Perfetto import. The
+// test also checks the structural schema independently of the golden
+// bytes, so a legitimate regeneration still has its shape verified.
+func TestWritePerfettoGolden(t *testing.T) {
+	var sp trace.Spans
+	cfg := DefaultConfig()
+	cfg.Trace = &sp
+	st := NewStream(topology.NewGrid(3, 3), NewSingleJob(workload.NewFib(8)), spread{}, cfg).Run()
+	if !st.Completed {
+		t.Fatal("pinned run did not complete")
+	}
+	var buf bytes.Buffer
+	if err := sp.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph == "" {
+			t.Fatalf("event missing ph: %v", ev)
+		}
+		phases[ph]++
+		if ph != "M" {
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("non-metadata event missing ts: %v", ev)
+			}
+		}
+	}
+	// Every phase the exporter documents must appear: process metadata,
+	// goal-lifetime async spans, execution slices, and hop instants.
+	for _, ph := range []string{"M", "b", "e", "X", "i"} {
+		if phases[ph] == 0 {
+			t.Errorf("no %q events in output", ph)
+		}
+	}
+
+	golden := filepath.Join("testdata", "perfetto_golden.json")
+	if *updatePerfettoGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-perfetto-golden): %v", err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		t.Fatalf("perfetto output diverged from golden (%d vs %d bytes); regenerate with -update-perfetto-golden if intentional",
+			buf.Len(), len(want))
+	}
+}

@@ -1,8 +1,12 @@
 // This file is shard-path code: everything here runs inside a sharded
-// run, where Config.validate has already rejected the global-state
-// features (Scenario, Trace, SampleInterval, Pool). The seqonly
-// analyzer (internal/analysis) walks the call graph rooted at this
-// file's functions and flags any unguarded reach into those features.
+// run, where Config.validate has already rejected the remaining
+// global-state features (Scenario, Pool). The seqonly analyzer
+// (internal/analysis) walks the call graph rooted at this file's
+// functions and flags any unguarded reach into those features.
+// Sampling, monitoring and tracing are shard-safe: each shard captures
+// its own PE block's partials and buffers its own trace events, and the
+// coordinator folds both into the merged result at finalize
+// (mergeSamples, replayTrace below).
 //
 //simlint:seqonly
 package machine
@@ -13,6 +17,7 @@ import (
 
 	"cwnsim/internal/sim"
 	"cwnsim/internal/topology"
+	"cwnsim/internal/trace"
 )
 
 // shardSeedSalt derives shard s's engine seed as
@@ -28,6 +33,19 @@ const shardSeedSalt = 0x5851F42D4C957F2D
 type xmsg struct {
 	at sim.Time
 	w  *wireMsg
+}
+
+// shardSample is one shard's deferred contribution to one globally
+// synchronized sampling instant: the raw partials over its own PE
+// block, folded into full-machine series points by mergeSamples. The
+// raw queue-length sums are carried (not a per-shard fairness index)
+// because Jain's index is a ratio of sums — it cannot be merged from
+// per-shard indices, only recomputed from the pooled partials.
+type shardSample struct {
+	at, window sim.Time
+	busyDelta  sim.Time  // block busy time accrued inside the window
+	qsum, qsq  float64   // block queue-length sum and sum of squares
+	frame      []float64 // block per-PE utilization; nil unless MonitorPE
 }
 
 // shardGroup coordinates the machines of one sharded run: K contiguous
@@ -389,6 +407,8 @@ func (g *shardGroup) finalize() *Stats {
 	for _, m := range g.machines[1:] {
 		s.merge(m.stats)
 	}
+	g.mergeSamples(s)
+	g.replayTrace()
 	s.Completed = g.completed
 	s.Result = g.result
 	if g.completed {
@@ -409,4 +429,96 @@ func (g *shardGroup) finalize() *Stats {
 		s.JobRecords = s.JobRecords[:b]
 	}
 	return s
+}
+
+// mergeSamples folds the shards' deferred sampling partials into the
+// merged statistics' full-machine series. Every shard sampled its own
+// PE block at the same instants (the observer stagger phase draws from
+// the plain seed on every shard), so the streams align index by index;
+// divergence would mean the synchronization contract broke, which is a
+// bug worth crashing on, not papering over. The folded formulas are
+// exactly the sequential machine's, applied to the pooled partials.
+func (g *shardGroup) mergeSamples(s *Stats) {
+	if g.cfg.SampleInterval <= 0 {
+		return
+	}
+	ref := g.machines[0].shardSamples
+	for _, m := range g.machines[1:] {
+		if len(m.shardSamples) != len(ref) {
+			panic("machine: shard sample streams diverged in length — sample instants must be globally synchronized")
+		}
+	}
+	p := float64(g.topo.Size())
+	var frame []float64
+	if g.cfg.MonitorPE {
+		frame = make([]float64, g.topo.Size())
+	}
+	for i, r := range ref {
+		var busyDelta sim.Time
+		var qsum, qsq float64
+		for _, m := range g.machines {
+			sp := m.shardSamples[i]
+			if sp.at != r.at || sp.window != r.window {
+				panic("machine: shard sample instants diverged — sample instants must be globally synchronized")
+			}
+			busyDelta += sp.busyDelta
+			qsum += sp.qsum
+			qsq += sp.qsq
+			if frame != nil {
+				copy(frame[m.peLo:m.peHi], sp.frame)
+			}
+		}
+		s.Timeline.Add(float64(r.at), 100*float64(busyDelta)/(float64(r.window)*p))
+		if frame != nil {
+			s.Monitor.Append(r.at, frame)
+		}
+		s.QueueLen.Add(float64(r.at), qsum/p)
+		imb := 1.0
+		if qsq > 0 {
+			imb = qsum * qsum / (p * qsq)
+		}
+		s.QueueImbalance.Add(float64(r.at), imb)
+	}
+}
+
+// replayTrace replays the shards' buffered trace events into the Sink
+// in a thread-schedule-independent total order: by event time, ties by
+// shard, FIFO within one shard's buffer. Runs on the coordinator after
+// the workers have torn down, so the Sink keeps its single-goroutine
+// contract.
+func (g *shardGroup) replayTrace() {
+	if g.cfg.Trace == nil {
+		return
+	}
+	type tagged struct {
+		ev    trace.Event
+		shard int
+		seq   int
+	}
+	total := 0
+	for _, m := range g.machines {
+		total += len(m.traceBuf)
+	}
+	all := make([]tagged, 0, total)
+	for sh, m := range g.machines {
+		for i, ev := range m.traceBuf {
+			all = append(all, tagged{ev: ev, shard: sh, seq: i})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.ev.At != b.ev.At {
+			return a.ev.At < b.ev.At
+		}
+		if a.shard != b.shard {
+			return a.shard < b.shard
+		}
+		return a.seq < b.seq
+	})
+	if c := g.machines[0].traceCollector; c != nil {
+		c.Grow(total)
+	}
+	for _, t := range all {
+		g.cfg.Trace.Record(t.ev)
+	}
 }

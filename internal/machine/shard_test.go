@@ -9,7 +9,6 @@ import (
 	"cwnsim/internal/scenario"
 	"cwnsim/internal/sim"
 	"cwnsim/internal/topology"
-	"cwnsim/internal/trace"
 	"cwnsim/internal/workload"
 )
 
@@ -234,18 +233,12 @@ func TestShardConfigRejections(t *testing.T) {
 	}
 	cases := map[string]Config{}
 	cfg := base()
-	cfg.SampleInterval = 10
-	cases["sampleInterval"] = cfg
-	cfg = base()
 	sc, err := scenario.Parse("fail:pes=1@t=100,recover@t=200")
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Scenario = sc
 	cases["scenario"] = cfg
-	cfg = base()
-	cfg.Trace = &trace.Collector{}
-	cases["trace"] = cfg
 	cfg = base()
 	cfg.Pool = &Pool{}
 	cases["pool"] = cfg

@@ -92,18 +92,18 @@ type Stats struct {
 
 	// Timeline is percent utilization per sampling window (plots 11-16);
 	// empty unless Config.SampleInterval > 0.
-	Timeline metrics.Series //simlint:nomerge sampling series: validate rejects SampleInterval on sharded runs
+	Timeline metrics.Series //simlint:nomerge sampling series: shards defer raw partials and shardGroup.mergeSamples folds them into the merged Stats directly, bypassing merge
 
 	// QueueLen and QueueImbalance sample the ready queues alongside the
 	// utilization timeline: mean queue length across PEs, and Jain's
 	// fairness index over per-PE queue lengths (1 = perfectly even).
 	// Empty unless Config.SampleInterval > 0.
-	QueueLen       metrics.Series //simlint:nomerge sampling series: validate rejects SampleInterval on sharded runs
-	QueueImbalance metrics.Series //simlint:nomerge sampling series: validate rejects SampleInterval on sharded runs
+	QueueLen       metrics.Series //simlint:nomerge sampling series: folded from deferred per-shard partials by shardGroup.mergeSamples, not merge
+	QueueImbalance metrics.Series //simlint:nomerge sampling series: Jain's index is a ratio of sums, unmergeable from per-shard indices — shardGroup.mergeSamples recomputes it from pooled raw partials
 
 	// Monitor holds the per-PE utilization frames of ORACLE's load
 	// monitor; empty unless Config.MonitorPE and SampleInterval are set.
-	Monitor trace.Monitor //simlint:nomerge sampling frames: validate rejects MonitorPE on sharded runs
+	Monitor trace.Monitor //simlint:nomerge sampling frames: shardGroup.mergeSamples concatenates the shards' PE-block frames into full-machine frames, bypassing merge
 
 	// Scenario accounting (internal/scenario); all zero on unscripted
 	// runs. GoalsRequeued counts goals evacuated from failed PEs or
@@ -199,8 +199,11 @@ func (s *Stats) merge(o *Stats) {
 		s.ChannelMsgs[i] += n
 	}
 	s.QueueDelay.Merge(&o.QueueDelay)
-	// Scenario and sampling series are empty on sharded runs (validate
-	// forbids both); the crash/scenario counters merge for completeness.
+	// Scenario series are empty on sharded runs (validate rejects
+	// Scenario), and the sampling series/monitor are folded from deferred
+	// per-shard partials by shardGroup.mergeSamples after this merge (the
+	// per-shard Stats copies hold no series points on multi-shard runs);
+	// the crash/scenario counters merge for completeness.
 	s.GoalsRequeued += o.GoalsRequeued
 	s.ServiceAborts += o.ServiceAborts
 	s.RootRedirects += o.RootRedirects

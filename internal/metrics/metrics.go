@@ -389,9 +389,16 @@ type Series struct {
 // a re-aggregation, so per-window figures (utilization %, windowed p99)
 // stay individually exact while the time resolution halves per
 // doubling. Bounding an already over-full series thins it immediately.
+// Bound(0) restores the documented default — retain every point from
+// here on — and limit 1 (or negative) panics; the contract is shared
+// with trace.Monitor.Bound.
 func (s *Series) Bound(limit int) {
+	if limit == 0 {
+		s.limit, s.stride, s.skip = 0, 1, 0
+		return
+	}
 	if limit < 2 {
-		panic("metrics: Series.Bound needs limit >= 2")
+		panic("metrics: Series.Bound needs limit 0 (exact) or >= 2")
 	}
 	s.limit = limit
 	if s.stride == 0 {

@@ -265,3 +265,22 @@ func TestSeriesBoundPanics(t *testing.T) {
 	var s Series
 	s.Bound(1)
 }
+
+func TestSeriesBoundZeroRestoresExact(t *testing.T) {
+	var s Series
+	s.Bound(4)
+	for i := 0; i < 64; i++ {
+		s.Add(float64(i), 1)
+	}
+	if !s.Bounded() {
+		t.Fatal("expected thinning after 64 points under Bound(4)")
+	}
+	s.Bound(0)
+	n := s.Len()
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), 1)
+	}
+	if s.Len() != n+10 {
+		t.Fatalf("after Bound(0) every point must be retained: %d -> %d", n, s.Len())
+	}
+}

@@ -28,14 +28,20 @@ type Monitor struct {
 	skip   int
 }
 
-// Bound caps the monitor at limit retained frames (limit must be >= 2):
-// past the cap, every other frame is dropped and the stride between
-// future recordings doubles, exactly like metrics.Series.Bound. A
-// retained frame is exact; only the flip-book's frame rate halves per
-// doubling.
+// Bound caps the monitor at limit retained frames: past the cap, every
+// other frame is dropped and the stride between future recordings
+// doubles, exactly like metrics.Series.Bound. A retained frame is
+// exact; only the flip-book's frame rate halves per doubling. Bound(0)
+// restores the documented default — retain every frame from here on —
+// and limit 1 (or negative) panics; the contract is shared with
+// metrics.Series.Bound.
 func (m *Monitor) Bound(limit int) {
+	if limit == 0 {
+		m.limit, m.stride, m.skip = 0, 1, 0
+		return
+	}
 	if limit < 2 {
-		panic("trace: Monitor.Bound needs limit >= 2")
+		panic("trace: Monitor.Bound needs limit 0 (exact) or >= 2")
 	}
 	m.limit = limit
 	if m.stride == 0 {

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// spanEvents is a hand-built lifecycle for two goals: goal 7 created on
+// PE 0, hopped to PE 1, accepted, executed there, response back to
+// PE 0; goal 8 created and executed in place on PE 2, cut off before
+// its response delivered.
+func spanEvents() []Event {
+	return []Event{
+		{At: 0, Kind: GoalCreated, PE: 0, Other: -1, Goal: 7},
+		{At: 2, Kind: GoalSent, PE: 0, Other: 1, Goal: 7},
+		{At: 4, Kind: GoalAccepted, PE: 1, Other: -1, Goal: 7},
+		{At: 5, Kind: GoalCreated, PE: 2, Other: -1, Goal: 8},
+		{At: 6, Kind: GoalAccepted, PE: 2, Other: -1, Goal: 8},
+		{At: 7, Kind: GoalExecStarted, PE: 1, Other: -1, Goal: 7},
+		{At: 9, Kind: GoalExecStarted, PE: 2, Other: -1, Goal: 8},
+		{At: 17, Kind: GoalExecuted, PE: 1, Other: -1, Goal: 7},
+		{At: 18, Kind: RespSent, PE: 1, Other: 0, Goal: 7},
+		{At: 19, Kind: GoalExecuted, PE: 2, Other: -1, Goal: 8},
+		{At: 20, Kind: RespDelivered, PE: 0, Other: -1, Goal: 7},
+		{At: 21, Kind: RespSent, PE: 2, Other: 0, Goal: 8},
+	}
+}
+
+func TestSpansFold(t *testing.T) {
+	var sp Spans
+	for _, ev := range spanEvents() {
+		sp.Record(ev)
+	}
+	if sp.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", sp.Len())
+	}
+	s7 := sp.Span(7)
+	if s7 == nil {
+		t.Fatal("goal 7 has no span")
+	}
+	if s7.CreatedAt != 0 || s7.CreatedPE != 0 {
+		t.Errorf("goal 7 creation = (%d, PE %d), want (0, PE 0)", s7.CreatedAt, s7.CreatedPE)
+	}
+	if len(s7.Hops) != 1 || s7.Hops[0] != (Hop{At: 2, From: 0, To: 1}) {
+		t.Errorf("goal 7 hops = %+v", s7.Hops)
+	}
+	if len(s7.Accepts) != 1 || s7.Accepts[0] != (Accept{At: 4, PE: 1}) {
+		t.Errorf("goal 7 accepts = %+v", s7.Accepts)
+	}
+	if s7.ExecStart != 7 || s7.ExecEnd != 17 || s7.ExecPE != 1 {
+		t.Errorf("goal 7 exec = [%d,%d] on PE %d, want [7,17] on PE 1", s7.ExecStart, s7.ExecEnd, s7.ExecPE)
+	}
+	if s7.RespSentAt != 18 || s7.RespFrom != 1 || s7.RespTo != 0 || s7.RespDeliveredAt != 20 {
+		t.Errorf("goal 7 response = %+v", s7)
+	}
+	s8 := sp.Span(8)
+	if s8.RespDeliveredAt != -1 {
+		t.Errorf("goal 8 response delivery should be unset, got %d", s8.RespDeliveredAt)
+	}
+	if got := s8.end(); got != 21 {
+		t.Errorf("goal 8 end = %d, want 21 (the dangling RespSent)", got)
+	}
+	all := sp.All()
+	if len(all) != 2 || all[0].Goal != 7 || all[1].Goal != 8 {
+		t.Errorf("All not in goal-ID order: %v, %v", all[0].Goal, all[1].Goal)
+	}
+}
+
+func TestSpansWritePerfettoValidJSON(t *testing.T) {
+	var sp Spans
+	for _, ev := range spanEvents() {
+		sp.Record(ev)
+	}
+	var buf bytes.Buffer
+	if err := sp.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 3 PEs * 2 metadata + goal 7 (b, e, 1 hop i, X, resp b+e) + goal 8
+	// (b, e, X, resp b+e — no hops).
+	if want := 6 + 6 + 5; len(doc.TraceEvents) != want {
+		t.Fatalf("emitted %d events, want %d", len(doc.TraceEvents), want)
+	}
+	for _, ev := range doc.TraceEvents {
+		if _, ok := ev["ph"].(string); !ok {
+			t.Fatalf("event missing ph: %v", ev)
+		}
+	}
+}
+
+func TestSpansEmpty(t *testing.T) {
+	var sp Spans
+	var buf bytes.Buffer
+	if err := sp.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("empty export is not valid JSON: %s", buf.String())
+	}
+	if sp.Len() != 0 || sp.Span(1) != nil || len(sp.All()) != 0 {
+		t.Error("empty Spans should report nothing")
+	}
+}
+
+func TestCollectorGrow(t *testing.T) {
+	var c Collector
+	c.Record(Event{Goal: 1})
+	c.Grow(100)
+	if cap(c.Events)-len(c.Events) < 100 {
+		t.Fatalf("Grow(100) left headroom %d", cap(c.Events)-len(c.Events))
+	}
+	if len(c.Events) != 1 || c.Events[0].Goal != 1 {
+		t.Fatal("Grow must preserve recorded events")
+	}
+	before := cap(c.Events)
+	c.Grow(50) // headroom already present: no-op
+	if cap(c.Events) != before {
+		t.Errorf("Grow with sufficient headroom reallocated: %d -> %d", before, cap(c.Events))
+	}
+	c.Grow(0)
+	c.Grow(-5) // no-ops, must not panic
+}
+
+func TestMonitorBoundZeroRestoresExact(t *testing.T) {
+	var m Monitor
+	m.Bound(4)
+	for i := 0; i < 32; i++ {
+		m.Append(0, []float64{float64(i)})
+	}
+	if !m.Bounded() {
+		t.Fatal("expected thinning after 32 frames under Bound(4)")
+	}
+	m.Bound(0)
+	n := m.Len()
+	for i := 0; i < 10; i++ {
+		m.Append(0, []float64{1})
+	}
+	if m.Len() != n+10 {
+		t.Fatalf("after Bound(0) every frame must be retained: %d -> %d", n, m.Len())
+	}
+	for _, bad := range []int{1, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bound(%d) did not panic", bad)
+				}
+			}()
+			m.Bound(bad)
+		}()
+	}
+}

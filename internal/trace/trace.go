@@ -5,6 +5,37 @@
 // continuum of colors representing relative activity on each PE"),
 // which the paper's authors "found particularly useful for debugging
 // the load balancing strategies". So did we.
+//
+// # Sharded runs
+//
+// Tracing and monitoring are shard-safe. A sharded machine
+// (machine.Config.Shards) does not stream events to the Sink live —
+// shards run on their own goroutines, and a live interleaving would
+// depend on the thread schedule. Instead each shard appends its events
+// to a private buffer in its own deterministic engine order, and the
+// coordinator replays the union into the Sink at finalize, totally
+// ordered by (At, shard, within-shard sequence). Record therefore runs
+// on one goroutine always: on the simulation hot path sequentially, or
+// on the coordinator after the shards have torn down. One shard
+// reproduces the sequential machine's Record call sequence bit for
+// bit; K >= 2 shards conserve per-kind event counts against the
+// sequential run but order same-timestamp cross-shard events
+// differently and route goals along different walks (GoalSent counts
+// are placement-dependent, so only the placement-independent kinds are
+// conserved). Monitor frames merge the same way: every shard samples
+// its own PE block at globally synchronized instants and the
+// coordinator concatenates the blocks into full-machine frames.
+//
+// # Span export
+//
+// Spans is the causal consumer of the event stream: it folds the flat
+// events into one span per goal — created, hop path, acceptances
+// (re-exports under GM/ACWN appear as extra accept/send rounds),
+// execution window, response trip — and WritePerfetto renders them as
+// Chrome trace-event JSON (one process per PE, "X" slices for
+// execution, async spans for goal lifetimes and response trips)
+// loadable in Perfetto or chrome://tracing. cmd/sweep and cmd/serve
+// expose it via -trace-out.
 package trace
 
 import (
@@ -26,6 +57,10 @@ const (
 	// GM/ACWN may later re-export a still-queued goal, producing another
 	// GoalSent/GoalAccepted pair).
 	GoalAccepted
+	// GoalExecStarted: PE began executing a goal's body (service start).
+	// Together with GoalExecuted it brackets the execution window —
+	// the "executing" slice of a goal's span.
+	GoalExecStarted
 	// GoalExecuted: PE finished executing a goal's body.
 	GoalExecuted
 	// RespSent: PE emitted a response toward Other (the parent's PE).
@@ -44,6 +79,8 @@ func (k Kind) String() string {
 		return "goal-sent"
 	case GoalAccepted:
 		return "goal-accepted"
+	case GoalExecStarted:
+		return "goal-exec-started"
 	case GoalExecuted:
 		return "goal-executed"
 	case RespSent:
@@ -78,6 +115,19 @@ type Collector struct {
 
 // Record implements Sink.
 func (c *Collector) Record(ev Event) { c.Events = append(c.Events, ev) }
+
+// Grow pre-sizes the collector for at least n more events, so a long
+// traced run appends into reserved capacity instead of re-doubling the
+// event slice as it grows. The machine calls it per injected job with a
+// goal-count-derived hint; n <= 0 is a no-op.
+func (c *Collector) Grow(n int) {
+	if n <= 0 || cap(c.Events)-len(c.Events) >= n {
+		return
+	}
+	grown := make([]Event, len(c.Events), len(c.Events)+n)
+	copy(grown, c.Events)
+	c.Events = grown
+}
 
 // ByKind returns the events of one kind, in order.
 func (c *Collector) ByKind(k Kind) []Event {
