@@ -7,7 +7,7 @@
 //
 // Regenerate the committed ledger with:
 //
-//	go run ./cmd/bench -o BENCH_PR8.json
+//	go run ./cmd/bench -o BENCH_PR9.json
 //
 // CI runs the fast regression gate on every PR:
 //
@@ -15,11 +15,14 @@
 //
 // which trims the matrix to the headline and one scheduler-heavy case,
 // still runs the heap-vs-wheel A/B on the latter plus the first two
-// shard cross-check cells and the observer-overhead A/B, and — like the
-// full run — exits non-zero if the two schedulers or the sequential and
-// sharded machines ever disagree on results, or if disabled
-// observability stops being free (the off side's allocs/op exceeding
-// the headline measurement), so an event-ordering or observer-cost
+// shard cross-check cells, the observer-overhead A/B and the 262,144-PE
+// footprint gate (construction + a short run of an implicit torus512,
+// with a bytes-per-PE budget assertion), and — like the full run —
+// exits non-zero if the two schedulers or the sequential and sharded
+// machines ever disagree on results, if disabled observability stops
+// being free (the off side's allocs/op exceeding the headline
+// measurement), or if machine construction outgrows its per-PE memory
+// budget, so an event-ordering, observer-cost or memory-layout
 // regression fails the build, not just a perf number.
 //
 // Profile a case instead of guessing:
@@ -43,6 +46,7 @@ import (
 
 	"cwnsim/internal/experiments"
 	"cwnsim/internal/machine"
+	"cwnsim/internal/sim"
 	"cwnsim/internal/trace"
 )
 
@@ -107,6 +111,14 @@ type ledger struct {
 	// certified sequential-vs-sharded (experiments.ShardCrossCheck).
 	// cmd/bench exits non-zero on the first disagreement.
 	ShardCross []shardCrossResult `json:"shard_crosscheck,omitempty"`
+	// Memory is the PR 9 footprint table: machine construction cost
+	// (bytes and allocations per PE) and the run's peak OS-backed heap
+	// at four machine sizes spanning the materialized-to-implicit
+	// promotion, up to the million-PE torus. Two gates ride on it:
+	// the torus512 row's bytes/PE budget (runs in -short, the CI
+	// smoke) and the torus1000 row's 2 GB peak-heap ceiling (full
+	// regenerations).
+	Memory *memFootprint `json:"memory_footprint,omitempty"`
 	// Observer is the PR 8 observability-cost A/B: the headline case
 	// with the full observer surface (sampling + per-PE monitoring +
 	// tracing) off versus on. The off side doubles as a regression
@@ -115,6 +127,112 @@ type ledger struct {
 	// anything fails the run. Runs in -short too (the CI smoke).
 	Observer *observerOverhead `json:"observer_overhead,omitempty"`
 	Results  []caseResult      `json:"results"`
+}
+
+// memFootprint is the PR 9 memory-footprint section.
+type memFootprint struct {
+	Rows []memRow `json:"rows"`
+	// Gate documents the enforced budgets; a violation exits non-zero.
+	Gate     string `json:"gate"`
+	Decision string `json:"decision,omitempty"`
+}
+
+// memRow is one machine size's footprint measurement: a fresh machine
+// is constructed between two MemStats reads (build cost), then run to
+// its short horizon (peak heap under traffic).
+type memRow struct {
+	Case     string `json:"case"`
+	PEs      int    `json:"pes"`
+	Implicit bool   `json:"implicit_topology"`
+	// BuildHeapBytes is the live-heap growth of constructing the
+	// machine (HeapAlloc delta across machine.New after a GC fence);
+	// BuildBytesPerPE divides it by the machine size.
+	BuildHeapBytes   int64   `json:"build_heap_bytes"`
+	BuildBytesPerPE  int64   `json:"build_bytes_per_pe"`
+	BuildAllocs      int64   `json:"build_allocs"`
+	BuildAllocsPerPE float64 `json:"build_allocs_per_pe"`
+	// PeakHeapBytes is the OS-backed heap high-water after the run
+	// (HeapSys - HeapReleased): what the process actually held from
+	// the operating system to build and run this machine.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	RunEvents     uint64 `json:"run_events"`
+}
+
+// memBudgetBytesPerPE and memBudgetAllocsPerPE gate the torus512 row
+// (the -short CI smoke): machine construction regressing past these
+// budgets fails the build. The PR 9 struct-of-arrays layout measures
+// ~1070 bytes/PE and exactly 4 allocations/PE (the load-broadcast
+// closure, the ticker-fire and serviceDone method values, and the
+// strategy's per-PE node); the budgets carry ~50% headroom so noise
+// cannot trip the gate but one accidental per-PE allocation — a map,
+// a slice that escaped the flat backings — does.
+const (
+	memBudgetBytesPerPE  = 1600
+	memBudgetAllocsPerPE = 6.0
+)
+
+// memPeakBudget is the tentpole ceiling: the million-PE run must fit
+// in 2 GB of OS-backed heap.
+const memPeakBudget = 2 << 30
+
+// footprintCases returns the footprint table's machine sizes. The
+// -short smoke keeps only the 262,144-PE gate row.
+func footprintCases(short bool) []memCase {
+	all := []memCase{
+		{name: "build/torus64", topo: experiments.Torus(64), maxTime: 2_000},
+		{name: "build/torus256", topo: experiments.Torus(256), maxTime: 300},
+		{name: "build/torus512", topo: experiments.Torus(512), maxTime: 100, allocGate: true},
+		{name: "build/torus1000", topo: experiments.Torus(1000), maxTime: 120, peakGate: true},
+	}
+	if short {
+		return all[2:3]
+	}
+	return all
+}
+
+// memCase pins one footprint row's machine size and horizon.
+type memCase struct {
+	name      string
+	topo      experiments.TopoSpec
+	maxTime   int64
+	allocGate bool // enforce the per-PE construction budgets
+	peakGate  bool // enforce the 2 GB peak-heap ceiling
+}
+
+// measureFootprint builds and briefly runs one machine size. The
+// workload and strategy are fixed (a single fib(9) job under CWN) —
+// at these sizes the footprint is the machine itself, not the job.
+func measureFootprint(mc memCase) memRow {
+	topo := mc.topo.Build()
+	tree := experiments.Fib(9).Build()
+	strat := experiments.CWN(9, 2).Build()
+	cfg := machine.DefaultConfig()
+	cfg.MaxTime = sim.Time(mc.maxTime)
+	var m0, m1, m2 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	mach := machine.New(topo, tree, strat, cfg)
+	// A GC fence before the build reading: bytes/PE is the machine the
+	// run retains, not construction garbage (append-growth copies of
+	// the flat adjacency backings).
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	st := mach.Run()
+	runtime.ReadMemStats(&m2)
+	pes := mc.topo.PEs()
+	build := int64(m1.HeapAlloc - m0.HeapAlloc)
+	allocs := int64(m1.Mallocs - m0.Mallocs)
+	return memRow{
+		Case:             mc.name,
+		PEs:              pes,
+		Implicit:         topo.Implicit(),
+		BuildHeapBytes:   build,
+		BuildBytesPerPE:  build / int64(pes),
+		BuildAllocs:      allocs,
+		BuildAllocsPerPE: float64(allocs) / float64(pes),
+		PeakHeapBytes:    m2.HeapSys - m2.HeapReleased,
+		RunEvents:        st.Events,
+	}
 }
 
 // observerOverhead is the off-vs-on observability measurement.
@@ -233,6 +351,24 @@ var seekBitmapExperiment = experimentRecord{
 	MeasuredOn: "PR 6 reference container (1 CPU), go1.24 linux/amd64, sequential engine; frozen, not re-measured on regeneration",
 }
 
+// millionPEProfileExperiment is the PR 9 memory-profile verification of
+// the million-PE layout (-memprofile run against the full matrix,
+// including open/poisson-torus1000). Recorded here because the numbers
+// answer "where do the bytes go at 10^6 PEs" once, from a known tree;
+// a regeneration re-measures the footprint table but not this profile.
+var millionPEProfileExperiment = experimentRecord{
+	Name:    "millionpe-memprofile",
+	Case:    "open/poisson-torus1000",
+	AName:   "implicit topology + SoA/arena layout (kept)",
+	AEvtSec: 1557801,
+	BName:   "materialized adjacency (profiled, not rebuilt)",
+	BEvtSec: 0,
+	Kept:    "implicit+arena",
+	Decision: "alloc_space over the full -memprofile matrix run: machine.newMachine 36.8% flat (flat CSR backings, peBlock, SoA slices, arena chunks across every build), topology.ensureRouting 35.6% — the materialized form's all-pairs BFS rows, triggered on the 10,000-PE torus100 soak by chaos-evacuation Dist/NextHop and retaining ~1.0 GB in-use, which the implicit form replaces with closed-form arithmetic (zero bytes on the 1M-PE case); " +
+		"implicit CSR append targets (appendImplNeighbors/appendImplChansOf/gridChanMembers) ~6.2% each, wire-message arenas 2.1%, newStats 1.9%, everything else <1.5%. Footprint row for the 1M-PE build: 1070 B/PE, 4.000 allocs/PE, 1414 MiB peak heap — under the 2 GiB gate",
+	MeasuredOn: "PR 9 reference container (1 CPU, 128 GB), go1.24.0 linux/amd64, `go run ./cmd/bench -iters 1 -memprofile` over the full matrix; frozen, not re-measured on regeneration",
+}
+
 // baseline holds the pre-optimization numbers, recorded at the PR 1
 // tree (closure-per-hop transmit, per-event allocation, unpooled goals)
 // with `go test -bench BenchmarkLedger -benchtime 3x` on the reference
@@ -248,7 +384,7 @@ var baseline = map[string]metricSet{
 
 func main() {
 	var (
-		out        = flag.String("o", "BENCH_PR8.json", "ledger output path (- for stdout)")
+		out        = flag.String("o", "BENCH_PR9.json", "ledger output path (- for stdout)")
 		iters      = flag.Int("iters", 5, "iterations per case (fixed, for comparable allocs/op)")
 		short      = flag.Bool("short", false, "regression smoke: headline + one sched-heavy case, 1 iteration, sched A/B equality still enforced")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measurement runs to this file")
@@ -278,7 +414,7 @@ func main() {
 
 	led := ledger{
 		Schema:      "cwnsim-bench/v1",
-		PR:          8,
+		PR:          9,
 		Go:          runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
@@ -286,9 +422,45 @@ func main() {
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Note:        "one op = one full simulation run of the named spec under the default (wheel) scheduler; baseline frozen at the pre-PR2 tree (cases added later carry none)",
 		Headline:    "open/poisson-grid8",
-		Experiments: []experimentRecord{heapExperiment, seekBitmapExperiment},
+		Experiments: []experimentRecord{heapExperiment, seekBitmapExperiment, millionPEProfileExperiment},
 		SchedDecision: "two-tier wheel promoted to default scheduler: it won every matrix case (1.8-3.4x events/sec at PR 5 measurement) with results identical to the heap on all of them; " +
 			"the binary heap stays selectable (RunSpec.Scheduler=\"heap\", sim.SchedHeap) as the overflow tier and for re-measurement",
+	}
+	// The footprint table runs first, smallest machine to largest, so
+	// the process's heap high-water when the torus1000 row reads it is
+	// the million-PE machine's own peak, not residue from other
+	// sections. Gate violations are layout regressions: exit non-zero.
+	{
+		mem := &memFootprint{
+			Gate: fmt.Sprintf("torus512 build <= %d bytes/PE and <= %.2f allocs/PE; torus1000 peak heap < 2 GiB", memBudgetBytesPerPE, memBudgetAllocsPerPE),
+			Decision: "machine hot state is struct-of-arrays (flat busy/failed/serviceEnd/busyTime slices), adjacency is CSR subslices of shared flat backings, " +
+				"channels are a value slice, and goals/messages/pending/jobs/events carve from chunk arenas — so per-PE cost is flat array bytes, not object headers, " +
+				"and machines past 65536 PEs promote to implicit (computed-neighbor) topologies with no stored edge lists",
+		}
+		for _, mc := range footprintCases(*short) {
+			row := measureFootprint(mc)
+			mem.Rows = append(mem.Rows, row)
+			fmt.Fprintf(os.Stderr, "%-28s %8d PEs  %5d B/PE  %.3f allocs/PE  peak %6.1f MiB  (implicit=%v)\n",
+				"mem:"+row.Case, row.PEs, row.BuildBytesPerPE, row.BuildAllocsPerPE, float64(row.PeakHeapBytes)/(1<<20), row.Implicit)
+			if mc.allocGate && (row.BuildBytesPerPE > memBudgetBytesPerPE || row.BuildAllocsPerPE > memBudgetAllocsPerPE) {
+				fail(fmt.Errorf("memory gate: %s built at %d bytes/PE, %.3f allocs/PE (budget %d B/PE, %.2f allocs/PE) — machine construction regressed",
+					row.Case, row.BuildBytesPerPE, row.BuildAllocsPerPE, memBudgetBytesPerPE, memBudgetAllocsPerPE))
+			}
+			if mc.peakGate && row.PeakHeapBytes >= memPeakBudget {
+				fail(fmt.Errorf("memory gate: %s peaked at %.1f MiB heap — the million-PE machine must fit in 2 GiB",
+					row.Case, float64(row.PeakHeapBytes)/(1<<20)))
+			}
+		}
+		led.Memory = mem
+	}
+
+	// The two giant matrix cases take tens of seconds per op; capping
+	// their iteration count keeps full regenerations tractable without
+	// touching the comparability of the long-standing cases. Each
+	// result records the count it actually ran.
+	iterCap := map[string]int{
+		"open/poisson-torus1000":   2,
+		"open/chaos-torus100-soak": 2,
 	}
 	for _, c := range matrix {
 		// Warm registry caches so construction of shared immutables is
@@ -296,7 +468,11 @@ func main() {
 		c.Spec.Topo.Build()
 		c.Spec.Workload.Build()
 
-		res, err := measure(c.Spec, *iters)
+		n := *iters
+		if cap, ok := iterCap[c.Name]; ok && n > cap {
+			n = cap
+		}
+		res, err := measure(c.Spec, n)
 		if err != nil {
 			fail(fmt.Errorf("case %s: %v", c.Name, err))
 		}

@@ -1,0 +1,57 @@
+package poolsafefix
+
+// node is carved out of a chunk-cursor arena rather than allocated one
+// at a time: the allocator slices objects off a block and the free list
+// hands them back. The free contract is identical to singleton pools —
+// a parked node must not retain pointers into the dead object graph,
+// whether its backing memory came from new(&node{}) or from a chunk.
+//
+//simlint:pooled
+type node struct {
+	parent *node
+	val    int
+}
+
+var (
+	nodeChunk []node
+	nodeFree  []*node
+)
+
+// newNode is the arena allocator: pop the free list, else carve the
+// next zero-valued slot off the current chunk.
+func newNode() *node {
+	if n := len(nodeFree); n > 0 {
+		p := nodeFree[n-1]
+		nodeFree[n-1] = nil
+		nodeFree = nodeFree[:n-1]
+		return p
+	}
+	if len(nodeChunk) == 0 {
+		nodeChunk = make([]node, 64)
+	}
+	p := &nodeChunk[0]
+	nodeChunk = nodeChunk[1:]
+	return p
+}
+
+// freeNode is the compliant arena free: the pointer field is zeroed
+// before the node parks, exactly as a singleton pool requires.
+//
+//simlint:free
+func freeNode(p *node) {
+	p.parent = nil
+	nodeFree = append(nodeFree, p)
+}
+
+//simlint:free
+func freeNodeDirty(p *node) { // want `freeNodeDirty parks a \*node on the free list without zeroing pointer-bearing field\(s\) parent`
+	nodeFree = append(nodeFree, p)
+}
+
+// arenaUseAfterFree shows the use-after-free rule applies to
+// arena-carved objects too: the slot may already be wearing its next
+// identity.
+func arenaUseAfterFree(p *node) int {
+	freeNode(p)
+	return p.val // want `p is used after freeNode returned it to the free list`
+}

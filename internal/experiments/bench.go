@@ -112,6 +112,43 @@ func BenchMatrix() []BenchCase {
 				Scenario: "chaos:mtbf=4000:mttr=1000@seed=3",
 			},
 		},
+		{
+			// The memory-scale case (PR 9): one million PEs on an
+			// implicit torus (auto-promoted past the 65536-PE
+			// threshold) under a sustained Poisson stream over a short
+			// horizon. Events/sec here is dominated by the per-PE load
+			// tickers sweeping the struct-of-arrays hot state; the case
+			// exists to pin that a million-PE machine constructs, runs
+			// and tears down inside the 2 GB heap budget the arena +
+			// SoA layout targets — the footprint section gates it.
+			Name: "open/poisson-torus1000",
+			Spec: RunSpec{
+				Topo:     Torus(1000),
+				Workload: Fib(9),
+				Strategy: CWN(9, 2),
+				Arrival:  PoissonArrivals(20, 15),
+				Warmup:   100,
+				MaxTime:  300,
+			},
+		},
+		{
+			// The long-horizon soak (PR 9): 10k PEs under chaos
+			// fail/recover cycles for 60k virtual units — enough
+			// recycle generations that any arena slot handed out twice,
+			// stale SoA index or leaked free-list entry surfaces as a
+			// conservation failure or a drifting makespan rather than
+			// hiding inside a short run.
+			Name: "open/chaos-torus100-soak",
+			Spec: RunSpec{
+				Topo:     Torus(100),
+				Workload: Fib(9),
+				Strategy: StrategySpec{Kind: "cwn", Radius: 5, Horizon: 2, FailureAware: true},
+				Arrival:  PoissonArrivals(40, 1_200),
+				Warmup:   2_000,
+				MaxTime:  60_000,
+				Scenario: "chaos:mtbf=6000:mttr=1500@seed=7",
+			},
+		},
 	}
 }
 

@@ -11,9 +11,31 @@ import (
 //
 //	grid:RxC | torus:RxC | dlm:RxC:SPAN | hypercube:D |
 //	ring:N | complete:N | star:N | bus:N | single
+//
+// An "implicit:" prefix (implicit:torus:1000x1000) forces the
+// computed-neighbor form for the regular families — grid, torus and
+// hypercube; machines of 65536 PEs or more use it automatically.
 func ParseTopo(s string) (TopoSpec, error) {
+	var implicit bool
+	if rest, ok := strings.CutPrefix(s, "implicit:"); ok {
+		implicit = true
+		s = rest
+	}
 	parts := strings.Split(s, ":")
 	kind := parts[0]
+	if implicit {
+		switch kind {
+		case "grid", "torus", "hypercube":
+		default:
+			return TopoSpec{}, fmt.Errorf("topology %q has no implicit form (grid, torus and hypercube do)", kind)
+		}
+		spec, err := ParseTopo(s)
+		if err != nil {
+			return TopoSpec{}, err
+		}
+		spec.Implicit = true
+		return spec, nil
+	}
 	dims := func(str string) (int, int, error) {
 		rc := strings.Split(str, "x")
 		if len(rc) != 2 {

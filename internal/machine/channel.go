@@ -12,8 +12,13 @@ import (
 // per communication channel" contention model without materializing a
 // queue — because service is FIFO and non-preemptive, tracking the time
 // the channel frees up is sufficient.
+//
+// Channel states are stored by value in Machine.chans — one contiguous
+// slice whose addresses stay stable (it never grows after construction)
+// — with members a subslice of one flat backing array, so a million-PE
+// machine's two million channels cost three allocations, not two
+// million scattered ones.
 type chanState struct {
-	id        int
 	members   []int
 	busyUntil sim.Time
 	busyTotal sim.Time // scheduled occupancy, including not-yet-elapsed tail
@@ -149,10 +154,14 @@ func (m *Machine) newMsg(kind wireKind, from int, sentLoad int) *wireMsg {
 		w = m.msgFree[n-1]
 		m.msgFree[n-1] = nil
 		m.msgFree = m.msgFree[:n-1]
-		w.m = m // free lists may be shared across runs (Pool)
 	} else {
-		w = &wireMsg{m: m}
+		if len(m.msgChunk) == 0 {
+			m.msgChunk = make([]wireMsg, arenaChunk)
+		}
+		w = &m.msgChunk[0]
+		m.msgChunk = m.msgChunk[1:]
 	}
+	w.m = m // free lists may be shared across runs (Pool)
 	w.kind = kind
 	w.from = from
 	w.sentLoad = int32(sentLoad)
@@ -191,7 +200,7 @@ func (w *wireMsg) Act() {
 			m.freeGoal(g)
 			return
 		}
-		if rcv.failed {
+		if m.peFailed[rcv.lx] {
 			m.requeueGoal(to, g)
 			return
 		}
@@ -207,7 +216,7 @@ func (w *wireMsg) Act() {
 			return
 		}
 		if to == dst {
-			if m.pes[to].failed {
+			if m.peFailed[m.pes[to].lx] {
 				m.requeueGoal(to, g)
 				return
 			}
@@ -264,8 +273,8 @@ func (w *wireMsg) Act() {
 			// pair hears each transaction twice, once per shared bus):
 			// only availability TRANSITIONS raise the event, so a
 			// failure-aware node reacts exactly once per failure.
-			i, ok := rcv.nbrIndex[note.pe]
-			if !ok {
+			i := rcv.nbrIdx(note.pe)
+			if i < 0 {
 				continue
 			}
 			downNow := note.kind == PEFailed
@@ -377,9 +386,9 @@ func (ch *chanState) occupy(now, dur sim.Time) sim.Time {
 // channel is chosen only when every candidate is down (the message then
 // holds at it until restore).
 func (m *Machine) pickChannel(candidates []int) *chanState {
-	best := m.chans[candidates[0]]
+	best := &m.chans[candidates[0]]
 	for _, ci := range candidates[1:] {
-		ch := m.chans[ci]
+		ch := &m.chans[ci]
 		if best.down != ch.down {
 			if best.down {
 				best = ch

@@ -114,6 +114,46 @@
 // analyzer (internal/analysis, run by CI as cmd/simlint) enforces both
 // rules at vet time.
 //
+// # Memory layout
+//
+// The layout is built for million-PE machines (the ledger's
+// open/poisson-torus1000 case runs 1,000,000 PEs in well under 2 GB of
+// heap); the bench footprint gate holds construction to its per-PE
+// budget. Four decisions carry it:
+//
+// Struct-of-arrays hot state. The per-event PE fields — busy, failed,
+// remaining-service end, accrued busy time, speed — live in parallel
+// slices on the Machine (peBusy, peFailed, peServiceEnd, peBusyTime,
+// peSpeed), indexed by the PE's local index (PE.lx). An event touching
+// a thousand PEs walks flat arrays instead of dereferencing a thousand
+// structs; the speed slice is nil for homogeneous machines. The PE
+// struct keeps the cold and per-PE-shaped state (ready ring, pending
+// slab, neighbor views), and the structs themselves sit in one
+// contiguous block (peBlock), not a million singleton allocations.
+//
+// Flat adjacency. Neighbor lists, per-neighbor load views and channel
+// membership are capacity-capped subslices of shared flat backings
+// (CSR form), so per-PE adjacency costs array bytes, not slice-header
+// garbage and pointer-chased little arrays. Channel states are a value
+// slice (chans []chanState) that never grows, so interior *chanState
+// pointers stay valid for the life of the run. Neighbor lookups binary
+// search the sorted neighbor list — no per-PE map.
+//
+// Arena chunks. Free-list misses for goals, wire messages, pending
+// tasks, job states (machine.go) and events (internal/sim) carve from
+// chunked arenas (arenaChunk objects at a time) instead of allocating
+// singletons: the retained working set is a few contiguous blocks the
+// garbage collector marks cheaply, and a carved object is a zero value
+// exactly like the allocation it replaces, so results are unaffected.
+// Timers and the per-PE load tickers embed by value (sim.Timer.Init,
+// sim.Ticker.Init) in machine-owned blocks for the same reason.
+//
+// Implicit topologies. Machines past 65536 PEs promote to the
+// computed-neighbor topology form (internal/topology, experiments
+// TopoSpec.Implicit) — adjacency is index arithmetic, no stored edge
+// lists — which the machine consumes through the same append-style
+// accessors it uses to build its flat backings.
+//
 // # Sharded execution
 //
 // Config.Shards > 0 runs the machine as K spatial shards — contiguous

@@ -47,7 +47,7 @@ func (m *Machine) applyScenarioEvent(ev scenario.Event) {
 		targets := ev.Targets(len(m.pes))
 		if targets == nil {
 			for _, pe := range m.pes {
-				if pe.failed {
+				if m.peFailed[pe.lx] {
 					m.recoverPE(pe)
 				}
 			}
@@ -81,15 +81,20 @@ func (pe *PE) nominalSpeed() float64 {
 // A SpeedAware node hears about its own clock change immediately.
 func (m *Machine) setSpeed(pe *PE, speed float64) {
 	old := pe.Speed()
-	pe.speed = speed
+	if m.peSpeed == nil {
+		// First non-nominal speed of the run: materialize the hot-state
+		// slice (zero entries read as nominal, like the nil fast path).
+		m.peSpeed = make([]float64, m.peHi-m.peLo)
+	}
+	m.peSpeed[pe.lx] = speed
 	if old != speed && pe.wantsSpeed {
 		pe.node.HandleEvent(Event{Kind: PESlowed, From: pe.id, Factor: speed})
 	}
-	if !pe.busy || old == speed {
+	if !m.peBusy[pe.lx] || old == speed {
 		return
 	}
 	now := m.eng.Now()
-	remaining := pe.serviceEnd - now
+	remaining := m.peServiceEnd[pe.lx] - now
 	if remaining <= 0 {
 		return // completion already due this instant
 	}
@@ -101,8 +106,8 @@ func (m *Machine) setSpeed(pe *PE, speed float64) {
 		return
 	}
 	pe.svc.Stop()
-	pe.busyTime += scaled - remaining
-	pe.serviceEnd = now + scaled
+	m.peBusyTime[pe.lx] += scaled - remaining
+	m.peServiceEnd[pe.lx] = now + scaled
 	pe.svc.Schedule(scaled)
 }
 
@@ -115,12 +120,12 @@ func (m *Machine) setSpeed(pe *PE, speed float64) {
 // routing through the PE and control handling still work — and the PE
 // advertises FailedLoad so load-comparing strategies steer around it.
 func (m *Machine) failPE(pe *PE) {
-	if pe.failed {
+	if m.peFailed[pe.lx] {
 		return
 	}
 	live := 0
-	for _, p := range m.pes {
-		if !p.failed {
+	for _, failed := range m.peFailed {
+		if !failed {
 			live++
 		}
 	}
@@ -128,21 +133,21 @@ func (m *Machine) failPE(pe *PE) {
 		panic("machine: scenario would fail every PE")
 	}
 	now := m.eng.Now()
-	pe.failed = true
+	m.peFailed[pe.lx] = true
 	pe.failedAt = now
 
 	// The refuge is invariant across this evacuation (liveness only
 	// changes between events): resolve it once, not per goal.
 	refuge := m.nearestLive(pe.id)
 
-	if pe.busy {
+	if m.peBusy[pe.lx] {
 		it := pe.inService
 		pe.inService = item{}
-		remaining := pe.serviceEnd - now
+		remaining := m.peServiceEnd[pe.lx] - now
 		pe.svc.Stop()
-		pe.busy = false
+		m.peBusy[pe.lx] = false
 		if remaining > 0 {
-			pe.busyTime -= remaining // the cut-off tail never happens
+			m.peBusyTime[pe.lx] -= remaining // the cut-off tail never happens
 		}
 		switch it.kind {
 		case itemGoal:
@@ -181,12 +186,12 @@ func (m *Machine) failPE(pe *PE) {
 // attempt. The communication co-processor stays up, exactly as for a
 // blackout, and neighbors hear PEFailed with the sentinel broadcast.
 func (m *Machine) crashPE(pe *PE) {
-	if pe.failed {
+	if m.peFailed[pe.lx] {
 		return
 	}
 	live := 0
-	for _, p := range m.pes {
-		if !p.failed {
+	for _, failed := range m.peFailed {
+		if !failed {
 			live++
 		}
 	}
@@ -194,7 +199,7 @@ func (m *Machine) crashPE(pe *PE) {
 		panic("machine: scenario would crash every PE")
 	}
 	now := m.eng.Now()
-	pe.failed = true
+	m.peFailed[pe.lx] = true
 	pe.failedAt = now
 
 	// Collect the jobs losing state here in deterministic encounter
@@ -207,14 +212,14 @@ func (m *Machine) crashPE(pe *PE) {
 		}
 	}
 
-	if pe.busy {
+	if m.peBusy[pe.lx] {
 		it := pe.inService
 		pe.inService = item{}
-		remaining := pe.serviceEnd - now
+		remaining := m.peServiceEnd[pe.lx] - now
 		pe.svc.Stop()
-		pe.busy = false
+		m.peBusy[pe.lx] = false
 		if remaining > 0 {
-			pe.busyTime -= remaining // the cut-off tail never happens
+			m.peBusyTime[pe.lx] -= remaining // the cut-off tail never happens
 		}
 		if it.kind == itemGoal {
 			m.stats.ServiceAborts++
@@ -306,12 +311,12 @@ func (m *Machine) abortJob(j *jobState) {
 // a crash left nothing behind) resume service and the PE re-advertises
 // its real load, with PERecovered for FailureAware neighbors.
 func (m *Machine) recoverPE(pe *PE) {
-	if !pe.failed {
+	if !m.peFailed[pe.lx] {
 		return
 	}
-	pe.failed = false
+	m.peFailed[pe.lx] = false
 	pe.downTime += m.eng.Now() - pe.failedAt
-	if !pe.busy && pe.ready.len() > 0 {
+	if !m.peBusy[pe.lx] && pe.ready.len() > 0 {
 		pe.startNext()
 	}
 	m.broadcastEnv(pe, PERecovered)
@@ -347,8 +352,8 @@ func (m *Machine) evacuateGoal(from, refuge int, g *Goal) {
 // reach that state (failPE refuses to kill the last live PE).
 func (m *Machine) nearestLive(from int) int {
 	best, bestDist := -1, int(^uint(0)>>1)
-	for i, p := range m.pes {
-		if p.failed || i == from {
+	for i := range m.pes {
+		if m.peFailed[m.pes[i].lx] || i == from {
 			continue
 		}
 		if d := m.topo.Dist(from, i); d < bestDist {
@@ -370,7 +375,7 @@ func (m *Machine) nearestLive(from int) int {
 func (m *Machine) setLink(a, b int, factor float64, down bool) {
 	wasDown := false
 	for _, ci := range m.linkChannels(a, b) {
-		ch := m.chans[ci]
+		ch := &m.chans[ci]
 		if ch.down {
 			wasDown = true
 		}
@@ -393,7 +398,7 @@ func (m *Machine) setLink(a, b int, factor float64, down bool) {
 func (m *Machine) restoreLink(a, b int) {
 	wasDown := false
 	for _, ci := range m.linkChannels(a, b) {
-		ch := m.chans[ci]
+		ch := &m.chans[ci]
 		if ch.down {
 			wasDown = true
 		}

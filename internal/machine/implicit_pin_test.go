@@ -1,0 +1,65 @@
+package machine_test
+
+import (
+	"reflect"
+	"testing"
+
+	"cwnsim/internal/core"
+	"cwnsim/internal/machine"
+	"cwnsim/internal/topology"
+	"cwnsim/internal/workload"
+)
+
+// TestImplicitTopologyRunsBitForBit pins the implicit (computed-
+// neighbor) topologies at the machine level: a full run on the
+// materialized form and on the implicit form of the same topology must
+// produce identical Stats, field for field. The topology-level
+// equivalence tests check adjacency; this one checks that the whole
+// causal order — channel contention, tie-breaks, RNG consumption,
+// sampling — is unchanged, which is what lets large machines switch
+// forms without invalidating any pinned ledger number.
+func TestImplicitTopologyRunsBitForBit(t *testing.T) {
+	pairs := []struct {
+		name string
+		mat  *topology.Topology
+		impl *topology.Topology
+	}{
+		{"torus-12x12", topology.NewTorus(12, 12), topology.NewTorusImplicit(12, 12)},
+		{"grid-10x14", topology.NewGrid(10, 14), topology.NewGridImplicit(10, 14)},
+		{"hypercube-d7", topology.NewHypercube(7), topology.NewHypercubeImplicit(7)},
+	}
+	for _, pair := range pairs {
+		t.Run(pair.name, func(t *testing.T) {
+			runOn := func(topo *topology.Topology) *machine.Stats {
+				cfg := machine.DefaultConfig()
+				cfg.Seed = 42
+				cfg.SampleInterval = 100 // exercise the sampling path too
+				st := machine.New(topo, workload.NewFib(14), core.NewCWN(4, 2), cfg).Run()
+				if !st.Completed {
+					t.Fatalf("%s run did not complete", topo.Name())
+				}
+				return st
+			}
+			mat := runOn(pair.mat)
+			impl := runOn(pair.impl)
+			if !reflect.DeepEqual(mat, impl) {
+				t.Errorf("materialized and implicit %s runs diverge", pair.name)
+				if mat.Makespan != impl.Makespan {
+					t.Errorf("  Makespan %d vs %d", mat.Makespan, impl.Makespan)
+				}
+				if mat.Events != impl.Events {
+					t.Errorf("  Events %d vs %d", mat.Events, impl.Events)
+				}
+				if !reflect.DeepEqual(mat.MsgCounts, impl.MsgCounts) {
+					t.Errorf("  MsgCounts %v vs %v", mat.MsgCounts, impl.MsgCounts)
+				}
+				if !reflect.DeepEqual(mat.BusyPerPE, impl.BusyPerPE) {
+					t.Errorf("  BusyPerPE diverges")
+				}
+				if !reflect.DeepEqual(mat.ChannelMsgs, impl.ChannelMsgs) {
+					t.Errorf("  ChannelMsgs diverges")
+				}
+			}
+		})
+	}
+}

@@ -25,8 +25,45 @@ type Machine struct {
 	source JobSource
 	tree   *workload.Tree // the single-job tree; nil for stream machines
 
-	pes   []*PE
-	chans []*chanState
+	// pes[i] points at PE i (nil for PEs owned by other shards). The PE
+	// structs themselves live contiguously in peBlock — one slab per
+	// machine, indexed by lx = id - peLo — so walking the owned block
+	// walks memory linearly instead of chasing a million scattered
+	// allocations.
+	pes     []*PE
+	peBlock []PE
+
+	// Struct-of-arrays hot state: the per-event scalars every service
+	// start/completion touches live in machine-level parallel slices
+	// indexed by PE.lx, not in the (much colder) PE struct, so the event
+	// loop's working set is a few dense arrays. peSpeed stays nil while
+	// every PE runs at nominal speed — the unscripted homogeneous fast
+	// path allocates and reads nothing.
+	peBusy       []bool
+	peFailed     []bool
+	peServiceEnd []sim.Time
+	peBusyTime   []sim.Time
+	peSpeed      []float64
+
+	// chans holds the channel FIFO-server states by value in one
+	// contiguous slice. The slice never grows after construction, so
+	// interior *chanState pointers stay valid for the life of the run;
+	// member lists are subslices of one flat backing array.
+	chans []chanState
+
+	// chScratch is the reusable candidate buffer for per-hop channel
+	// selection (AppendChannelsBetween): implicit topologies compute the
+	// list into it, materialized ones copy their cached pair list — either
+	// way the routing hot path allocates nothing. Valid until the next
+	// routing call.
+	chScratch []int
+
+	// loadTickers is the contiguous block holding the per-PE load
+	// broadcast tickers, initialized in place (sim.Ticker.Init). Never
+	// resliced or copied after construction: each ticker's embedded
+	// timer event points back into the block.
+	loadTickers []sim.Ticker
+
 	stats *Stats
 
 	nextGoalID int64
@@ -79,6 +116,17 @@ type Machine struct {
 	pendingFree []*pendingTask
 	jobFree     []*jobState
 	slabFree    [][]pendingSlot
+
+	// Arena tails: free-list misses carve objects out of these chunks
+	// (arenaChunk objects at a time) instead of allocating singletons, so
+	// the run's working set of goals, messages, pending tasks and job
+	// states occupies a few contiguous blocks. A carved object is a zero
+	// value, exactly like the singleton allocation it replaces — results
+	// are unaffected, only the layout and allocation count change.
+	goalChunk []Goal
+	msgChunk  []wireMsg
+	pendChunk []pendingTask
+	jobChunk  []jobState
 
 	prevBusySample sim.Time
 	prevSampleAt   sim.Time
@@ -225,9 +273,24 @@ func newMachine(topo *topology.Topology, source JobSource, strat Strategy, cfg C
 		m.stats.Monitor.Bound(cfg.SeriesBound)
 	}
 
-	m.chans = make([]*chanState, len(topo.Channels()))
-	for i, ch := range topo.Channels() {
-		m.chans[i] = &chanState{id: ch.ID, members: ch.Members}
+	// Channel states by value, member lists as subslices of one flat
+	// backing. Offsets are recorded first and subslices taken after,
+	// because append may move the backing array mid-build. NumChannels +
+	// AppendChannelMembers never materialize the full channel list, so an
+	// implicit topology's channels cost exactly this slice — no transient
+	// edge-list blow-up at construction.
+	nc := topo.NumChannels()
+	m.chans = make([]chanState, nc)
+	{
+		offs := make([]int, nc+1)
+		var flat []int
+		for ci := 0; ci < nc; ci++ {
+			flat = topo.AppendChannelMembers(flat, ci)
+			offs[ci+1] = len(flat)
+		}
+		for ci := 0; ci < nc; ci++ {
+			m.chans[ci].members = flat[offs[ci]:offs[ci+1]:offs[ci+1]]
+		}
 	}
 
 	// Borrow the pooled free lists before PE construction so the
@@ -236,29 +299,57 @@ func newMachine(topo *topology.Topology, source JobSource, strat Strategy, cfg C
 		p.lend(m)
 	}
 
+	block := m.peHi - m.peLo
+	m.peBlock = make([]PE, block)
+	m.peBusy = make([]bool, block)
+	m.peFailed = make([]bool, block)
+	m.peServiceEnd = make([]sim.Time, block)
+	m.peBusyTime = make([]sim.Time, block)
+	if cfg.PESpeeds != nil {
+		m.peSpeed = make([]float64, block)
+		copy(m.peSpeed, cfg.PESpeeds[m.peLo:m.peHi])
+	}
+
+	// CSR-flattened adjacency for the owned block: neighbor lists, the
+	// per-neighbor load/seen/down views and the attached-channel lists are
+	// subslices of flat arrays — four allocations for the whole machine
+	// instead of five per PE, and the broadcast path reads its channel
+	// list straight from the PE instead of asking the topology per tick.
+	nbrOff := make([]int, block+1)
+	chOff := make([]int, block+1)
+	var nbrsFlat, chansFlat []int
+	for i := m.peLo; i < m.peHi; i++ {
+		nbrsFlat = topo.AppendNeighbors(nbrsFlat, i)
+		nbrOff[i-m.peLo+1] = len(nbrsFlat)
+		chansFlat = topo.AppendChannelsOf(chansFlat, i)
+		chOff[i-m.peLo+1] = len(chansFlat)
+	}
+	nbrLoadFlat := make([]int32, len(nbrsFlat))
+	nbrSeenFlat := make([]sim.Time, len(nbrsFlat))
+	for i := range nbrSeenFlat {
+		nbrSeenFlat[i] = -1
+	}
+	nbrDownFlat := make([]bool, len(nbrsFlat))
+
 	// Remote shards' entries stay nil; every local access happens through
 	// the owned block or is nil-guarded (broadcast delivery).
 	m.pes = make([]*PE, topo.Size())
 	for i := m.peLo; i < m.peHi; i++ {
-		nbrs := topo.Neighbors(i)
-		pe := &PE{
-			m:        m,
-			id:       i,
-			nbrs:     nbrs,
-			nbrIndex: make(map[int]int, len(nbrs)),
-			nbrLoad:  make([]int32, len(nbrs)),
-			nbrSeen:  make([]sim.Time, len(nbrs)),
-			nbrDown:  make([]bool, len(nbrs)),
+		lx := i - m.peLo
+		pe := &m.peBlock[lx]
+		lo, hi := nbrOff[lx], nbrOff[lx+1]
+		*pe = PE{
+			m:       m,
+			id:      i,
+			lx:      lx,
+			nbrs:    nbrsFlat[lo:hi:hi],
+			nbrLoad: nbrLoadFlat[lo:hi:hi],
+			nbrSeen: nbrSeenFlat[lo:hi:hi],
+			nbrDown: nbrDownFlat[lo:hi:hi],
+			chansOf: chansFlat[chOff[lx]:chOff[lx+1]:chOff[lx+1]],
 		}
 		pe.pending.init(m.takeSlab())
-		pe.svc = sim.NewTimer(m.eng, pe.serviceDone)
-		if cfg.PESpeeds != nil {
-			pe.speed = cfg.PESpeeds[i]
-		}
-		for j, nb := range nbrs {
-			pe.nbrIndex[nb] = j
-			pe.nbrSeen[j] = -1
-		}
+		pe.svc.Init(m.eng, pe.serviceDone)
 		m.pes[i] = pe
 	}
 
@@ -284,13 +375,20 @@ func newMachine(topo *topology.Topology, source JobSource, strat Strategy, cfg C
 
 	// Periodic load-information broadcast (the machine-level mechanism
 	// CWN relies on; strategies may layer their own control traffic).
+	// The tickers live in one contiguous block initialized in place —
+	// one allocation plus one closure per PE, not a two-object ticker
+	// graph each — with the same per-PE stagger draws, in the same
+	// order, as individually constructed tickers.
 	if cfg.LoadInterval > 0 {
+		m.loadTickers = make([]sim.Ticker, m.peHi-m.peLo)
+		ti := 0
 		for _, pe := range m.pes {
 			if pe == nil {
 				continue
 			}
 			pe := pe
-			m.NewTicker(pe, cfg.LoadInterval, func() { m.broadcastLoad(pe) })
+			m.loadTickers[ti].Init(m.eng, cfg.LoadInterval, m.tickerPhase(cfg.LoadInterval), func() { m.broadcastLoad(pe) })
+			ti++
 		}
 	}
 
@@ -404,11 +502,16 @@ func (m *Machine) Completed() bool { return m.completed }
 // the observer stream instead (see newObserverTicker) so that turning
 // monitoring on or off cannot change the simulated result.
 func (m *Machine) NewTicker(pe *PE, period sim.Time, fn func()) *sim.Ticker {
-	var phase sim.Time
+	return sim.NewTicker(m.eng, period, m.tickerPhase(period), fn)
+}
+
+// tickerPhase draws a simulated process's stagger phase from the run's
+// seeded engine stream (zero when staggering is off or moot).
+func (m *Machine) tickerPhase(period sim.Time) sim.Time {
 	if m.cfg.StaggerTicks && period > 1 {
-		phase = sim.Time(m.eng.Rng().Int63n(int64(period)))
+		return sim.Time(m.eng.Rng().Int63n(int64(period)))
 	}
-	return sim.NewTicker(m.eng, period, phase, fn)
+	return 0
 }
 
 // newObserverTicker registers a measurement process (the utilization
@@ -429,6 +532,12 @@ func (m *Machine) newObserverTicker(period sim.Time, fn func()) *sim.Ticker {
 	return sim.NewTicker(m.eng, period, phase, fn)
 }
 
+// arenaChunk is the machine arenas' granularity: how many goals, wire
+// messages, pending tasks or job states one free-list miss carves room
+// for. Sized so a small run stays within a chunk or two per kind while
+// a saturated large machine fills contiguous blocks back to back.
+const arenaChunk = 1024
+
 // newGoal mints a goal for task belonging to job j, created on PE
 // origin for parent goal parentID living on parentPE. Goal objects come
 // from the machine's pool; see freeGoal.
@@ -439,7 +548,11 @@ func (m *Machine) newGoal(task *workload.Task, j *jobState, parentPE int, parent
 		m.goalFree[n-1] = nil
 		m.goalFree = m.goalFree[:n-1]
 	} else {
-		g = &Goal{}
+		if len(m.goalChunk) == 0 {
+			m.goalChunk = make([]Goal, arenaChunk)
+		}
+		g = &m.goalChunk[0]
+		m.goalChunk = m.goalChunk[1:]
 	}
 	*g = Goal{
 		ID:        m.nextGoalID,
@@ -477,7 +590,11 @@ func (m *Machine) newPending(g *Goal, kids int) *pendingTask {
 		m.pendingFree[n-1] = nil
 		m.pendingFree = m.pendingFree[:n-1]
 	} else {
-		p = &pendingTask{}
+		if len(m.pendChunk) == 0 {
+			m.pendChunk = make([]pendingTask, arenaChunk)
+		}
+		p = &m.pendChunk[0]
+		m.pendChunk = m.pendChunk[1:]
 	}
 	p.goal = g
 	p.remaining = kids
@@ -525,8 +642,8 @@ func (m *Machine) broadcastLoad(pe *PE) {
 func (m *Machine) broadcast(pe *PE, kind wireKind, msgKind MsgKind, dur sim.Time, payload any) {
 	from := pe.id
 	load := pe.Load()
-	for _, ci := range m.topo.ChannelsOf(from) {
-		ch := m.chans[ci]
+	for _, ci := range pe.chansOf {
+		ch := &m.chans[ci]
 		m.stats.MsgCounts[msgKind]++
 		w := m.newMsg(kind, from, load)
 		w.ch = ch
@@ -648,8 +765,7 @@ func (m *Machine) routeResponse(cur int, r response) {
 		return
 	}
 	next := m.topo.NextHop(cur, r.dstPE)
-	chs := m.topo.ChannelsBetween(cur, next)
-	ch := m.pickChannel(chs)
+	ch := m.pickChannel(m.chansBetween(cur, next))
 	m.stats.MsgCounts[MsgResponse]++
 	r.hops++
 	m.respsInTransit++
@@ -659,11 +775,19 @@ func (m *Machine) routeResponse(cur int, r response) {
 	m.transmit(ch, m.cfg.RespHopTime, w)
 }
 
+// chansBetween returns the channel IDs joining neighbors a and b, in
+// the machine's reusable scratch buffer — valid until the next routing
+// call. Implicit topologies compute the list, materialized ones copy
+// their cached pair list; the hot path allocates nothing either way.
+func (m *Machine) chansBetween(a, b int) []int {
+	m.chScratch = m.topo.AppendChannelsBetween(m.chScratch[:0], a, b)
+	return m.chScratch
+}
+
 // routeGoal advances the goal one shortest-path hop toward dst.
 func (m *Machine) routeGoal(cur, dst int, g *Goal) {
 	next := m.topo.NextHop(cur, dst)
-	chs := m.topo.ChannelsBetween(cur, next)
-	ch := m.pickChannel(chs)
+	ch := m.pickChannel(m.chansBetween(cur, next))
 	g.Hops++
 	m.stats.MsgCounts[MsgGoal]++
 	m.emit(trace.GoalSent, cur, next, g.ID)
@@ -764,9 +888,10 @@ func (m *Machine) sample() {
 // committedBusy returns busy time accrued up to now (excluding the not
 // yet elapsed remainder of an in-service message).
 func (pe *PE) committedBusy() sim.Time {
-	b := pe.busyTime
-	if pe.busy && pe.serviceEnd > pe.m.eng.Now() {
-		b -= pe.serviceEnd - pe.m.eng.Now()
+	m := pe.m
+	b := m.peBusyTime[pe.lx]
+	if m.peBusy[pe.lx] && m.peServiceEnd[pe.lx] > m.eng.Now() {
+		b -= m.peServiceEnd[pe.lx] - m.eng.Now()
 	}
 	return b
 }
@@ -786,11 +911,8 @@ func (m *Machine) stalled() bool {
 	if m.goalsInTransit != 0 || m.respsInTransit != 0 {
 		return false
 	}
-	for _, pe := range m.pes {
-		if pe == nil {
-			continue
-		}
-		if pe.busy || pe.queueLen() > 0 {
+	for i := range m.peBusy {
+		if m.peBusy[i] || m.peBlock[i].queueLen() > 0 {
 			return false
 		}
 	}
@@ -876,7 +998,11 @@ func (m *Machine) inject(tree *workload.Tree) {
 		m.jobFree[n-1] = nil
 		m.jobFree = m.jobFree[:n-1]
 	} else {
-		j = &jobState{}
+		if len(m.jobChunk) == 0 {
+			m.jobChunk = make([]jobState, arenaChunk)
+		}
+		j = &m.jobChunk[0]
+		m.jobChunk = m.jobChunk[1:]
 	}
 	// The epoch survives the wipe, bumped: goals of the struct's
 	// previous occupant (possible only on lossy runs) stay stale.
@@ -908,7 +1034,7 @@ func (m *Machine) inject(tree *workload.Tree) {
 // a live PE: a downed root PE redirects to the nearest live one.
 func (m *Machine) injectRoot(j *jobState) {
 	rootPE := m.cfg.RootPE
-	if m.pes[rootPE].failed {
+	if m.peFailed[m.pes[rootPE].lx] {
 		rootPE = m.nearestLive(rootPE)
 		m.stats.RootRedirects++
 	}
@@ -940,15 +1066,14 @@ func (m *Machine) finalize() {
 	s.Warmup = m.cfg.Warmup
 	s.WarmupBusy = m.warmupBusy
 	s.Stalled = m.stalled()
-	for i, pe := range m.pes {
-		if pe == nil {
-			continue
-		}
+	for lx := range m.peBlock {
+		pe := &m.peBlock[lx]
+		i := pe.id
 		b := pe.committedBusy()
 		s.BusyPerPE[i] = b
 		s.TotalBusy += b
 		s.GoalsPerPE[i] = pe.goalsExecuted
-		if pe.failed {
+		if m.peFailed[lx] {
 			// Close the open blackout at the horizon so capacity
 			// accounting covers the whole run.
 			pe.downTime += now - pe.failedAt
@@ -959,7 +1084,8 @@ func (m *Machine) finalize() {
 	// Channels are charged their full occupancy at transmit time; commit
 	// only the elapsed part, or a run cut off with messages on the wire
 	// would report > 100% channel utilization.
-	for i, ch := range m.chans {
+	for i := range m.chans {
+		ch := &m.chans[i]
 		s.ChannelBusy[i] = ch.committedBusy(now)
 		s.ChannelMsgs[i] = ch.messages
 	}
@@ -987,9 +1113,12 @@ func (m *Machine) finalize() {
 	}
 	if p := m.cfg.Pool; p != nil {
 		// Release every PE's pending-slab slot array for the next run
-		// before the pool takes the lists back.
+		// before the pool takes the lists back. Slabs are lazy: a PE
+		// that never held a pending task has no array to release.
 		for _, pe := range m.pes {
-			m.slabFree = append(m.slabFree, pe.pending.release())
+			if slots := pe.pending.release(); slots != nil {
+				m.slabFree = append(m.slabFree, slots)
+			}
 		}
 		p.reclaim(m)
 	}

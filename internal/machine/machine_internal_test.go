@@ -66,7 +66,7 @@ func TestTransmitSerializesFIFO(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.LoadInterval = 0 // quiesce periodic load broadcasts
 	m := New(topo, workload.NewFib(2), keepLocal{}, cfg)
-	ch := m.chans[0]
+	ch := &m.chans[0]
 	var deliveries []sim.Time
 	record := func() { deliveries = append(deliveries, m.eng.Now()) }
 	// Three simultaneous 5-unit transmissions must serialize: 5, 10, 15.
@@ -95,7 +95,7 @@ func TestTransmitAfterIdleStartsImmediately(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.LoadInterval = 0
 	m := New(topo, workload.NewFib(2), keepLocal{}, cfg)
-	ch := m.chans[0]
+	ch := &m.chans[0]
 	var at sim.Time
 	m.eng.Schedule(0, func() { m.transmitFunc(ch, 5, func() {}) })
 	m.eng.Schedule(50, func() { m.transmitFunc(ch, 5, func() { at = m.eng.Now() }) })
@@ -114,8 +114,8 @@ func TestPickChannelPrefersLeastBacklogged(t *testing.T) {
 	}
 	m.chans[chs[0]].busyUntil = 100
 	got := m.pickChannel(chs)
-	if got.id == chs[0] {
-		t.Fatalf("pickChannel chose backlogged channel %d", got.id)
+	if got == &m.chans[chs[0]] {
+		t.Fatalf("pickChannel chose backlogged channel %d", chs[0])
 	}
 }
 

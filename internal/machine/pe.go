@@ -90,22 +90,30 @@ func (r *itemRing) grow() {
 // PE is one processing element. It serves one ready-queue message at a
 // time (goal execution or response integration); all fields are managed
 // by the machine, and strategies interact through the exported methods.
+//
+// Memory layout: PE structs live contiguously in Machine.peBlock, and
+// the per-event hot scalars — busy, serviceEnd, busyTime, failed, speed
+// — live in machine-level parallel slices indexed by lx (see the
+// struct-of-arrays fields on Machine), keeping the event loop's working
+// set dense. The adjacency slices (nbrs, nbrLoad, nbrSeen, nbrDown,
+// chansOf) are subslices of machine-wide flat backings; nbrs is
+// ascending, so neighbor lookup is a binary search (nbrIdx) rather than
+// a per-PE map.
 type PE struct {
 	m  *Machine
 	id int
+	lx int // index into the machine's block-local parallel slices (id - peLo)
 
-	ready      itemRing // FIFO ready queue of waiting messages
-	busy       bool
-	serviceEnd sim.Time    // when the in-service message finishes (valid while busy)
-	inService  item        // the message in service (valid while busy)
-	svc        *sim.Timer  // reusable service-completion event
-	pending    pendingSlab // tasks awaiting child responses, by goal ID
+	ready     itemRing    // FIFO ready queue of waiting messages
+	inService item        // the message in service (valid while busy)
+	svc       sim.Timer   // reusable service-completion event, held by value
+	pending   pendingSlab // tasks awaiting child responses, by goal ID
 
-	nbrs     []int       // cached topology neighbors, ascending
-	nbrIndex map[int]int // PE id -> index into nbrs
-	nbrLoad  []int32     // last known load per neighbor (assumed 0 initially)
-	nbrSeen  []sim.Time  // when that load was learned (-1 = never)
-	nbrDown  []bool      // last availability heard per neighbor (env broadcasts)
+	nbrs    []int      // cached topology neighbors, ascending
+	nbrLoad []int32    // last known load per neighbor (assumed 0 initially)
+	nbrSeen []sim.Time // when that load was learned (-1 = never)
+	nbrDown []bool     // last availability heard per neighbor (env broadcasts)
+	chansOf []int      // attached channel IDs, ascending (broadcast fan-out)
 
 	node NodeStrategy // strategy state for this PE (set after construction)
 
@@ -116,22 +124,34 @@ type PE struct {
 	wantsSpeed   bool
 	wantsLoad    bool
 
-	// Dynamic environment state (internal/scenario). speed divides
-	// service durations; 0 means nominal — the untouched fast path,
-	// which keeps unscripted homogeneous runs off the float math
-	// entirely. failed marks a compute blackout: service stops and
-	// queued goals are evacuated, but the communication co-processor
-	// stays up (routing, control handling, load words still work).
-	speed    float64
-	failed   bool
+	// Blackout accounting (internal/scenario); the failed flag itself is
+	// hot state and lives in Machine.peFailed.
 	failedAt sim.Time
 	downTime sim.Time // accumulated blackout time (closed on recovery/finalize)
 
 	// accounting
-	busyTime       sim.Time
 	goalsExecuted  int64
 	goalsAccepted  int64
 	respIntegrated int64
+}
+
+// nbrIdx returns the index of nbrPE in pe.nbrs, or -1 when nbrPE is not
+// a neighbor. Neighbor lists are ascending (topology contract), so a
+// binary search replaces the per-PE map the old layout carried.
+func (pe *PE) nbrIdx(nbrPE int) int {
+	lo, hi := 0, len(pe.nbrs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pe.nbrs[mid] < nbrPE {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(pe.nbrs) && pe.nbrs[lo] == nbrPE {
+		return lo
+	}
+	return -1
 }
 
 // FailedLoad is the load a blacked-out PE advertises: large enough
@@ -159,7 +179,7 @@ func (pe *PE) Now() sim.Time { return pe.m.eng.Now() }
 // A failed PE advertises FailedLoad, steering every load-comparing
 // strategy away from it until recovery.
 func (pe *PE) Load() int {
-	if pe.failed {
+	if pe.m.peFailed[pe.lx] {
 		return FailedLoad
 	}
 	load := pe.queueLen()
@@ -170,14 +190,14 @@ func (pe *PE) Load() int {
 }
 
 // Failed reports whether the PE is currently blacked out by a scenario.
-func (pe *PE) Failed() bool { return pe.failed }
+func (pe *PE) Failed() bool { return pe.m.peFailed[pe.lx] }
 
 // Speed returns the PE's current service-speed multiplier (1 nominal).
 func (pe *PE) Speed() float64 {
-	if pe.speed == 0 {
-		return 1
+	if sp := pe.m.peSpeed; sp != nil && sp[pe.lx] != 0 {
+		return sp[pe.lx]
 	}
-	return pe.speed
+	return 1
 }
 
 // queueLen returns the number of messages waiting (not counting one in
@@ -209,8 +229,8 @@ func (pe *PE) Neighbors() []int { return pe.nbrs }
 // the time it was learned (-1 if never; loads are assumed 0 until first
 // heard, as the paper assumes for proximities).
 func (pe *PE) KnownLoad(nbrPE int) (load int, seenAt sim.Time) {
-	i, ok := pe.nbrIndex[nbrPE]
-	if !ok {
+	i := pe.nbrIdx(nbrPE)
+	if i < 0 {
 		panic(fmt.Sprintf("machine: PE %d is not a neighbor of PE %d", nbrPE, pe.id))
 	}
 	return int(pe.nbrLoad[i]), pe.nbrSeen[i]
@@ -218,7 +238,7 @@ func (pe *PE) KnownLoad(nbrPE int) (load int, seenAt sim.Time) {
 
 // noteLoad records a load observation for neighbor nbrPE.
 func (pe *PE) noteLoad(nbrPE int, load int) {
-	if i, ok := pe.nbrIndex[nbrPE]; ok {
+	if i := pe.nbrIdx(nbrPE); i >= 0 {
 		pe.nbrLoad[i] = int32(load)
 		pe.nbrSeen[i] = pe.m.eng.Now()
 		if pe.wantsLoad {
@@ -287,7 +307,7 @@ func (pe *PE) Accept(g *Goal) {
 // accounting.
 func (pe *PE) SendGoal(to int, g *Goal) {
 	m := pe.m
-	chs := m.topo.ChannelsBetween(pe.id, to)
+	chs := m.chansBetween(pe.id, to)
 	if len(chs) == 0 {
 		panic(fmt.Sprintf("machine: SendGoal %d->%d: not neighbors", pe.id, to))
 	}
@@ -319,7 +339,7 @@ func (pe *PE) RouteGoal(dst int, g *Goal) {
 // charging CtrlHopTime on the connecting channel.
 func (pe *PE) SendControl(to int, payload any) {
 	m := pe.m
-	chs := m.topo.ChannelsBetween(pe.id, to)
+	chs := m.chansBetween(pe.id, to)
 	if len(chs) == 0 {
 		panic(fmt.Sprintf("machine: SendControl %d->%d: not neighbors", pe.id, to))
 	}
@@ -376,39 +396,42 @@ func (pe *PE) TakeOldestQueuedGoal() *Goal {
 // recovery restarts service.
 func (pe *PE) enqueue(it item) {
 	pe.ready.push(it)
-	if !pe.busy && !pe.failed {
+	if m := pe.m; !m.peBusy[pe.lx] && !m.peFailed[pe.lx] {
 		pe.startNext()
 	}
 }
 
 // startNext begins service of the queue head.
 func (pe *PE) startNext() {
+	m := pe.m
 	if pe.ready.len() == 0 {
-		pe.busy = false
+		m.peBusy[pe.lx] = false
 		return
 	}
 	it := pe.ready.popFront()
-	pe.busy = true
+	m.peBusy[pe.lx] = true
 	var dur sim.Time
 	switch it.kind {
 	case itemGoal:
-		dur = pe.m.cfg.GrainTime * sim.Time(it.goal.Task.Work)
-		if pe.m.cfg.TrackGoalDetail {
-			pe.m.stats.QueueDelay.Add(float64(pe.m.eng.Now() - it.goal.AcceptedAt))
+		dur = m.cfg.GrainTime * sim.Time(it.goal.Task.Work)
+		if m.cfg.TrackGoalDetail {
+			m.stats.QueueDelay.Add(float64(m.eng.Now() - it.goal.AcceptedAt))
 		}
-		pe.m.emit(trace.GoalExecStarted, pe.id, -1, it.goal.ID)
+		m.emit(trace.GoalExecStarted, pe.id, -1, it.goal.ID)
 	case itemResponse:
-		dur = pe.m.cfg.CombineTime
+		dur = m.cfg.CombineTime
 	}
-	if s := pe.speed; s != 0 {
-		scaled := sim.Time(float64(dur) / s)
-		if scaled < 1 {
-			scaled = 1
+	if sp := m.peSpeed; sp != nil {
+		if s := sp[pe.lx]; s != 0 {
+			scaled := sim.Time(float64(dur) / s)
+			if scaled < 1 {
+				scaled = 1
+			}
+			dur = scaled
 		}
-		dur = scaled
 	}
-	pe.busyTime += dur
-	pe.serviceEnd = pe.m.eng.Now() + dur
+	m.peBusyTime[pe.lx] += dur
+	m.peServiceEnd[pe.lx] = m.eng.Now() + dur
 	pe.inService = it
 	pe.svc.Schedule(dur)
 }

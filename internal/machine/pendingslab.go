@@ -43,11 +43,10 @@ func newSlabSlots(size int) []pendingSlot {
 }
 
 // init readies the slab on the given recycled slot array (already
-// cleared; see release), or a fresh minimum-size one when nil.
+// cleared; see release). A nil array is fine: the table materializes
+// on the first put, so PEs that never hold a pending task — most of a
+// million-PE machine — cost nothing here.
 func (s *pendingSlab) init(slots []pendingSlot) {
-	if slots == nil {
-		slots = newSlabSlots(slabMinSlots)
-	}
 	s.slots = slots
 	s.n = 0
 }
@@ -74,6 +73,9 @@ func (s *pendingSlab) len() int { return s.n }
 
 // get returns the pending task for goal id, or nil.
 func (s *pendingSlab) get(id int64) *pendingTask {
+	if s.n == 0 {
+		return nil
+	}
 	mask := len(s.slots) - 1
 	for i := int(id) & mask; ; i = (i + 1) & mask {
 		slot := &s.slots[i]
@@ -90,7 +92,9 @@ func (s *pendingSlab) get(id int64) *pendingTask {
 // a run and a goal executes exactly once, so id is never already
 // present.
 func (s *pendingSlab) put(id int64, task *pendingTask) {
-	if 4*(s.n+1) > 3*len(s.slots) {
+	if s.slots == nil {
+		s.slots = newSlabSlots(slabMinSlots)
+	} else if 4*(s.n+1) > 3*len(s.slots) {
 		s.grow()
 	}
 	mask := len(s.slots) - 1

@@ -156,15 +156,21 @@ func newShardGroup(topo *topology.Topology, source JobSource, strat Strategy, cf
 	}
 	// Stamp each shard's channel copies with the cross-shard member map:
 	// which other shards hear a broadcast, and whether any local member
-	// remains to hear it locally.
+	// remains to hear it locally. Only the partition's cross-channel set
+	// needs stamping — a shard-internal channel's zero state (nil
+	// crossTo) already means "deliver locally only" — which keeps this
+	// loop off the full channel list entirely: an implicit topology's
+	// channels are enumerated per ID, never materialized.
 	counts := make([]int, k)
 	owners := make([]int, 0, k)
-	for ci := range topo.Channels() {
+	var mbuf []int
+	for _, ci := range part.Cross {
 		for s := range counts {
 			counts[s] = 0
 		}
 		owners = owners[:0]
-		for _, pe := range topo.Channels()[ci].Members {
+		mbuf = topo.AppendChannelMembers(mbuf[:0], ci)
+		for _, pe := range mbuf {
 			s := part.Assign[pe]
 			if counts[s] == 0 {
 				owners = append(owners, s)
@@ -173,7 +179,7 @@ func newShardGroup(topo *topology.Topology, source JobSource, strat Strategy, cf
 		}
 		sort.Ints(owners)
 		for _, s := range owners {
-			cs := g.machines[s].chans[ci]
+			cs := &g.machines[s].chans[ci]
 			cs.localMembers = counts[s]
 			for _, o := range owners {
 				if o != s {
@@ -364,11 +370,8 @@ func (g *shardGroup) stalled() bool {
 		return false
 	}
 	for _, m := range g.machines {
-		for _, pe := range m.pes {
-			if pe == nil {
-				continue
-			}
-			if pe.busy || pe.queueLen() > 0 {
+		for i := range m.peBusy {
+			if m.peBusy[i] || m.peBlock[i].queueLen() > 0 {
 				return false
 			}
 		}

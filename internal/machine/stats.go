@@ -153,8 +153,8 @@ func newStats(topo *topology.Topology, workloadName, stratName string) *Stats {
 		P:           topo.Size(),
 		BusyPerPE:   make([]sim.Time, topo.Size()),
 		GoalsPerPE:  make([]int64, topo.Size()),
-		ChannelBusy: make([]sim.Time, len(topo.Channels())),
-		ChannelMsgs: make([]int64, len(topo.Channels())),
+		ChannelBusy: make([]sim.Time, topo.NumChannels()),
+		ChannelMsgs: make([]int64, topo.NumChannels()),
 		Timeline:    metrics.Series{Label: "util%"},
 	}
 }

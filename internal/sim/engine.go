@@ -40,6 +40,14 @@ const (
 	idxIdle = -1
 	// idxWheel marks an event chained in a bucket-wheel slot.
 	idxWheel = -2
+
+	// eventChunkSize is the arena granularity for pooled events: the
+	// free-list miss path carves events out of chunks this large. The
+	// steady-state pooled population is roughly the peak number of
+	// simultaneously scheduled actions, so 256 keeps small runs to one
+	// or two chunks while a saturated million-PE run fills whole chunks
+	// back to back.
+	eventChunkSize = 256
 )
 
 // Action is a schedulable behavior: the allocation-free alternative to a
@@ -116,6 +124,7 @@ type Engine struct {
 	sched     scheduler
 	kind      SchedulerKind
 	free      []*Event // recycled pooled events (ScheduleAction/AtAction)
+	chunk     []Event  // arena tail: pooled events are carved from here on free-list miss
 	rng       *rand.Rand
 	seed      int64
 	stopped   bool
@@ -219,7 +228,16 @@ func (e *Engine) AtAction(t Time, a Action) {
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
 	} else {
-		ev = &Event{}
+		// Free-list miss: carve the next event from the arena chunk
+		// instead of allocating a singleton, so the steady-state event
+		// population sits in a handful of contiguous blocks rather than
+		// scattered across the heap. A carved event is a zero value,
+		// exactly like the &Event{} it replaces.
+		if len(e.chunk) == 0 {
+			e.chunk = make([]Event, eventChunkSize)
+		}
+		ev = &e.chunk[0]
+		e.chunk = e.chunk[1:]
 	}
 	ev.at, ev.seq, ev.act, ev.pooled = t, e.seq, a, true
 	e.seq++

@@ -10,10 +10,11 @@ package sim
 // run's seeded streams.
 //
 // Internally a Ticker re-arms one Timer, so steady-state ticking
-// allocates no events: construction costs two small objects, firings
-// cost zero.
+// allocates no events: construction costs two small objects (one when
+// the Ticker lives in a caller-owned block; see Init), firings cost
+// zero.
 type Ticker struct {
-	timer   *Timer
+	timer   Timer
 	period  Time
 	fn      func()
 	stopped bool
@@ -23,16 +24,30 @@ type Ticker struct {
 // NewTicker schedules fn every period units, first at now+phase.
 // period must be positive; phase must be non-negative.
 func NewTicker(eng *Engine, period, phase Time, fn func()) *Ticker {
+	t := &Ticker{}
+	t.Init(eng, period, phase, fn)
+	return t
+}
+
+// Init readies a zero Ticker in place and schedules its first firing —
+// the allocation-free form of NewTicker for tickers embedded in a
+// caller-owned block (a million-PE machine holds one contiguous array
+// of load tickers, not a million two-object ticker graphs). The Ticker
+// must not be copied after Init: its embedded Timer's event points back
+// at it.
+func (t *Ticker) Init(eng *Engine, period, phase Time, fn func()) {
 	if period <= 0 {
 		panic("sim: NewTicker with non-positive period")
 	}
 	if phase < 0 {
 		panic("sim: NewTicker with negative phase")
 	}
-	t := &Ticker{period: period, fn: fn}
-	t.timer = NewTimer(eng, t.fire)
+	t.period = period
+	t.fn = fn
+	t.stopped = false
+	t.firings = 0
+	t.timer.Init(eng, t.fire)
 	t.timer.Schedule(phase)
-	return t
 }
 
 func (t *Ticker) fire() {

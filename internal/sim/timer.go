@@ -17,13 +17,24 @@ type Timer struct {
 
 // NewTimer returns an idle timer firing fn when armed and elapsed.
 func NewTimer(eng *Engine, fn func()) *Timer {
+	t := &Timer{}
+	t.Init(eng, fn)
+	return t
+}
+
+// Init readies a zero-value Timer in place — the embedded-field
+// analogue of NewTimer. Aggregates that hold their timer by value (one
+// per PE, say) initialize it with Init and pay no per-timer allocation;
+// the Timer must not be copied after Init (the scheduler holds a
+// pointer to the embedded Event while armed).
+func (t *Timer) Init(eng *Engine, fn func()) {
 	if fn == nil {
-		panic("sim: NewTimer with nil fn")
+		panic("sim: Timer.Init with nil fn")
 	}
-	t := &Timer{eng: eng, fn: fn}
+	t.eng = eng
+	t.fn = fn
 	t.ev.fn = fn
 	t.ev.index = idxIdle
-	return t
 }
 
 // Schedule arms the timer to fire after delay units of virtual time.

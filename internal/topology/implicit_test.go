@@ -1,0 +1,194 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+// implPairs returns (materialized, implicit) builds of the same network
+// for every implicit family, over sizes that exercise the degenerate
+// dimensions (1 and 2, where wrap links vanish) as well as squares,
+// rectangles and the hypercube range.
+func implPairs() [][2]*Topology {
+	var pairs [][2]*Topology
+	dims := [][2]int{
+		{1, 1}, {1, 2}, {2, 1}, {1, 5}, {5, 1}, {2, 2}, {2, 3}, {3, 2},
+		{2, 5}, {5, 2}, {3, 3}, {3, 7}, {7, 3}, {4, 4}, {5, 5}, {8, 8},
+		{6, 10}, {10, 6}, {10, 10}, {16, 16},
+	}
+	for _, d := range dims {
+		pairs = append(pairs,
+			[2]*Topology{NewGrid(d[0], d[1]), NewGridImplicit(d[0], d[1])},
+			[2]*Topology{NewTorus(d[0], d[1]), NewTorusImplicit(d[0], d[1])})
+	}
+	for dim := 0; dim <= 8; dim++ {
+		pairs = append(pairs, [2]*Topology{NewHypercube(dim), NewHypercubeImplicit(dim)})
+	}
+	return pairs
+}
+
+// TestImplicitMatchesMaterialized pins the implicit forms bit-for-bit
+// against the materialized builds on every accessor the simulator uses:
+// channel numbering and member order, adjacency order, routing, degrees,
+// and partition blocks. The machine layer depends on this equivalence —
+// it is what makes switching a big run to the implicit form a pure
+// memory-layout change with identical results.
+func TestImplicitMatchesMaterialized(t *testing.T) {
+	for _, pair := range implPairs() {
+		mat, imp := pair[0], pair[1]
+		if !imp.Implicit() || mat.Implicit() {
+			t.Fatalf("%s: Implicit() flags wrong way around", mat.Name())
+		}
+		if mat.Name() != imp.Name() {
+			t.Fatalf("name mismatch: %q vs %q", mat.Name(), imp.Name())
+		}
+		name := mat.Name()
+		if mat.Size() != imp.Size() {
+			t.Fatalf("%s: size %d vs %d", name, mat.Size(), imp.Size())
+		}
+		n := mat.Size()
+
+		// Channel list: count, IDs, member order.
+		mc, ic := mat.Channels(), imp.Channels()
+		if len(mc) != imp.NumChannels() || len(mc) != len(ic) {
+			t.Fatalf("%s: %d channels materialized, %d implicit", name, len(mc), len(ic))
+		}
+		for ci := range mc {
+			if !reflect.DeepEqual(mc[ci], ic[ci]) {
+				t.Fatalf("%s: channel %d: %+v vs %+v", name, ci, mc[ci], ic[ci])
+			}
+			if got := imp.ChannelAt(ci); !reflect.DeepEqual(mc[ci], got) {
+				t.Fatalf("%s: ChannelAt(%d): %+v vs %+v", name, ci, mc[ci], got)
+			}
+			if got := imp.AppendChannelMembers(nil, ci); !equalInts(mc[ci].Members, got) {
+				t.Fatalf("%s: AppendChannelMembers(%d): %v vs %v", name, ci, mc[ci].Members, got)
+			}
+		}
+
+		// Per-PE adjacency: neighbor order, channel order, degree.
+		for pe := 0; pe < n; pe++ {
+			if !equalInts(mat.Neighbors(pe), imp.Neighbors(pe)) {
+				t.Fatalf("%s: Neighbors(%d): %v vs %v", name, pe, mat.Neighbors(pe), imp.Neighbors(pe))
+			}
+			if got := imp.AppendNeighbors(nil, pe); !equalInts(mat.Neighbors(pe), got) {
+				t.Fatalf("%s: AppendNeighbors(%d): %v vs %v", name, pe, mat.Neighbors(pe), got)
+			}
+			if !equalInts(mat.ChannelsOf(pe), imp.ChannelsOf(pe)) {
+				t.Fatalf("%s: ChannelsOf(%d): %v vs %v", name, pe, mat.ChannelsOf(pe), imp.ChannelsOf(pe))
+			}
+			if got := imp.AppendChannelsOf(nil, pe); !equalInts(mat.ChannelsOf(pe), got) {
+				t.Fatalf("%s: AppendChannelsOf(%d): %v vs %v", name, pe, mat.ChannelsOf(pe), got)
+			}
+			if mat.Degree(pe) != imp.Degree(pe) || imp.Degree(pe) != len(mat.Neighbors(pe)) {
+				t.Fatalf("%s: Degree(%d): %d vs %d", name, pe, mat.Degree(pe), imp.Degree(pe))
+			}
+		}
+
+		// Pairwise: channels-between, distance, next hop.
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if !equalInts(mat.ChannelsBetween(a, b), imp.ChannelsBetween(a, b)) {
+					t.Fatalf("%s: ChannelsBetween(%d,%d): %v vs %v",
+						name, a, b, mat.ChannelsBetween(a, b), imp.ChannelsBetween(a, b))
+				}
+				if got := imp.AppendChannelsBetween(nil, a, b); !equalInts(mat.ChannelsBetween(a, b), got) {
+					t.Fatalf("%s: AppendChannelsBetween(%d,%d): %v vs %v",
+						name, a, b, mat.ChannelsBetween(a, b), got)
+				}
+				if mat.Dist(a, b) != imp.Dist(a, b) {
+					t.Fatalf("%s: Dist(%d,%d): %d vs %d", name, a, b, mat.Dist(a, b), imp.Dist(a, b))
+				}
+				if mat.NextHop(a, b) != imp.NextHop(a, b) {
+					t.Fatalf("%s: NextHop(%d,%d): %d vs %d", name, a, b, mat.NextHop(a, b), imp.NextHop(a, b))
+				}
+			}
+		}
+
+		// Aggregates.
+		if mat.Diameter() != imp.Diameter() {
+			t.Fatalf("%s: Diameter: %d vs %d", name, mat.Diameter(), imp.Diameter())
+		}
+		if mat.MaxDegree() != imp.MaxDegree() {
+			t.Fatalf("%s: MaxDegree: %d vs %d", name, mat.MaxDegree(), imp.MaxDegree())
+		}
+		if mat.AvgDegree() != imp.AvgDegree() {
+			t.Fatalf("%s: AvgDegree: %g vs %g", name, mat.AvgDegree(), imp.AvgDegree())
+		}
+		if mat.String() != imp.String() {
+			t.Fatalf("%s: String: %q vs %q", name, mat.String(), imp.String())
+		}
+
+		// Partition blocks and cross-channel sets, every shard count up
+		// to a cap (the full range on small machines).
+		maxShards := n
+		if maxShards > 12 {
+			maxShards = 12
+		}
+		for shards := 1; shards <= maxShards; shards++ {
+			pm, pi := mat.Partition(shards), imp.Partition(shards)
+			if !equalInts(pm.Assign, pi.Assign) || !equalInts(pm.Starts, pi.Starts) || !equalInts(pm.Cross, pi.Cross) {
+				t.Fatalf("%s: Partition(%d) diverged:\n mat assign=%v starts=%v cross=%v\n imp assign=%v starts=%v cross=%v",
+					name, shards, pm.Assign, pm.Starts, pm.Cross, pi.Assign, pi.Starts, pi.Cross)
+			}
+			lat := func(ch Channel) int64 { return int64(ch.ID%3 + 1) }
+			lm, okm := pm.MinCrossLatency(lat)
+			li, oki := pi.MinCrossLatency(lat)
+			if lm != li || okm != oki {
+				t.Fatalf("%s: MinCrossLatency(%d): (%d,%v) vs (%d,%v)", name, shards, lm, okm, li, oki)
+			}
+		}
+	}
+}
+
+// TestImplicitLargeSpotChecks exercises the implicit forms at sizes the
+// materialized build cannot reach, checking internal consistency: every
+// listed neighbor is mutual, linked by exactly the channel the ID
+// arithmetic names, and channel IDs are a bijection onto [0, NumChannels).
+func TestImplicitLargeSpotChecks(t *testing.T) {
+	for _, topo := range []*Topology{
+		NewTorusImplicit(1000, 1000),
+		NewGridImplicit(512, 512),
+		NewHypercubeImplicit(20),
+	} {
+		n := topo.Size()
+		// Probe a deterministic scatter of PEs rather than all of them.
+		for pe := 0; pe < n; pe += n/97 + 1 {
+			for _, nb := range topo.Neighbors(pe) {
+				if topo.Dist(pe, nb) != 1 {
+					t.Fatalf("%s: neighbor %d of %d at distance %d", topo.Name(), nb, pe, topo.Dist(pe, nb))
+				}
+				cis := topo.ChannelsBetween(pe, nb)
+				if len(cis) != 1 {
+					t.Fatalf("%s: %d channels between neighbors %d,%d", topo.Name(), len(cis), pe, nb)
+				}
+				members := topo.AppendChannelMembers(nil, cis[0])
+				if !(members[0] == pe && members[1] == nb) && !(members[0] == nb && members[1] == pe) {
+					t.Fatalf("%s: channel %d members %v, want {%d,%d}", topo.Name(), cis[0], members, pe, nb)
+				}
+			}
+			// ChannelsOf must be ascending and mutual.
+			prev := -1
+			for _, ci := range topo.ChannelsOf(pe) {
+				if ci <= prev {
+					t.Fatalf("%s: ChannelsOf(%d) not ascending", topo.Name(), pe)
+				}
+				prev = ci
+				if ci < 0 || ci >= topo.NumChannels() {
+					t.Fatalf("%s: ChannelsOf(%d) out of range: %d", topo.Name(), pe, ci)
+				}
+			}
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

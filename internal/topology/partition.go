@@ -46,13 +46,27 @@ func (t *Topology) Partition(shards int) Partition {
 	for i := t.n - 1; i >= 0; i-- {
 		p.Starts[p.Assign[i]] = i
 	}
-	for ci := range t.channels {
-		members := t.channels[ci].Members
-		first := p.Assign[members[0]]
-		for _, pe := range members[1:] {
-			if p.Assign[pe] != first {
+	// Scan channels in ascending ID order on either form — the Cross
+	// list comes out identical for a materialized and an implicit build
+	// of the same network (pinned by TestImplicitMatchesMaterialized).
+	if t.impl == implNone {
+		for ci := range t.channels {
+			members := t.channels[ci].Members
+			first := p.Assign[members[0]]
+			for _, pe := range members[1:] {
+				if p.Assign[pe] != first {
+					p.Cross = append(p.Cross, ci)
+					break
+				}
+			}
+		}
+	} else {
+		var buf [2]int
+		nc := t.NumChannels()
+		for ci := 0; ci < nc; ci++ {
+			members := t.appendImplChanMembers(buf[:0], ci)
+			if p.Assign[members[0]] != p.Assign[members[1]] {
 				p.Cross = append(p.Cross, ci)
-				break
 			}
 		}
 	}
@@ -75,7 +89,9 @@ func (p *Partition) Size(s int) int { return p.Starts[s+1] - p.Starts[s] }
 // boundary (single-shard partitions) — lookahead is then unbounded.
 func (p *Partition) MinCrossLatency(lat func(Channel) int64) (min int64, ok bool) {
 	for _, ci := range p.Cross {
-		l := lat(p.topo.channels[ci])
+		// ChannelAt works on both forms; the Cross set is small, so the
+		// implicit form's per-call Members allocation is fine here.
+		l := lat(p.topo.ChannelAt(ci))
 		if l <= 0 {
 			panic(fmt.Sprintf("topology %s: channel %d has non-positive latency %d", p.topo.name, ci, l))
 		}

@@ -31,6 +31,20 @@ type Channel struct {
 // Topology is an immutable interconnection network. Construct via the
 // New* functions. All slices returned by accessors must be treated as
 // read-only; they are shared across concurrent simulations.
+//
+// A topology comes in one of two forms. The materialized form (every
+// New* constructor except the *Implicit ones) stores the channel list
+// and adjacency and answers routing queries from a lazily built
+// all-pairs BFS table — it handles arbitrary irregular networks but
+// costs O(n²) memory once routing is touched. The implicit form
+// (NewGridImplicit, NewTorusImplicit, NewHypercubeImplicit) stores only
+// the dimensions and computes neighbors, channel IDs, distances and
+// next hops arithmetically, bit-for-bit identical to the materialized
+// numbering — O(1) memory at any machine size. The allocation-free
+// Append*/Degree/NumChannels/ChannelAt accessors work on both forms;
+// the slice-returning accessors (Channels, Neighbors, ChannelsOf,
+// ChannelsBetween) also work on both but allocate per call on implicit
+// topologies, so hot paths should prefer the Append* family.
 type Topology struct {
 	name     string
 	n        int
@@ -38,6 +52,14 @@ type Topology struct {
 	chansOf  [][]int // PE -> channel IDs, ascending
 	nbrs     [][]int // PE -> neighbor PE IDs, ascending
 	between  map[pairKey][]int
+
+	// Implicit (computed-neighbor) form: impl selects the family and
+	// rows/cols/dim its dimensions; the materialized fields above stay
+	// nil. See implicit.go.
+	impl implKind
+	rows int
+	cols int
+	dim  int
 
 	routeOnce sync.Once
 	dist      [][]int32 // all-pairs shortest hop counts
@@ -107,19 +129,139 @@ func (t *Topology) Name() string { return t.name }
 // Size returns the number of PEs.
 func (t *Topology) Size() int { return t.n }
 
-// Channels returns all communication channels.
-func (t *Topology) Channels() []Channel { return t.channels }
+// Channels returns all communication channels. On an implicit topology
+// this materializes a fresh list on every call — cold paths only; use
+// NumChannels/ChannelAt/AppendChannelMembers to stay allocation-free.
+func (t *Topology) Channels() []Channel {
+	if t.impl == implNone {
+		return t.channels
+	}
+	chans := make([]Channel, t.NumChannels())
+	for ci := range chans {
+		chans[ci] = Channel{ID: ci, Members: t.appendImplChanMembers(nil, ci)}
+	}
+	return chans
+}
 
-// ChannelsOf returns the IDs of channels PE pe is attached to.
-func (t *Topology) ChannelsOf(pe int) []int { return t.chansOf[pe] }
+// NumChannels returns the number of communication channels.
+func (t *Topology) NumChannels() int {
+	switch t.impl {
+	case implNone:
+		return len(t.channels)
+	case implGrid:
+		return t.gridChannelCount()
+	case implTorus:
+		n := t.gridChannelCount()
+		if t.cols > 2 {
+			n += t.rows
+		}
+		if t.rows > 2 {
+			n += t.cols
+		}
+		return n
+	default: // implHypercube
+		if t.dim == 0 {
+			return 0
+		}
+		return t.dim << uint(t.dim-1)
+	}
+}
+
+// ChannelAt returns channel ci. On a materialized topology the Members
+// slice is shared (read-only); on an implicit one it is freshly
+// allocated — use AppendChannelMembers to reuse a buffer.
+func (t *Topology) ChannelAt(ci int) Channel {
+	if t.impl == implNone {
+		return t.channels[ci]
+	}
+	return Channel{ID: ci, Members: t.appendImplChanMembers(nil, ci)}
+}
+
+// AppendChannelMembers appends channel ci's member PEs to dst and
+// returns it, in the channel's stored member order. Allocation-free on
+// both forms when dst has capacity.
+func (t *Topology) AppendChannelMembers(dst []int, ci int) []int {
+	if t.impl == implNone {
+		return append(dst, t.channels[ci].Members...)
+	}
+	return t.appendImplChanMembers(dst, ci)
+}
+
+// ChannelsOf returns the IDs of channels PE pe is attached to,
+// ascending. Allocates per call on implicit topologies.
+func (t *Topology) ChannelsOf(pe int) []int {
+	if t.impl == implNone {
+		return t.chansOf[pe]
+	}
+	return t.appendImplChansOf(nil, pe)
+}
+
+// AppendChannelsOf appends the IDs of pe's channels to dst and returns
+// it, ascending. Allocation-free on both forms when dst has capacity.
+func (t *Topology) AppendChannelsOf(dst []int, pe int) []int {
+	if t.impl == implNone {
+		return append(dst, t.chansOf[pe]...)
+	}
+	return t.appendImplChansOf(dst, pe)
+}
 
 // Neighbors returns the PEs sharing at least one channel with pe, in
-// ascending order.
-func (t *Topology) Neighbors(pe int) []int { return t.nbrs[pe] }
+// ascending order. Allocates per call on implicit topologies.
+func (t *Topology) Neighbors(pe int) []int {
+	if t.impl == implNone {
+		return t.nbrs[pe]
+	}
+	return t.appendImplNeighbors(nil, pe)
+}
+
+// AppendNeighbors appends pe's neighbors to dst and returns it, in
+// ascending order. Allocation-free on both forms when dst has capacity.
+func (t *Topology) AppendNeighbors(dst []int, pe int) []int {
+	if t.impl == implNone {
+		return append(dst, t.nbrs[pe]...)
+	}
+	return t.appendImplNeighbors(dst, pe)
+}
+
+// Degree returns pe's neighbor count without materializing the list.
+func (t *Topology) Degree(pe int) int {
+	switch t.impl {
+	case implNone:
+		return len(t.nbrs[pe])
+	case implGrid:
+		return gridDimDegree(pe/t.cols, t.rows) + gridDimDegree(pe%t.cols, t.cols)
+	case implTorus:
+		return torusDimDegree(t.rows) + torusDimDegree(t.cols)
+	default: // implHypercube
+		return t.dim
+	}
+}
 
 // ChannelsBetween returns the channels directly connecting a and b
 // (nil if they are not neighbors). Bus topologies may offer several.
-func (t *Topology) ChannelsBetween(a, b int) []int { return t.between[pairKey{a, b}] }
+// Allocates per call on implicit topologies.
+func (t *Topology) ChannelsBetween(a, b int) []int {
+	if t.impl == implNone {
+		return t.between[pairKey{a, b}]
+	}
+	if ci, ok := t.implLinkBetween(a, b); ok {
+		return []int{ci}
+	}
+	return nil
+}
+
+// AppendChannelsBetween appends the IDs of the channels directly
+// connecting a and b to dst and returns it. Allocation-free on both
+// forms when dst has capacity.
+func (t *Topology) AppendChannelsBetween(dst []int, a, b int) []int {
+	if t.impl == implNone {
+		return append(dst, t.between[pairKey{a, b}]...)
+	}
+	if ci, ok := t.implLinkBetween(a, b); ok {
+		return append(dst, ci)
+	}
+	return dst
+}
 
 // ensureRouting computes all-pairs BFS distances, next hops and the
 // diameter, once, on first use.
@@ -188,36 +330,61 @@ func (t *Topology) ensureRouting() {
 
 // Dist returns the shortest hop count between a and b.
 func (t *Topology) Dist(a, b int) int {
+	if t.impl != implNone {
+		return t.implDist(a, b)
+	}
 	t.ensureRouting()
 	return int(t.dist[a][b])
 }
 
 // NextHop returns the neighbor of from that is the first hop on a
-// shortest path to to. NextHop(x, x) == x.
+// shortest path to to — the lowest-numbered such neighbor, on both
+// forms. NextHop(x, x) == x.
 func (t *Topology) NextHop(from, to int) int {
+	if t.impl != implNone {
+		return t.implNextHop(from, to)
+	}
 	t.ensureRouting()
 	return int(t.next[from][to])
 }
 
 // Diameter returns the maximum shortest-path distance over all PE pairs.
 func (t *Topology) Diameter() int {
+	if t.impl != implNone {
+		return t.implDiameter()
+	}
 	t.ensureRouting()
 	return t.diameter
 }
 
 // MaxDegree returns the largest neighbor count of any PE.
 func (t *Topology) MaxDegree() int {
-	max := 0
-	for _, nb := range t.nbrs {
-		if len(nb) > max {
-			max = len(nb)
+	switch t.impl {
+	case implNone:
+		max := 0
+		for _, nb := range t.nbrs {
+			if len(nb) > max {
+				max = len(nb)
+			}
 		}
+		return max
+	case implGrid, implTorus:
+		// The per-dimension maxima coincide for both families, and a PE
+		// attaining both always exists (interior of each dimension, or
+		// any PE once the dimension wraps).
+		return torusDimDegree(t.rows) + torusDimDegree(t.cols)
+	default: // implHypercube
+		return t.dim
 	}
-	return max
 }
 
 // AvgDegree returns the mean neighbor count.
 func (t *Topology) AvgDegree() float64 {
+	if t.impl != implNone {
+		// Implicit families are point-to-point: every channel
+		// contributes two neighbor list entries.
+		return 2 * float64(t.NumChannels()) / float64(t.n)
+	}
 	total := 0
 	for _, nb := range t.nbrs {
 		total += len(nb)
@@ -227,5 +394,5 @@ func (t *Topology) AvgDegree() float64 {
 
 // String implements fmt.Stringer.
 func (t *Topology) String() string {
-	return fmt.Sprintf("%s (%d PEs, %d channels, diameter %d)", t.name, t.n, len(t.channels), t.Diameter())
+	return fmt.Sprintf("%s (%d PEs, %d channels, diameter %d)", t.name, t.n, t.NumChannels(), t.Diameter())
 }
