@@ -7,7 +7,7 @@
 //
 // Regenerate the committed ledger with:
 //
-//	go run ./cmd/bench -o BENCH_PR9.json
+//	go run ./cmd/bench -o BENCH_PR10.json
 //
 // CI runs the fast regression gate on every PR:
 //
@@ -15,15 +15,19 @@
 //
 // which trims the matrix to the headline and one scheduler-heavy case,
 // still runs the heap-vs-wheel A/B on the latter plus the first two
-// shard cross-check cells, the observer-overhead A/B and the 262,144-PE
+// shard cross-check cells, the observer-overhead A/B, the 262,144-PE
 // footprint gate (construction + a short run of an implicit torus512,
-// with a bytes-per-PE budget assertion), and — like the full run —
-// exits non-zero if the two schedulers or the sequential and sharded
-// machines ever disagree on results, if disabled observability stops
-// being free (the off side's allocs/op exceeding the headline
-// measurement), or if machine construction outgrows its per-PE memory
-// budget, so an event-ordering, observer-cost or memory-layout
-// regression fails the build, not just a perf number.
+// with a bytes-per-PE budget assertion), and the PR 10 fault-tolerance
+// gates (the checkpoint-interval sweep and the sequential-vs-sharded
+// scenario agreement check), and — like the full run — exits non-zero
+// if the two schedulers or the sequential and sharded machines ever
+// disagree on results, if disabled observability stops being free (the
+// off side's allocs/op exceeding the headline measurement), if machine
+// construction outgrows its per-PE memory budget, if no checkpoint
+// interval beats both no-checkpointing and over-frequent checkpointing,
+// or if the bounded-retry ledger stops balancing, so an event-ordering,
+// observer-cost, memory-layout or fault-accounting regression fails the
+// build, not just a perf number.
 //
 // Profile a case instead of guessing:
 //
@@ -119,6 +123,12 @@ type ledger struct {
 	// smoke) and the torus1000 row's 2 GB peak-heap ceiling (full
 	// regenerations).
 	Memory *memFootprint `json:"memory_footprint,omitempty"`
+	// Fault is the PR 10 fault-tolerance section: the checkpoint-interval
+	// sweep (overhead paid vs work re-lost), the sequential-vs-sharded
+	// scenario agreement gate, the bounded-retry ledger, and — on full
+	// regenerations — the sharded million-PE chaos soak with its peak-heap
+	// gate. The sweep and agreement gates run in -short (the CI smoke).
+	Fault *faultSection `json:"fault_tolerance,omitempty"`
 	// Observer is the PR 8 observability-cost A/B: the headline case
 	// with the full observer surface (sampling + per-PE monitoring +
 	// tracing) off versus on. The off side doubles as a regression
@@ -233,6 +243,250 @@ func measureFootprint(mc memCase) memRow {
 		PeakHeapBytes:    m2.HeapSys - m2.HeapReleased,
 		RunEvents:        st.Events,
 	}
+}
+
+// faultSection is the PR 10 fault-tolerance ledger block.
+type faultSection struct {
+	Checkpoint *ckptSweep          `json:"checkpoint_sweep,omitempty"`
+	Agreement  []scenarioCrossItem `json:"scenario_agreement,omitempty"`
+	Retry      *retryLedger        `json:"retry_ledger,omitempty"`
+	Soak       *shardedSoak        `json:"sharded_soak,omitempty"`
+}
+
+// ckptSweep is the checkpoint-interval tradeoff: the same pinned crash
+// workload run with no checkpointing, over-frequent checkpointing, and
+// a band of mid intervals. The gate requires some mid interval to
+// strictly beat BOTH endpoints on goodput — checkpointing must be
+// worth something, and its cost must be real.
+type ckptSweep struct {
+	Case     string      `json:"case"`
+	Scenario string      `json:"base_scenario"`
+	Points   []ckptPoint `json:"points"`
+	Winner   string      `json:"winner"`
+	Gate     string      `json:"gate"`
+	Decision string      `json:"decision,omitempty"`
+}
+
+// ckptPoint is one checkpoint interval's measurement. Interval 0 means
+// no checkpointing; the smallest interval carries an inflated per-tick
+// cost (the deliberately over-frequent endpoint).
+type ckptPoint struct {
+	Interval      int64   `json:"interval"`
+	Cost          int64   `json:"cost"`
+	Goodput       float64 `json:"goodput"`
+	JobsDone      int64   `json:"jobs_done"`
+	JobsInjected  int64   `json:"jobs_injected"`
+	JobsAbandoned int64   `json:"jobs_abandoned"`
+	TotalBusy     int64   `json:"total_busy"`
+	Makespan      int64   `json:"makespan"`
+}
+
+// scenarioCrossItem is one certified scenario agreement cell.
+type scenarioCrossItem struct {
+	Case   string `json:"case"`
+	Shards int    `json:"shards"`
+	OK     bool   `json:"ok"`
+}
+
+// retryLedger records the bounded-retry accounting on the agreement
+// spec, sequential and sharded, with the machine-wide invariant
+// (retried + abandoned == aborted) re-checked at both.
+type retryLedger struct {
+	Case       string      `json:"case"`
+	Sequential retryCounts `json:"sequential"`
+	Sharded    retryCounts `json:"sharded"`
+	Invariant  string      `json:"invariant"`
+}
+
+// retryCounts is one mode's job-fate accounting.
+type retryCounts struct {
+	Injected  int64   `json:"jobs_injected"`
+	Done      int64   `json:"jobs_done"`
+	Aborted   int64   `json:"jobs_aborted"`
+	Retried   int64   `json:"jobs_retried"`
+	Abandoned int64   `json:"jobs_abandoned"`
+	Goodput   float64 `json:"goodput"`
+}
+
+// shardedSoak is the million-PE sharded chaos soak's footprint row:
+// the full fault stack (domain crashes, checkpoints, bounded retry)
+// under Shards=4 on the implicit torus1000, gated by the same 2 GiB
+// peak-heap ceiling as the sequential million-PE case.
+type shardedSoak struct {
+	Case          string  `json:"case"`
+	Shards        int     `json:"shards"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+	Events        uint64  `json:"run_events"`
+	JobsAborted   int64   `json:"jobs_aborted"`
+	JobsRetried   int64   `json:"jobs_retried"`
+	JobsAbandoned int64   `json:"jobs_abandoned"`
+	Goodput       float64 `json:"goodput"`
+	Gate          string  `json:"gate"`
+}
+
+// ckptSweepSpec is the pinned crash workload the checkpoint-interval
+// sweep reruns per interval: a 16-PE grid under a steady stream, 25%
+// of the machine crashing four times with a one-retry budget. Tight
+// enough that replay position matters (long intervals re-lose work,
+// jobs caught mid-replay by the next crash exhaust their budget) and
+// busy enough that per-tick snapshot cost is visible.
+func ckptSweepSpec() experiments.RunSpec {
+	return experiments.RunSpec{
+		Topo:         experiments.Grid(4),
+		Workload:     experiments.Fib(11),
+		Strategy:     experiments.CWN(9, 2),
+		Arrival:      experiments.IntervalArrivals(150, 40),
+		Scenario:     "crash:pes=25%@t=1500,recover@t=1700,crash:pes=25%@t=3000,recover@t=3200,crash:pes=25%@t=4500,recover@t=4700,crash:pes=25%@t=6000,recover@t=6200",
+		RetryLimit:   1,
+		RetryBackoff: 25,
+	}
+}
+
+// ckptIntervals pins the sweep points: none, the over-frequent endpoint
+// (every 20 units at 6 cost — a ~30% service tax), and three mid
+// intervals at the scripted cost of 2.
+var ckptIntervals = []struct{ every, cost int64 }{
+	{0, 0}, {20, 6}, {200, 2}, {300, 2}, {400, 2},
+}
+
+// measureCkptSweep runs the sweep and enforces the tradeoff gate.
+func measureCkptSweep() (*ckptSweep, error) {
+	base := ckptSweepSpec()
+	sweep := &ckptSweep{
+		Case:     "fault/ckpt-grid4-crash25",
+		Scenario: base.Scenario,
+		Gate:     "some mid interval strictly beats both interval=0 (no checkpointing) and the over-frequent endpoint on goodput",
+	}
+	for _, p := range ckptIntervals {
+		s := base
+		if p.every > 0 {
+			s.Scenario = fmt.Sprintf("%s,checkpoint:every=%d:cost=%d@t=0", base.Scenario, p.every, p.cost)
+		}
+		r, err := s.ExecuteErr()
+		if err != nil {
+			return nil, fmt.Errorf("interval %d: %w", p.every, err)
+		}
+		st := r.Stats
+		sweep.Points = append(sweep.Points, ckptPoint{
+			Interval:      p.every,
+			Cost:          p.cost,
+			Goodput:       st.Goodput(),
+			JobsDone:      st.JobsDone,
+			JobsInjected:  st.JobsInjected,
+			JobsAbandoned: st.JobsAbandoned,
+			TotalBusy:     int64(st.TotalBusy),
+			Makespan:      int64(st.Makespan),
+		})
+	}
+	none, overfreq := sweep.Points[0], sweep.Points[1]
+	best := -1
+	for i, p := range sweep.Points[2:] {
+		if p.Goodput > none.Goodput && p.Goodput > overfreq.Goodput {
+			if best < 0 || p.Goodput > sweep.Points[2+best].Goodput {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return sweep, fmt.Errorf("no mid interval beat both endpoints: none %.4f, over-frequent %.4f, mids %+v",
+			none.Goodput, overfreq.Goodput, sweep.Points[2:])
+	}
+	win := sweep.Points[2+best]
+	sweep.Winner = fmt.Sprintf("every=%d:cost=%d", win.Interval, win.Cost)
+	sweep.Decision = fmt.Sprintf(
+		"checkpointing pays when its interval matches the crash cadence: every=%d resumes retries near the loss point (goodput %.4f vs %.4f without checkpoints — replay from the root leaves jobs mid-flight when the next strike lands) "+
+			"while the over-frequent endpoint (every=%d at cost %d) taxes every live PE's service enough to hold goodput at %.4f; the gate pins that both failure modes stay measurable",
+		win.Interval, win.Goodput, none.Goodput, overfreq.Interval, overfreq.Cost, overfreq.Goodput)
+	return sweep, nil
+}
+
+// agreementSpec is the pinned scripted spec the scenario agreement gate
+// certifies across run modes: domain-shaped crash chaos, periodic
+// checkpoints and a one-retry budget on a 16-PE grid — every piece of
+// the fault stack in one script, small enough for the CI smoke.
+func agreementSpec() experiments.RunSpec {
+	return experiments.RunSpec{
+		Topo:           experiments.Grid(4),
+		Workload:       experiments.Fib(9),
+		Strategy:       experiments.CWN(9, 2),
+		Arrival:        experiments.IntervalArrivals(100, 60),
+		Scenario:       "chaos:mtbf=1500:mttr=400:crash:domain=rack:4@seed=11,checkpoint:every=400:cost=1@t=0",
+		RetryLimit:     1,
+		RetryBackoff:   25,
+		SampleInterval: 200,
+	}
+}
+
+// measureRetryLedger runs the agreement spec sequentially and sharded
+// and records both modes' job-fate accounting, re-checking the
+// machine-wide invariant the acceptance criteria pin.
+func measureRetryLedger(spec experiments.RunSpec, name string, k int) (*retryLedger, error) {
+	counts := func(shards int) (retryCounts, error) {
+		s := spec
+		s.Shards = shards
+		r, err := s.ExecuteErr()
+		if err != nil {
+			return retryCounts{}, err
+		}
+		st := r.Stats
+		if st.JobsRetried+st.JobsAbandoned != st.JobsAborted {
+			return retryCounts{}, fmt.Errorf("shards=%d retry ledger unbalanced: retried %d + abandoned %d != aborted %d",
+				shards, st.JobsRetried, st.JobsAbandoned, st.JobsAborted)
+		}
+		if st.JobsAbandoned == 0 {
+			return retryCounts{}, fmt.Errorf("shards=%d abandoned no jobs — the pinned crash script must exhaust some retry budget", shards)
+		}
+		return retryCounts{
+			Injected:  st.JobsInjected,
+			Done:      st.JobsDone,
+			Aborted:   st.JobsAborted,
+			Retried:   st.JobsRetried,
+			Abandoned: st.JobsAbandoned,
+			Goodput:   st.Goodput(),
+		}, nil
+	}
+	seq, err := counts(0)
+	if err != nil {
+		return nil, err
+	}
+	shd, err := counts(k)
+	if err != nil {
+		return nil, err
+	}
+	return &retryLedger{
+		Case:       name,
+		Sequential: seq,
+		Sharded:    shd,
+		Invariant:  "JobsRetried + JobsAbandoned == JobsAborted and JobsAbandoned > 0, machine-wide, sequential and sharded",
+	}, nil
+}
+
+// measureShardedSoak runs the million-PE sharded chaos soak once
+// between MemStats reads and reports its peak OS-backed heap. It runs
+// right after the footprint table (smallest machines first) so the
+// process high-water it reads is this machine's own peak.
+func measureShardedSoak(spec experiments.RunSpec, name string) (*shardedSoak, error) {
+	spec.Topo.Build()
+	spec.Workload.Build()
+	runtime.GC()
+	r, err := spec.ExecuteErr()
+	if err != nil {
+		return nil, err
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st := r.Stats
+	return &shardedSoak{
+		Case:          name,
+		Shards:        spec.Shards,
+		PeakHeapBytes: ms.HeapSys - ms.HeapReleased,
+		Events:        st.Events,
+		JobsAborted:   st.JobsAborted,
+		JobsRetried:   st.JobsRetried,
+		JobsAbandoned: st.JobsAbandoned,
+		Goodput:       st.Goodput(),
+		Gate:          "peak OS-backed heap < 2 GiB with the full fault stack live at Shards=4",
+	}, nil
 }
 
 // observerOverhead is the off-vs-on observability measurement.
@@ -384,7 +638,7 @@ var baseline = map[string]metricSet{
 
 func main() {
 	var (
-		out        = flag.String("o", "BENCH_PR9.json", "ledger output path (- for stdout)")
+		out        = flag.String("o", "BENCH_PR10.json", "ledger output path (- for stdout)")
 		iters      = flag.Int("iters", 5, "iterations per case (fixed, for comparable allocs/op)")
 		short      = flag.Bool("short", false, "regression smoke: headline + one sched-heavy case, 1 iteration, sched A/B equality still enforced")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measurement runs to this file")
@@ -414,7 +668,7 @@ func main() {
 
 	led := ledger{
 		Schema:      "cwnsim-bench/v1",
-		PR:          9,
+		PR:          10,
 		Go:          runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
@@ -454,13 +708,71 @@ func main() {
 		led.Memory = mem
 	}
 
+	// The fault-tolerance section. The sharded million-PE soak runs
+	// immediately after the footprint table (same smallest-to-largest
+	// discipline: the heap high-water it reads must be its own machine's
+	// peak, not a later case's); the checkpoint-interval sweep and the
+	// scenario agreement gate are small pinned specs that run in -short
+	// too — they are CI's fault-accounting smoke.
+	{
+		fault := &faultSection{}
+		if !*short {
+			const soakCase = "open/chaos-torus1000-sharded-soak"
+			spec, ok := findCase(experiments.BenchMatrix(), soakCase)
+			if !ok {
+				fail(fmt.Errorf("sharded soak case %s not in BenchMatrix", soakCase))
+			}
+			soak, err := measureShardedSoak(spec, soakCase)
+			if err != nil {
+				fail(fmt.Errorf("sharded soak: %v", err))
+			}
+			fault.Soak = soak
+			fmt.Fprintf(os.Stderr, "%-28s %d shards  peak %6.1f MiB  aborted=%d retried=%d abandoned=%d goodput=%.3f\n",
+				"soak:"+soakCase, soak.Shards, float64(soak.PeakHeapBytes)/(1<<20),
+				soak.JobsAborted, soak.JobsRetried, soak.JobsAbandoned, soak.Goodput)
+			if soak.PeakHeapBytes >= memPeakBudget {
+				fail(fmt.Errorf("memory gate: %s peaked at %.1f MiB heap — the sharded million-PE fault stack must fit in 2 GiB",
+					soakCase, float64(soak.PeakHeapBytes)/(1<<20)))
+			}
+		}
+
+		sweep, err := measureCkptSweep()
+		if err != nil {
+			fail(fmt.Errorf("checkpoint sweep gate: %v", err))
+		}
+		fault.Checkpoint = sweep
+		for _, p := range sweep.Points {
+			fmt.Fprintf(os.Stderr, "%-28s every=%-4d cost=%d  goodput=%.4f  done=%d/%d  busy=%d\n",
+				"ckpt:"+sweep.Case, p.Interval, p.Cost, p.Goodput, p.JobsDone, p.JobsInjected, p.TotalBusy)
+		}
+		fmt.Fprintf(os.Stderr, "%-28s winner %s\n", "ckpt:"+sweep.Case, sweep.Winner)
+
+		const agreeCase = "fault/agree-grid4-chaos-rack"
+		if err := experiments.ScenarioCrossCheck(agreementSpec(), 4); err != nil {
+			fail(fmt.Errorf("scenario agreement gate %s: sequential and sharded machines DISAGREE:\n%v", agreeCase, err))
+		}
+		fault.Agreement = append(fault.Agreement, scenarioCrossItem{Case: agreeCase, Shards: 4, OK: true})
+		fmt.Fprintf(os.Stderr, "%-28s certified (seq == shards=1 incl. recovery metrics, parallel == serial, retry ledger balanced at k=4)\n", "scenck:"+agreeCase)
+
+		rl, err := measureRetryLedger(agreementSpec(), agreeCase, 4)
+		if err != nil {
+			fail(fmt.Errorf("retry ledger gate: %v", err))
+		}
+		fault.Retry = rl
+		fmt.Fprintf(os.Stderr, "%-28s seq %d/%d done, %d abandoned (goodput %.3f) | shards=4 %d/%d done, %d abandoned (goodput %.3f)\n",
+			"retry:"+agreeCase, rl.Sequential.Done, rl.Sequential.Injected, rl.Sequential.Abandoned, rl.Sequential.Goodput,
+			rl.Sharded.Done, rl.Sharded.Injected, rl.Sharded.Abandoned, rl.Sharded.Goodput)
+		led.Fault = fault
+	}
+
 	// The two giant matrix cases take tens of seconds per op; capping
 	// their iteration count keeps full regenerations tractable without
 	// touching the comparability of the long-standing cases. Each
 	// result records the count it actually ran.
 	iterCap := map[string]int{
-		"open/poisson-torus1000":   2,
-		"open/chaos-torus100-soak": 2,
+		"open/poisson-torus1000":            2,
+		"open/chaos-torus100-soak":          2,
+		"open/chaos-torus1000-sharded-soak": 1,
 	}
 	for _, c := range matrix {
 		// Warm registry caches so construction of shared immutables is

@@ -50,6 +50,8 @@ func main() {
 		csvPath  = flag.String("csv", "", "also write the flat result table as CSV")
 		scenArg  = flag.String("scenario", "", `scripted environment applied to every run, e.g. "fail:pes=25%@t=5000,recover@t=10000"`)
 		sample   = flag.Int64("sample", 0, "sampling interval for recovery metrics (0 = auto when -scenario is set)")
+		retryLim = flag.Int("retry-limit", 0, "crash retries per job before abandoning it (0 = unbounded; needs a crash -scenario)")
+		retryBck = flag.Int64("retry-backoff", 0, "virtual-time backoff per retry attempt (attempt x backoff)")
 		traceOut = flag.String("trace-out", "", "write a Perfetto span export (Chrome trace-event JSON) of the first configuration's run")
 	)
 	flag.Parse()
@@ -145,6 +147,8 @@ func main() {
 					MaxTime:        *maxTime,
 					Scenario:       *scenArg,
 					SampleInterval: sampleIvl,
+					RetryLimit:     *retryLim,
+					RetryBackoff:   *retryBck,
 				})
 			}
 		}
@@ -212,15 +216,18 @@ func main() {
 	// Under a scripted environment, append the recovery metrics the
 	// scenario subsystem computes per run — both windowed-p99 keyings
 	// ("t2s done" completion-keyed, "t2s inj" injection-keyed) plus the
-	// state-loss counters for crash scripts.
+	// state-loss counters for crash scripts. "abnd" is jobs abandoned
+	// after exhausting -retry-limit; goodput is completed/injected, the
+	// availability a bounded-retry policy trades against latency.
 	if *scenArg != "" {
 		rec := report.NewTable("scenario recovery",
-			"topology", "strategy", "gap", "requeued", "lost", "baseline p99", "peak p99", "t2s done", "t2s inj", "eff util%")
+			"topology", "strategy", "gap", "requeued", "lost", "abnd", "goodput", "baseline p99", "peak p99", "t2s done", "t2s inj", "eff util%")
 		for _, r := range results {
 			base, peak, settle := r.Recovery.TableCells()
 			_, _, settleInj := r.RecoveryInj.TableCells()
 			rec.AddRow(r.Spec.Topo.Label(), r.Spec.Strategy.ShortLabel(), r.Spec.Arrival.Label(),
-				r.Requeued, r.GoalsLost, base, peak, settle, settleInj, fmt.Sprintf("%.1f", r.EffUtil))
+				r.Requeued, r.GoalsLost, r.JobsAbandoned, fmt.Sprintf("%.3f", r.Goodput),
+				base, peak, settle, settleInj, fmt.Sprintf("%.1f", r.EffUtil))
 		}
 		fmt.Println()
 		rec.Render(os.Stdout)

@@ -10,7 +10,8 @@
 //     arriving goals are redirected, nothing is lost;
 //   - crash: (state loss) — queued and in-flight goals vanish, every
 //     affected job aborts and retries from its root (GoalsLost /
-//     JobsAborted / JobsRetried accounting);
+//     JobsAborted / JobsRetried accounting), or is abandoned once a
+//     RetryLimit budget runs out (JobsAbandoned, goodput);
 //   - sentinel-only strategies react through load words alone, while
 //     the +fa variants subscribe to the machine's PEFailed/PERecovered
 //     events — shedding queue ahead of the evacuation flood and
@@ -32,7 +33,7 @@ import (
 	"cwnsim/internal/scenario"
 )
 
-func run(ss experiments.StrategySpec, script string) *experiments.Result {
+func run(ss experiments.StrategySpec, script string, retryLimit int) *experiments.Result {
 	spec := experiments.RunSpec{
 		Topo:           experiments.Grid(10),
 		Workload:       experiments.Fib(9),
@@ -41,6 +42,10 @@ func run(ss experiments.StrategySpec, script string) *experiments.Result {
 		Warmup:         1000,
 		SampleInterval: 250,
 		Scenario:       script,
+		RetryLimit:     retryLimit,
+	}
+	if retryLimit > 0 {
+		spec.RetryBackoff = 50
 	}
 	r, err := spec.ExecuteErr()
 	if err != nil {
@@ -79,7 +84,7 @@ func main() {
 	markers := []rune{'c', 'C', 'g', 'G', 'w', 'W'}
 
 	for i, ss := range strategies {
-		r := run(ss, blackout)
+		r := run(ss, blackout, 0)
 		done := fmt.Sprintf("%d/%d", r.Stats.JobsDone, r.Stats.JobsInjected)
 		if r.Saturated() {
 			done += "*"
@@ -97,22 +102,33 @@ func main() {
 	util.Render(os.Stdout)
 
 	// The same disaster as a crash: state is lost, jobs abort and
-	// retry, and the jobs-lost accounting becomes non-trivial.
+	// retry, and the jobs-lost accounting becomes non-trivial. Each
+	// strategy runs twice — unbounded retry (the pre-policy behavior,
+	// goodput 1 unless saturated) and with a 2-retry budget plus
+	// backoff, where the machine abandons unlucky jobs and goodput
+	// prices the availability it gave up.
 	fmt.Printf("\nsame disaster with state loss\nscenario: %s\n\n", crash)
 	ct := report.NewTable("recovery through the crash (crash: state loss)",
-		"strategy", "jobs done", "lost goals", "aborted", "retried", "peak p99", "t2s done", "t2s inj")
+		"strategy", "retry policy", "jobs done", "lost goals", "aborted", "retried", "abandoned", "goodput", "peak p99", "t2s done", "t2s inj")
 	for _, ss := range []experiments.StrategySpec{
 		experiments.CWN(9, 2),
 		{Kind: "cwn", Radius: 9, Horizon: 2, FailureAware: true},
 	} {
-		r := run(ss, crash)
-		done := fmt.Sprintf("%d/%d", r.Stats.JobsDone, r.Stats.JobsInjected)
-		if r.Saturated() {
-			done += "*"
+		for _, limit := range []int{0, 2} {
+			r := run(ss, crash, limit)
+			policy := "unbounded"
+			if limit > 0 {
+				policy = fmt.Sprintf("limit %d +backoff", limit)
+			}
+			done := fmt.Sprintf("%d/%d", r.Stats.JobsDone, r.Stats.JobsInjected)
+			if r.Saturated() {
+				done += "*"
+			}
+			ct.AddRow(ss.Label(), policy, done, r.GoalsLost, r.JobsAborted, r.JobsRetried,
+				r.JobsAbandoned, fmt.Sprintf("%.3f", r.Goodput),
+				fmt.Sprintf("%.0f", r.Recovery.PeakP99),
+				settleCell(r.Recovery), settleCell(r.RecoveryInj))
 		}
-		ct.AddRow(ss.Label(), done, r.GoalsLost, r.JobsAborted, r.JobsRetried,
-			fmt.Sprintf("%.0f", r.Recovery.PeakP99),
-			settleCell(r.Recovery), settleCell(r.RecoveryInj))
 	}
 	ct.Render(os.Stdout)
 }

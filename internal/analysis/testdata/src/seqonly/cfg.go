@@ -1,8 +1,9 @@
 // Package seqonlyfix exercises the seqonly analyzer: functions
 // reachable from a //simlint:seqonly file must not reach
-// //simlint:globalstate fields unguarded. Trace and SampleInterval are
-// deliberately untagged — they model the shard-safe observability
-// features (per-shard capture merged at finalize), so the analyzer must
+// //simlint:globalstate fields unguarded. Trace, SampleInterval and
+// Scenario are deliberately untagged — they model the shard-safe
+// features (per-shard capture merged at finalize; scripted scenarios
+// replayed by the coordinator at window barriers), so the analyzer must
 // stay silent on unguarded reaches into them.
 package seqonlyfix
 
@@ -15,7 +16,7 @@ type pool struct{ free []int64 }
 type config struct {
 	Trace          sink    // shard-safe: per-shard buffers replayed at finalize
 	SampleInterval int64   // shard-safe: synchronized per-shard sampling
-	Scenario       *script //simlint:globalstate scripted environments run sequentially
+	Scenario       *script // shard-safe: ops applied at window barriers
 	Pool           *pool   //simlint:globalstate free lists are single-threaded
 }
 
@@ -36,25 +37,32 @@ func (m *machine) sampleWindow() int64 {
 	return m.cfg.SampleInterval
 }
 
+// applyOps reaches the untagged Scenario unguarded — shard-safe since
+// the barrier-replay retag, never reported even though shard-path code
+// calls it.
+func (m *machine) applyOps() {
+	m.cfg.Scenario.events = nil
+}
+
 func (m *machine) poolGet() int64 {
 	return m.cfg.Pool.free[0] // want `shard-path code reaches sequential-only feature Pool unguarded \(reached via step → poolGet\)`
 }
 
-// replay is a trusted boundary: the traversal stops here and its
-// Scenario reference below is never reported.
+// recycle is a trusted boundary: the traversal stops here and its Pool
+// reference below is never reported.
 //
 //simlint:seqsafe only called back from the sequential driver after the shard group has torn down
-func (m *machine) replay() {
-	m.cfg.Scenario.events = nil
+func (m *machine) recycle() {
+	m.cfg.Pool.free = nil
 }
 
 //simlint:seqsafe
-func (m *machine) replayNoReason() { // want `//simlint:seqsafe on replayNoReason needs a reason`
-	m.cfg.Scenario.events = nil
+func (m *machine) recycleNoReason() { // want `//simlint:seqsafe on recycleNoReason needs a reason`
+	m.cfg.Pool.free = nil
 }
 
-// offPath reaches Scenario unguarded but is not reachable from the
-// seqonly file: never reported.
+// offPath reaches Pool unguarded but is not reachable from the seqonly
+// file: never reported.
 func (m *machine) offPath() {
-	m.cfg.Scenario.events = nil
+	m.cfg.Pool.free = nil
 }

@@ -8,13 +8,20 @@ package seqonlyfix
 func (m *machine) step(ev string) {
 	m.emit(ev)
 	m.seen += m.sampleWindow()
+	m.applyOps()
 	m.seen += m.poolGet()
-	m.replay()
-	m.replayNoReason()
+	m.recycle()
+	m.recycleNoReason()
 }
 
 func (m *machine) direct() {
-	m.cfg.Scenario.events = nil // want `shard-path code reaches sequential-only feature Scenario unguarded \(reached via direct\)`
+	m.cfg.Pool.free = nil // want `shard-path code reaches sequential-only feature Pool unguarded \(reached via direct\)`
+}
+
+// scenarioDirect reaches the untagged Scenario straight from shard-path
+// code: shard-safe, never reported.
+func (m *machine) scenarioDirect() {
+	m.cfg.Scenario.events = nil
 }
 
 // guardedDirect reads the field only in an if condition — that read is

@@ -132,6 +132,38 @@ func BenchMatrix() []BenchCase {
 			},
 		},
 		{
+			// The sharded fault soak (PR 10): the million-PE torus again,
+			// but now with the full fault-tolerance stack live under
+			// Shards=4 — correlated block-domain crash strikes, periodic
+			// checkpoint ticks, and a bounded retry budget. The horizon is
+			// short (the million load tickers dominate wall time, as in
+			// poisson-torus1000) but the chaos cadence is compressed to
+			// match, so every window of the conservative loop crosses op
+			// barriers, crash replays and snapshot walks. Jobs all inject
+			// at the root PE, so the 250x250 blocks are sized for strikes
+			// to land on the active region (a 62,500-PE correlated
+			// blackout) and the seed is pinned to a timeline where the
+			// run exercises every ledger column: completions, aborts,
+			// checkpoint-resumed retries AND budget-exhausted abandons.
+			// The footprint section re-applies PR 9's 2 GiB peak-heap
+			// gate to this case: fault-tolerance bookkeeping — and the
+			// sentinel-broadcast storm a 62k-PE crash sets off — must not
+			// break the memory story.
+			Name: "open/chaos-torus1000-sharded-soak",
+			Spec: RunSpec{
+				Topo:         Torus(1000),
+				Workload:     Fib(9),
+				Strategy:     StrategySpec{Kind: "cwn", Radius: 9, Horizon: 2, FailureAware: true},
+				Arrival:      PoissonArrivals(20, 25),
+				Warmup:       100,
+				MaxTime:      600,
+				Scenario:     "chaos:mtbf=60:mttr=40:crash:domain=block:250x250@seed=7,checkpoint:every=50:cost=1@t=0",
+				RetryLimit:   2,
+				RetryBackoff: 20,
+				Shards:       4,
+			},
+		},
+		{
 			// The long-horizon soak (PR 9): 10k PEs under chaos
 			// fail/recover cycles for 60k virtual units — enough
 			// recycle generations that any arena slot handed out twice,

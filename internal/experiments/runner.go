@@ -52,6 +52,12 @@ type RunSpec struct {
 	// compact text form of scenario.Parse — e.g.
 	// "fail:pes=25%@t=5000,recover@t=10000". Empty = static machine.
 	Scenario string `json:"scenario,omitempty"`
+	// RetryLimit bounds crash retries per job before the machine
+	// abandons it (machine.Config.RetryLimit); 0 retries without bound.
+	// RetryBackoff delays each retry by attempt × RetryBackoff virtual
+	// time units. Only meaningful with a crashing Scenario.
+	RetryLimit   int   `json:"retryLimit,omitempty"`
+	RetryBackoff int64 `json:"retryBackoff,omitempty"`
 	// NoGoalDetail switches off the per-goal QueueDelay/GoalHops/
 	// GoalDist bookkeeping (machine.Config.TrackGoalDetail) for sweeps
 	// that only read latency and throughput.
@@ -119,6 +125,8 @@ func (rs RunSpec) Config() machine.Config {
 		}
 		cfg.Scenario = sc
 	}
+	cfg.RetryLimit = rs.RetryLimit
+	cfg.RetryBackoff = sim.Time(rs.RetryBackoff)
 	cfg.Shards = rs.Shards
 	cfg.ShardSerial = rs.ShardSerial
 	cfg.Trace = rs.Trace
@@ -159,10 +167,15 @@ type Result struct {
 
 	// Crash (state-loss) metrics, zero under blackout-only scripts:
 	// goals destroyed or discarded by crashes, job attempts aborted,
-	// and root re-injections performed.
-	GoalsLost   int64
-	JobsAborted int64
-	JobsRetried int64
+	// root re-injections performed, and jobs given up after exhausting
+	// RetryLimit. Goodput is completed over injected jobs — the
+	// availability figure a bounded-retry policy trades against
+	// latency (1 on a healthy completed run).
+	GoalsLost     int64
+	JobsAborted   int64
+	JobsRetried   int64
+	JobsAbandoned int64
+	Goodput       float64
 }
 
 // OfBound returns the measured speedup as a fraction of the workload's
@@ -232,27 +245,29 @@ func (rs RunSpec) ExecuteWithPool(pool *machine.Pool) (res *Result, err error) {
 		}
 	}
 	res = &Result{
-		Spec:        rs,
-		Stats:       st,
-		Goals:       st.Goals,
-		Util:        st.UtilizationPercent(),
-		Speedup:     st.Speedup(),
-		Bound:       bound,
-		Balance:     st.BalanceIndex(),
-		AvgHops:     st.AvgGoalHops(),
-		Makespan:    st.Makespan,
-		Wall:        time.Since(start),
-		Jobs:        st.JobsDone,
-		MeanSoj:     st.MeanSojourn(),
-		P50Soj:      st.SojournP50(),
-		P99Soj:      st.SojournP99(),
-		Throughput:  st.Throughput(),
-		SteadyTput:  st.SteadyThroughput(),
-		Requeued:    st.GoalsRequeued,
-		EffUtil:     100 * st.EffectiveUtilization(),
-		GoalsLost:   st.GoalsLost,
-		JobsAborted: st.JobsAborted,
-		JobsRetried: st.JobsRetried,
+		Spec:          rs,
+		Stats:         st,
+		Goals:         st.Goals,
+		Util:          st.UtilizationPercent(),
+		Speedup:       st.Speedup(),
+		Bound:         bound,
+		Balance:       st.BalanceIndex(),
+		AvgHops:       st.AvgGoalHops(),
+		Makespan:      st.Makespan,
+		Wall:          time.Since(start),
+		Jobs:          st.JobsDone,
+		MeanSoj:       st.MeanSojourn(),
+		P50Soj:        st.SojournP50(),
+		P99Soj:        st.SojournP99(),
+		Throughput:    st.Throughput(),
+		SteadyTput:    st.SteadyThroughput(),
+		Requeued:      st.GoalsRequeued,
+		EffUtil:       100 * st.EffectiveUtilization(),
+		GoalsLost:     st.GoalsLost,
+		JobsAborted:   st.JobsAborted,
+		JobsRetried:   st.JobsRetried,
+		JobsAbandoned: st.JobsAbandoned,
+		Goodput:       st.Goodput(),
 	}
 	if !cfg.Scenario.Empty() && cfg.SampleInterval > 0 {
 		// Recovery reads disruption/restore times from the machine's

@@ -153,3 +153,82 @@ func ShardCrossCheck(spec RunSpec, k int) error {
 	}
 	return nil
 }
+
+// ScenarioCrossCheck certifies the sharded runtime on a *scripted* spec
+// — scenarios whose ops (crashes in particular) make outcomes
+// placement-dependent, so the crash-free ShardCrossCheck conservation
+// laws do not all apply: at K >= 2 a crash kills whatever goals the
+// shard-order message interleaving happened to place on the struck PEs,
+// and re-execution legitimately differs from the sequential walk. What
+// the fault-tolerance contract pins instead:
+//
+//  1. Shards=1 must reproduce the sequential run bit for bit —
+//     including the recovery metrics (windowed p99 and time-to-steady),
+//     which fold through the shard merge path.
+//  2. Shards=k parallel must reproduce its serial replay bit for bit
+//     (the thread schedule must not leak into results).
+//  3. The bounded-retry ledger must balance machine-wide in every
+//     mode: JobsRetried + JobsAbandoned == JobsAborted, and — when the
+//     spec sets a RetryLimit and the script crashes hard enough —
+//     JobsAbandoned > 0, so the gate exercises the abandonment path
+//     rather than vacuously passing on a crash-free run.
+//  4. The injection stream is placement-independent: JobsInjected must
+//     agree across every mode, and each completed mode must account
+//     for every job (done + abandoned == injected).
+func ScenarioCrossCheck(spec RunSpec, k int) error {
+	run := func(shards int, serial bool) (*Result, error) {
+		s := spec
+		s.Shards = shards
+		s.ShardSerial = serial
+		return s.ExecuteErr()
+	}
+	seq, err := run(0, false)
+	if err != nil {
+		return fmt.Errorf("sequential: %w", err)
+	}
+	one, err := run(1, false)
+	if err != nil {
+		return fmt.Errorf("shards=1: %w", err)
+	}
+	if a, b := shardDigestOf(seq.Stats), shardDigestOf(one.Stats); !reflect.DeepEqual(a, b) {
+		return fmt.Errorf("shards=1 diverged from sequential under the scenario:\n  seq: %+v\n  one: %+v", a, b)
+	}
+	if a, b := seq.Recovery, one.Recovery; a != nil && b != nil {
+		if a.PeakP99 != b.PeakP99 || a.TimeToSteady != b.TimeToSteady || a.BaselineP99 != b.BaselineP99 {
+			return fmt.Errorf("shards=1 recovery metrics diverged from sequential: seq peak %.2f t2s %d, one peak %.2f t2s %d",
+				a.PeakP99, a.TimeToSteady, b.PeakP99, b.TimeToSteady)
+		}
+	}
+	par, err := run(k, false)
+	if err != nil {
+		return fmt.Errorf("shards=%d parallel: %w", k, err)
+	}
+	ser, err := run(k, true)
+	if err != nil {
+		return fmt.Errorf("shards=%d serial: %w", k, err)
+	}
+	if a, b := shardDigestOf(par.Stats), shardDigestOf(ser.Stats); !reflect.DeepEqual(a, b) {
+		return fmt.Errorf("shards=%d parallel diverged from serial replay (thread schedule leaked into results):\n  par: %+v\n  ser: %+v", k, a, b)
+	}
+	for _, m := range []struct {
+		mode string
+		st   *machine.Stats
+	}{{"sequential", seq.Stats}, {fmt.Sprintf("shards=%d", k), par.Stats}} {
+		if m.st.JobsRetried+m.st.JobsAbandoned != m.st.JobsAborted {
+			return fmt.Errorf("%s retry ledger unbalanced: retried %d + abandoned %d != aborted %d",
+				m.mode, m.st.JobsRetried, m.st.JobsAbandoned, m.st.JobsAborted)
+		}
+		if spec.RetryLimit > 0 && m.st.JobsAbandoned == 0 {
+			return fmt.Errorf("%s abandoned no jobs under RetryLimit=%d — the gate's crash script must exhaust some retry budget", m.mode, spec.RetryLimit)
+		}
+		if m.st.Completed && m.st.JobsDone+m.st.JobsAbandoned != m.st.JobsInjected {
+			return fmt.Errorf("%s job ledger unbalanced: done %d + abandoned %d != injected %d",
+				m.mode, m.st.JobsDone, m.st.JobsAbandoned, m.st.JobsInjected)
+		}
+	}
+	if par.Stats.JobsInjected != seq.Stats.JobsInjected {
+		return fmt.Errorf("shards=%d injected %d jobs, sequential %d — the arrival stream is placement-independent and must agree",
+			k, par.Stats.JobsInjected, seq.Stats.JobsInjected)
+	}
+	return nil
+}

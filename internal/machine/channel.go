@@ -33,7 +33,8 @@ type chanState struct {
 	held    []heldMsg
 
 	// Sharding (zero on sequential machines). Each shard holds its own
-	// copy of every chanState — a directional half-channel: occupancy
+	// copy of every chanState its PEs attach to — a directional
+	// half-channel: occupancy
 	// accrues on the sending side's copy, and finalize sums the sides.
 	// crossTo lists the other shards owning members of this channel
 	// (ascending; nil for shard-internal channels), and localMembers
@@ -41,6 +42,21 @@ type chanState struct {
 	// localMembers < 2 has no local receivers.
 	crossTo      []int
 	localMembers int
+}
+
+// chanAt resolves a global channel ID against either layout: dense
+// machines index chans directly, multi-shard machines go through the
+// sparse map. Nil means no owned PE attaches to the channel — possible
+// only on the sparse layout, and only for callers (scenario link ops)
+// that walk scripted channel IDs rather than an owned PE's attachments.
+func (m *Machine) chanAt(ci int) *chanState {
+	if m.chanIdx == nil {
+		return &m.chans[ci]
+	}
+	if li := m.chanIdx[ci]; li >= 0 {
+		return &m.chans[li]
+	}
+	return nil
 }
 
 // heldMsg is one transmission parked at a downed channel.
@@ -386,9 +402,9 @@ func (ch *chanState) occupy(now, dur sim.Time) sim.Time {
 // channel is chosen only when every candidate is down (the message then
 // holds at it until restore).
 func (m *Machine) pickChannel(candidates []int) *chanState {
-	best := &m.chans[candidates[0]]
+	best := m.chanAt(candidates[0])
 	for _, ci := range candidates[1:] {
-		ch := &m.chans[ci]
+		ch := m.chanAt(ci)
 		if best.down != ch.down {
 			if best.down {
 				best = ch

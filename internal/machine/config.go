@@ -179,11 +179,30 @@ type Config struct {
 	Pool *Pool //simlint:globalstate free lists are single-threaded; validate rejects it under Shards
 
 	// Scenario optionally scripts a dynamic environment into the run:
-	// PE slowdowns and failures, link degradation and outages, and
-	// arrival-rate shocks, replayed deterministically at their scripted
-	// virtual times. nil (or an empty script) leaves the run bit-for-bit
-	// identical to an unscripted one.
-	Scenario *scenario.Script //simlint:globalstate scripted environments mutate arbitrary PEs from one timeline; validate rejects it under Shards
+	// PE slowdowns and failures, link degradation and outages,
+	// checkpoint ticks and arrival-rate shocks, replayed
+	// deterministically at their scripted virtual times. nil (or an
+	// empty script) leaves the run bit-for-bit identical to an
+	// unscripted one. Shard-safe: a sharded run expands the script once
+	// at construction and the coordinator lands a window barrier on
+	// each op's exact scripted instant, applying it there — before that
+	// instant's machine events, like the sequential engine — and
+	// routing it to the shards owning the affected PEs and channels
+	// (see machine doc.go, "Sharded execution").
+	Scenario *scenario.Script
+
+	// RetryLimit bounds how many times a crash-aborted job is retried
+	// before the machine gives up on it (Stats.JobsAbandoned). 0 (the
+	// default) retries unconditionally — the pre-policy behavior, where
+	// JobsRetried == JobsAborted always. Only meaningful with a
+	// Scenario that crashes PEs.
+	RetryLimit int
+
+	// RetryBackoff delays each retry's root re-injection by
+	// attempt-number × RetryBackoff virtual time units (first retry
+	// waits one backoff, second two, ...). 0 (the default) re-injects
+	// immediately at the abort instant, as before.
+	RetryBackoff sim.Time
 
 	// Shards > 0 partitions the PE index space into that many contiguous
 	// spatial shards, each owning its own event engine and (for Shards
@@ -198,10 +217,10 @@ type Config struct {
 	// differently than the sequential machine, so only conservation
 	// totals — per-PE goal counts, job counts, sojourn distributions —
 	// are comparable bit-for-bit against it. The count is clamped to the
-	// machine size. Sharded runs reject Scenario and Pool (see
-	// validate) and refuse SequentialOnly strategies; sampling,
-	// monitoring and tracing are shard-safe (per-shard capture, merged
-	// deterministically at finalize).
+	// machine size. Sharded runs reject Pool (see validate) and refuse
+	// SequentialOnly strategies; sampling, monitoring, tracing and
+	// scripted Scenarios are shard-safe (per-shard capture / barrier
+	// application, merged deterministically at finalize).
 	Shards int
 
 	// ShardSerial executes a sharded run's window protocol on a single
@@ -274,6 +293,12 @@ func (c *Config) validate(numPEs int) {
 	if err := c.Scenario.Validate(numPEs); err != nil {
 		panic(err.Error())
 	}
+	if c.RetryLimit < 0 {
+		panic("machine: RetryLimit must be non-negative")
+	}
+	if c.RetryBackoff < 0 {
+		panic("machine: RetryBackoff must be non-negative")
+	}
 	if c.MonitorPE && c.SampleInterval <= 0 {
 		panic("machine: MonitorPE requires SampleInterval > 0")
 	}
@@ -291,15 +316,12 @@ func (c *Config) validate(numPEs int) {
 	}
 	if c.Shards > 0 {
 		// The sharded runtime covers the steady-state measurement
-		// configuration (big machines, arrival streams, final statistics)
-		// plus the observability features (sampling, monitoring, tracing
-		// — captured per shard, merged deterministically at finalize).
-		// The remaining global-state features stay sequential: scripted
-		// environments mutate arbitrary PEs/channels from one timeline,
-		// and Pool free lists are single-threaded.
-		if !c.Scenario.Empty() {
-			panic("machine: Shards is incompatible with Scenario (scripted environments run sequentially)")
-		}
+		// configuration (big machines, arrival streams, final statistics),
+		// the observability features (sampling, monitoring, tracing —
+		// captured per shard, merged deterministically at finalize) and
+		// scripted Scenarios (ops applied at window barriers by the
+		// coordinator). The one remaining global-state feature stays
+		// sequential: Pool free lists are single-threaded by design.
 		if c.Pool != nil {
 			panic("machine: Shards is incompatible with Pool (free lists are per-shard)")
 		}

@@ -86,10 +86,21 @@
 // responses and pending tasks are destroyed. Each job that lost state
 // aborts — an attempt-epoch bump instantly stales its surviving goals
 // machine-wide, which the machine discards wherever they surface — and
-// is retried from its root, keeping its original injection time so
-// sojourn statistics bill the failed attempt. The accounting lands in
-// Stats.GoalsLost/JobsAborted/JobsRetried. Chaos generator events
-// expand into concrete deterministic failure timelines at machine
+// is re-injected, keeping its original injection time so sojourn
+// statistics bill the failed attempt. With periodic checkpoints
+// scripted (the `checkpoint:` op), the retry resumes from the job's
+// durable frontier — goals re-derived below the snapshot run at replay
+// cost instead of full grain time — and every live PE pays the
+// scripted snapshot cost at each tick (busy PEs extend their in-flight
+// service, idle PEs accrue debt paid at the next service start). A
+// positive Config.RetryLimit bounds the budget: each abort beyond it
+// abandons the job for good instead of re-injecting (optionally after
+// an attempt-scaled Config.RetryBackoff delay), and Stats.Goodput
+// prices the loss. The accounting lands in Stats.GoalsLost/JobsAborted
+// /JobsRetried/JobsAbandoned with the machine-wide invariant
+// JobsRetried + JobsAbandoned == JobsAborted. Chaos generator events —
+// including the correlated rack/block failure-domain modes — expand
+// into concrete deterministic failure timelines at machine
 // construction (ScenarioScript exposes the expanded script).
 //
 // Sweeps replicating one configuration across seeds can hand sequential
@@ -159,7 +170,11 @@
 // Config.Shards > 0 runs the machine as K spatial shards — contiguous
 // PE blocks from topology.Partition, each a full sub-machine with its
 // own event engine, free lists and statistics, each (for K >= 2) on
-// its own goroutine. Synchronization is conservative lookahead in the
+// its own goroutine. Per-shard channel state is sparse (chanIdx/
+// chanAt): a shard stores chanState only for channels its own PEs
+// attach to — every transmit, broadcast and link op resolves at the
+// sending side — so a K-shard million-PE machine stays near the
+// sequential footprint instead of paying K full channel arrays. Synchronization is conservative lookahead in the
 // Chandy-Misra-Bryant tradition, run as a barrier-per-window loop: the
 // window width is the minimum wire latency on any channel crossing a
 // shard boundary, so no message sent inside a window can be due before
@@ -181,6 +196,11 @@
 // differently than the sequential machine and draws per-shard RNG
 // streams, so against sequential only conservation holds: completion,
 // the computed result, goal/response/job totals and the sojourn count.
+// Crash scripts narrow that last clause further: which goals a crash
+// destroys depends on placement, so at K >= 2 even the execution
+// totals legitimately differ from sequential and the cross-check
+// (experiments.ScenarioCrossCheck) instead pins the retry-ledger
+// invariants and the placement-independent injection stream.
 //
 // Observability is shard-safe: sampling (SampleInterval, MonitorPE)
 // and tracing (Trace) run under any shard count with a per-shard
@@ -199,16 +219,32 @@
 // parallel == serial-replay guarantee and conserves per-kind event
 // counts for placement-independent kinds against sequential.
 //
-// Two global-state features remain sequential-only (Config.validate
-// rejects the combinations): Scenario, whose scripted timeline mutates
-// arbitrary PEs and channels from one global clock, and Pool, whose
-// free lists are single-threaded by design. Strategies whose
-// correctness needs a single global timeline declare it via
-// SequentialOnly (core's ORACLE/ideal baseline does), which sharded
-// construction refuses with the strategy's stated reason. The
-// boundary is machine-checked by internal/analysis: statsmerge proves
-// every Stats field is either folded by the shard merge or tagged
-// //simlint:nomerge with a reason, and seqonly walks the call graph
-// rooted at shard.go (//simlint:seqonly) flagging unguarded reaches
-// into the //simlint:globalstate Config fields.
+// Scenario replay is shard-safe under an ops-first barrier discipline.
+// The script expands once at construction (chaos draws included, from
+// the plain run seed, so the timeline is identical under any shard
+// count), and the coordinator owns it: each window barrier is clamped
+// one tick short of the next scripted op's instant, so no shard ever
+// executes past an op before it applies. At the barrier the
+// coordinator steps every quiescent shard engine onto the instant
+// (sim.Engine.AdvanceTo) and applies the op to the owning shards in
+// shard order — before that instant's machine events fire, exactly the
+// ordering the sequential machine's scenario timer produces. Ops whose
+// scope is global (load shocks, checkpoint ticks, crash aborts purging
+// a job machine-wide) walk all shards in shard order from the
+// coordinator, which is single-threaded between windows, so no locks
+// are involved. Recovery accounting (windowed p99 series, abort/retry/
+// abandon counters, down-PE time) records per shard and folds through
+// the same merge discipline as the observer state above.
+//
+// One global-state feature remains sequential-only (Config.validate
+// rejects the combination): Pool, whose cross-run free lists are
+// single-threaded by design. Strategies whose correctness needs a
+// single global timeline declare it via SequentialOnly (core's
+// ORACLE/ideal baseline does), which sharded construction refuses
+// with the strategy's stated reason. The boundary is machine-checked
+// by internal/analysis: statsmerge proves every Stats field is either
+// folded by the shard merge or tagged //simlint:nomerge with a reason,
+// and seqonly walks the call graph rooted at shard.go
+// (//simlint:seqonly) flagging unguarded reaches into the
+// //simlint:globalstate Config fields.
 package machine

@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"cwnsim/internal/scenario"
 	"cwnsim/internal/sim"
@@ -62,6 +63,79 @@ func (m *Machine) applyScenarioEvent(ev scenario.Event) {
 		m.restoreLink(ev.A, ev.B)
 	case scenario.LoadShock:
 		m.rateMul = ev.Factor
+	case scenario.CheckpointTick:
+		m.checkpointTick(ev.Cost)
+	}
+}
+
+// checkpointTick applies one periodic snapshot: the jobs' execution
+// positions as of now become durable (recorded lazily — see jobState),
+// and every live owned PE pays the scripted cost. A busy PE's in-flight
+// service extends by the cost; an idle one accrues debt paid at its
+// next service start. Failed PEs pay nothing — they hold no state worth
+// snapshotting.
+func (m *Machine) checkpointTick(cost sim.Time) {
+	now := m.eng.Now()
+	m.lastCkptAt = now
+	if cost <= 0 {
+		return
+	}
+	for lx := range m.peBlock {
+		if m.peFailed[lx] {
+			continue
+		}
+		pe := &m.peBlock[lx]
+		if m.peBusy[lx] && m.peServiceEnd[lx] > now {
+			pe.svc.Stop()
+			m.peBusyTime[lx] += cost
+			m.peServiceEnd[lx] += cost
+			pe.svc.Schedule(m.peServiceEnd[lx] - now)
+		} else {
+			pe.ckptDebt += cost
+		}
+	}
+}
+
+// liveCount returns the machine-wide live-PE count: the group's
+// barrier-maintained tally on a multi-shard run (a shard sees only its
+// own block), the local scan otherwise.
+func (m *Machine) liveCount() int {
+	if g := m.grp; g != nil && g.failed != nil {
+		return g.live
+	}
+	live := 0
+	for _, failed := range m.peFailed {
+		if !failed {
+			live++
+		}
+	}
+	return live
+}
+
+// peDown reports whether PE id (anywhere on the machine) is currently
+// failed. The group's failure map is written only at window barriers,
+// so mid-window reads are race-free.
+func (m *Machine) peDown(id int) bool {
+	if g := m.grp; g != nil && g.failed != nil {
+		return g.failed[id]
+	}
+	return m.peFailed[m.pes[id].lx]
+}
+
+// noteFailed/noteRecovered keep the group's global failure map and live
+// count in step with this shard's transitions (no-ops outside a
+// multi-shard run).
+func (m *Machine) noteFailed(id int) {
+	if g := m.grp; g != nil && g.failed != nil {
+		g.failed[id] = true
+		g.live--
+	}
+}
+
+func (m *Machine) noteRecovered(id int) {
+	if g := m.grp; g != nil && g.failed != nil {
+		g.failed[id] = false
+		g.live++
 	}
 }
 
@@ -123,17 +197,12 @@ func (m *Machine) failPE(pe *PE) {
 	if m.peFailed[pe.lx] {
 		return
 	}
-	live := 0
-	for _, failed := range m.peFailed {
-		if !failed {
-			live++
-		}
-	}
-	if live <= 1 {
+	if m.liveCount() <= 1 {
 		panic("machine: scenario would fail every PE")
 	}
 	now := m.eng.Now()
 	m.peFailed[pe.lx] = true
+	m.noteFailed(pe.id)
 	pe.failedAt = now
 
 	// The refuge is invariant across this evacuation (liveness only
@@ -189,23 +258,26 @@ func (m *Machine) crashPE(pe *PE) {
 	if m.peFailed[pe.lx] {
 		return
 	}
-	live := 0
-	for _, failed := range m.peFailed {
-		if !failed {
-			live++
-		}
-	}
-	if live <= 1 {
+	if m.liveCount() <= 1 {
 		panic("machine: scenario would crash every PE")
 	}
 	now := m.eng.Now()
 	m.peFailed[pe.lx] = true
+	m.noteFailed(pe.id)
 	pe.failedAt = now
 
 	// Collect the jobs losing state here in deterministic encounter
-	// order; the aborting flag dedups a job that lost several goals.
+	// order; the aborting flag dedups a job that lost several goals. A
+	// stale goal — its attempt already aborted elsewhere, e.g. by an
+	// earlier PE of the same correlated strike — is freed but must NOT
+	// re-abort the job: that would charge a second abort (and burn a
+	// second retry) for a single loss.
 	var victims []*jobState
-	collect := func(j *jobState) {
+	collect := func(g *Goal) {
+		j := g.job
+		if g.epoch != j.epoch {
+			return
+		}
 		if !j.aborting {
 			j.aborting = true
 			victims = append(victims, j)
@@ -224,7 +296,7 @@ func (m *Machine) crashPE(pe *PE) {
 		if it.kind == itemGoal {
 			m.stats.ServiceAborts++
 			m.stats.GoalsLost++
-			collect(it.goal.job)
+			collect(it.goal)
 			m.freeGoal(it.goal)
 		}
 		// An interrupted response integration is simply gone — its
@@ -234,7 +306,7 @@ func (m *Machine) crashPE(pe *PE) {
 		it := pe.ready.popFront()
 		if it.kind == itemGoal {
 			m.stats.GoalsLost++
-			collect(it.goal.job)
+			collect(it.goal)
 			m.freeGoal(it.goal)
 		}
 		// Queued responses target local pending tasks; both vanish.
@@ -251,7 +323,7 @@ func (m *Machine) crashPE(pe *PE) {
 	for _, id := range ids {
 		p := pe.pending.get(id)
 		m.stats.GoalsLost++ // the executed parent's spawn state is lost
-		collect(p.goal.job)
+		collect(p.goal)
 		pe.pending.del(id)
 		m.freeGoal(p.goal)
 		m.freePending(p)
@@ -268,13 +340,86 @@ func (m *Machine) crashPE(pe *PE) {
 // bumps (staling every surviving goal of the job, including those in
 // transit — they are discarded at delivery or service completion), the
 // job's queued goals and pending tasks are purged machine-wide, and the
-// job is re-injected from its root. inFlight is untouched: the job is
-// still in the system, on a fresh attempt.
+// job is either re-injected from its checkpoint frontier or — once
+// Config.RetryLimit is exhausted — abandoned. On a retry, inFlight is
+// untouched: the job is still in the system, on a fresh attempt.
 func (m *Machine) abortJob(j *jobState) {
 	j.epoch++
 	m.stats.JobsAborted++
+	if g := m.grp; g != nil && g.k > 1 {
+		// Crashes apply at window barriers, when every shard is
+		// quiescent: purge each shard's block in shard order.
+		for _, sm := range g.machines {
+			sm.purgeJob(j)
+		}
+	} else {
+		m.purgeJob(j)
+	}
+	if lim := m.cfg.RetryLimit; lim > 0 && j.retries >= lim {
+		m.abandonJob(j)
+		return
+	}
+	j.retries++
+	m.stats.JobsRetried++
+	// A configured backoff delays the re-injection by attempt# ×
+	// RetryBackoff; the replay horizon below starts where the retried
+	// attempt actually starts.
+	var delay sim.Time
+	if d := m.cfg.RetryBackoff; d > 0 {
+		delay = sim.Time(j.retries) * d
+	}
+	// Resume from the durable frontier: what the last checkpoint tick
+	// snapshotted of this job's position. On a multi-shard run every
+	// live job was snapshotted eagerly at the tick's barrier, so only
+	// the snapshot counts (a job injected after the tick has none). On
+	// the sequential machine the snapshot is lazy: ckptProgress if the
+	// job has executed since the tick (and so recorded what the tick
+	// saw), otherwise its current position, which is exactly what the
+	// tick snapshotted. Before any tick there is no durable state: the
+	// retry recomputes from the root. The frontier becomes the replay
+	// horizon — goals of the new attempt starting service before
+	// replayUntil run at one unit each (startNext) — and progress
+	// restarts for the new attempt.
+	if m.ckpt {
+		var frontier int64
+		if g := m.grp; g != nil && g.k > 1 {
+			if j.ckptSeen == m.lastCkptAt {
+				frontier = j.ckptProgress
+			}
+		} else {
+			frontier = j.progress
+			if m.lastCkptAt < 0 {
+				frontier = 0
+			} else if j.ckptSeen == m.lastCkptAt {
+				frontier = j.ckptProgress
+			}
+		}
+		j.replayUntil = m.eng.Now() + delay + sim.Time(frontier)
+		j.progress = 0
+	}
+	// The retry re-enters at the usual ingress (redirected if the root
+	// PE is down) on the home shard. Not counted as a new injection —
+	// the job keeps its identity and injection time. retryPending keeps
+	// stall detection honest during a backoff gap.
+	home := m.homeMachine()
+	if delay > 0 {
+		home.retryPending++
+		home.eng.At(home.eng.Now()+delay, func() {
+			home.retryPending--
+			home.injectRoot(j)
+		})
+		return
+	}
+	home.injectRoot(j)
+}
+
+// purgeJob discards job j's stale queued goals and pending tasks from
+// this machine's owned PE block, in PE order. Loss accounting accrues
+// to the purging shard's stats.
+func (m *Machine) purgeJob(j *jobState) {
 	var stale []int64
-	for _, pe := range m.pes {
+	for lx := range m.peBlock {
+		pe := &m.peBlock[lx]
 		for i := 0; i < pe.ready.len(); {
 			if it := pe.ready.at(i); it.kind == itemGoal && it.goal.job == j && it.goal.epoch != j.epoch {
 				g := it.goal
@@ -300,11 +445,41 @@ func (m *Machine) abortJob(j *jobState) {
 			m.freePending(p)
 		}
 	}
-	m.stats.JobsRetried++
-	// The retry re-enters at the usual ingress (redirected if the root
-	// PE is down). Not counted as a new injection — the job keeps its
-	// identity and injection time.
-	m.injectRoot(j)
+}
+
+// abandonJob gives up on a job whose retries are exhausted: it leaves
+// the system uncompleted — injected but never done, which is exactly
+// what Goodput reads. Its purged attempt is already gone; any goals
+// still in transit are stale (the epoch bumped) and discarded at
+// delivery.
+func (m *Machine) abandonJob(j *jobState) {
+	m.stats.JobsAbandoned++
+	var left int64
+	if g := m.grp; g != nil {
+		left = atomic.AddInt64(&g.inFlight, -1)
+	} else {
+		m.inFlight--
+		left = m.inFlight
+	}
+	m.freeJob(j)
+	// Abandoning the last in-flight job ends the run exactly as the
+	// last completion would (multi-shard groups detect it at the next
+	// window barrier instead).
+	if m.srcDone && left == 0 && (m.grp == nil || m.grp.k == 1) {
+		m.completed = true
+		m.finishedAt = m.eng.Now()
+		m.eng.Stop()
+	}
+}
+
+// homeMachine returns the shard owning RootPE (the machine itself
+// outside a sharded run) — where the source, arrivals and crash-retry
+// re-injections live.
+func (m *Machine) homeMachine() *Machine {
+	if g := m.grp; g != nil {
+		return g.machines[g.home]
+	}
+	return m
 }
 
 // recoverPE ends a blackout or crash: frozen responses (blackout only —
@@ -315,6 +490,7 @@ func (m *Machine) recoverPE(pe *PE) {
 		return
 	}
 	m.peFailed[pe.lx] = false
+	m.noteRecovered(pe.id)
 	pe.downTime += m.eng.Now() - pe.failedAt
 	if !m.peBusy[pe.lx] && pe.ready.len() > 0 {
 		pe.startNext()
@@ -348,9 +524,26 @@ func (m *Machine) evacuateGoal(from, refuge int, g *Goal) {
 }
 
 // nearestLive returns the live PE topologically closest to `from`
-// (lowest id on ties). Panics when every PE is failed — scripts cannot
-// reach that state (failPE refuses to kill the last live PE).
+// (lowest id on ties), machine-wide: a multi-shard run consults the
+// group's failure map (a shard's own block is only part of the
+// picture). Panics when every PE is failed — scripts cannot reach that
+// state (failPE refuses to kill the last live PE).
 func (m *Machine) nearestLive(from int) int {
+	if g := m.grp; g != nil && g.failed != nil {
+		best, bestDist := -1, int(^uint(0)>>1)
+		for i, failed := range g.failed {
+			if failed || i == from {
+				continue
+			}
+			if d := m.topo.Dist(from, i); d < bestDist {
+				best, bestDist = i, d
+			}
+		}
+		if best < 0 {
+			panic("machine: no live PE to requeue onto")
+		}
+		return best
+	}
 	best, bestDist := -1, int(^uint(0)>>1)
 	for i := range m.pes {
 		if m.peFailed[m.pes[i].lx] || i == from {
@@ -373,9 +566,25 @@ func (m *Machine) nearestLive(from int) int {
 // Endpoints sense outage transitions locally (carrier loss/return) and
 // FailureAware endpoint nodes get LinkDown/LinkRestored.
 func (m *Machine) setLink(a, b int, factor float64, down bool) {
-	wasDown := false
+	wasDown := m.setLinkState(a, b, factor, down)
+	if down && !wasDown {
+		m.notifyLink(a, b, LinkDown)
+	} else if !down && wasDown {
+		m.notifyLink(a, b, LinkRestored)
+	}
+}
+
+// setLinkState mutates this machine's copies of the channels between a
+// and b, reporting whether any was down before — the state half of
+// setLink, shared with the sharded path where every shard holds its own
+// channel copies and each applies the mutation itself (a bus channel's
+// members can span shards beyond the named endpoints).
+func (m *Machine) setLinkState(a, b int, factor float64, down bool) (wasDown bool) {
 	for _, ci := range m.linkChannels(a, b) {
-		ch := &m.chans[ci]
+		ch := m.chanAt(ci)
+		if ch == nil {
+			continue // no owned PE attaches to this channel
+		}
 		if ch.down {
 			wasDown = true
 		}
@@ -386,38 +595,46 @@ func (m *Machine) setLink(a, b int, factor float64, down bool) {
 		ch.degrade = factor
 		m.bringUp(ch)
 	}
-	if down && !wasDown {
-		m.notifyLink(a, b, LinkDown)
-	} else if !down && wasDown {
-		m.notifyLink(a, b, LinkRestored)
-	}
+	return wasDown
 }
 
 // restoreLink returns every channel between a and b to nominal,
 // flushing messages held during an outage in arrival order.
 func (m *Machine) restoreLink(a, b int) {
-	wasDown := false
+	if m.restoreLinkState(a, b) {
+		m.notifyLink(a, b, LinkRestored)
+	}
+}
+
+// restoreLinkState is the state half of restoreLink (see setLinkState).
+func (m *Machine) restoreLinkState(a, b int) (wasDown bool) {
 	for _, ci := range m.linkChannels(a, b) {
-		ch := &m.chans[ci]
+		ch := m.chanAt(ci)
+		if ch == nil {
+			continue // no owned PE attaches to this channel
+		}
 		if ch.down {
 			wasDown = true
 		}
 		ch.degrade = 0
 		m.bringUp(ch)
 	}
-	if wasDown {
-		m.notifyLink(a, b, LinkRestored)
-	}
+	return wasDown
 }
 
 // notifyLink delivers a link-availability event to both endpoints'
 // FailureAware nodes; From names the far end as each endpoint sees it.
 func (m *Machine) notifyLink(a, b int, kind EventKind) {
-	if pe := m.pes[a]; pe.wantsFailure {
-		pe.node.HandleEvent(Event{Kind: kind, From: b})
-	}
-	if pe := m.pes[b]; pe.wantsFailure {
-		pe.node.HandleEvent(Event{Kind: kind, From: a})
+	m.notifyEndpoint(a, b, kind)
+	m.notifyEndpoint(b, a, kind)
+}
+
+// notifyEndpoint delivers a link-availability event to one endpoint's
+// FailureAware node when this machine owns it (a shard notifies only
+// its own endpoints).
+func (m *Machine) notifyEndpoint(id, far int, kind EventKind) {
+	if pe := m.pes[id]; pe != nil && pe.wantsFailure {
+		pe.node.HandleEvent(Event{Kind: kind, From: far})
 	}
 }
 

@@ -50,6 +50,13 @@ type Machine struct {
 	// interior *chanState pointers stay valid for the life of the run;
 	// member lists are subslices of one flat backing array.
 	chans []chanState
+	// chanIdx/chanIDs are the sparse channel map of a multi-shard
+	// machine: chanIdx[global] is the index into chans (-1 when no
+	// owned PE attaches to the channel), chanIDs[local] maps back.
+	// Both nil on sequential and one-shard machines, where chans is
+	// dense and globally indexed.
+	chanIdx []int32
+	chanIDs []int32
 
 	// chScratch is the reusable candidate buffer for per-hop channel
 	// selection (AppendChannelsBetween): implicit topologies compute the
@@ -88,6 +95,27 @@ type Machine struct {
 	// responses. Never set otherwise, so blackout-only and unscripted
 	// runs keep the strict lost-goal panics.
 	lossy bool
+	// ckpt is set when the scenario contains checkpoint ticks: it arms
+	// the per-job progress bookkeeping on the execution hot path (see
+	// jobState). Never set otherwise — unscripted and blackout-only
+	// runs pay nothing.
+	ckpt bool
+	// lastCkptAt stamps the most recent checkpoint tick (-1 before the
+	// first): jobs compare their ckptSeen against it to snapshot
+	// lazily.
+	lastCkptAt sim.Time
+	// liveJobs is the home shard's registry of injected-but-unfinished
+	// jobs, kept only on multi-shard checkpoint runs: the coordinator
+	// walks it at each tick's barrier to snapshot every live job's
+	// position eagerly (the sequential lazy snapshot would race across
+	// shards). Entries are appended at injection and compacted — dead
+	// jobs have a nil tree — during the same barrier walk, the only
+	// reader.
+	liveJobs []*jobState
+	// retryPending counts crash retries armed on a backoff timer but
+	// not yet re-injected, so stall detection doesn't mistake the quiet
+	// backoff gap for a lost-goal deadlock.
+	retryPending int64
 
 	// winSoj collects the sojourns completing inside the current
 	// sampling window; non-nil only for scenario runs with sampling
@@ -235,16 +263,17 @@ func newMachine(topo *topology.Topology, source JobSource, strat Strategy, cfg C
 		seed = cfg.Seed ^ int64(shard)*shardSeedSalt
 	}
 	m := &Machine{
-		eng:     sim.NewEngineSched(seed, cfg.Scheduler),
-		topo:    topo,
-		cfg:     cfg,
-		strat:   strat,
-		source:  source,
-		rateMul: 1,
-		grp:     grp,
-		shardID: shard,
-		peLo:    0,
-		peHi:    topo.Size(),
+		eng:        sim.NewEngineSched(seed, cfg.Scheduler),
+		topo:       topo,
+		cfg:        cfg,
+		strat:      strat,
+		source:     source,
+		rateMul:    1,
+		lastCkptAt: -1,
+		grp:        grp,
+		shardID:    shard,
+		peLo:       0,
+		peHi:       topo.Size(),
 	}
 	if grp != nil {
 		m.peLo, m.peHi = grp.part.Starts[shard], grp.part.Starts[shard+1]
@@ -271,26 +300,6 @@ func newMachine(topo *topology.Topology, source JobSource, strat Strategy, cfg C
 		m.stats.SojournWindows.Bound(cfg.SeriesBound)
 		m.stats.InjSojournWindows.Bound(cfg.SeriesBound)
 		m.stats.Monitor.Bound(cfg.SeriesBound)
-	}
-
-	// Channel states by value, member lists as subslices of one flat
-	// backing. Offsets are recorded first and subslices taken after,
-	// because append may move the backing array mid-build. NumChannels +
-	// AppendChannelMembers never materialize the full channel list, so an
-	// implicit topology's channels cost exactly this slice — no transient
-	// edge-list blow-up at construction.
-	nc := topo.NumChannels()
-	m.chans = make([]chanState, nc)
-	{
-		offs := make([]int, nc+1)
-		var flat []int
-		for ci := 0; ci < nc; ci++ {
-			flat = topo.AppendChannelMembers(flat, ci)
-			offs[ci+1] = len(flat)
-		}
-		for ci := 0; ci < nc; ci++ {
-			m.chans[ci].members = flat[offs[ci]:offs[ci+1]:offs[ci+1]]
-		}
 	}
 
 	// Borrow the pooled free lists before PE construction so the
@@ -330,6 +339,60 @@ func newMachine(topo *topology.Topology, source JobSource, strat Strategy, cfg C
 		nbrSeenFlat[i] = -1
 	}
 	nbrDownFlat := make([]bool, len(nbrsFlat))
+
+	// Channel states by value, member lists as subslices of one flat
+	// backing. Offsets are recorded first and subslices taken after,
+	// because append may move the backing array mid-build. NumChannels +
+	// AppendChannelMembers never materialize the full channel list, so an
+	// implicit topology's channels cost exactly this slice — no transient
+	// edge-list blow-up at construction.
+	//
+	// A multi-shard machine only ever touches channels attached to its
+	// owned PEs — every transmit, broadcast and link op resolves at the
+	// sending (owned) side — so it stores chanState sparsely: chanIdx
+	// maps global channel ID to the local slice (or -1), chanIDs maps
+	// back, and chanAt resolves both layouts. Dense storage for a
+	// million-PE torus is 2M channels x 120 B per shard; sparse keeps
+	// the per-shard cost proportional to the owned block, which is what
+	// lets a Shards=K million-PE run fit the same heap budget as the
+	// sequential machine.
+	nc := topo.NumChannels()
+	if grp != nil && grp.k > 1 {
+		m.chanIdx = make([]int32, nc)
+		for i := range m.chanIdx {
+			m.chanIdx[i] = -1
+		}
+		// chansFlat lists every channel attached to an owned PE
+		// (duplicated across attached PEs); first-encounter order makes
+		// the local numbering deterministic.
+		for _, ci := range chansFlat {
+			if m.chanIdx[ci] < 0 {
+				m.chanIdx[ci] = int32(len(m.chanIDs))
+				m.chanIDs = append(m.chanIDs, int32(ci))
+			}
+		}
+		m.chans = make([]chanState, len(m.chanIDs))
+		offs := make([]int, len(m.chanIDs)+1)
+		var flat []int
+		for li, ci := range m.chanIDs {
+			flat = topo.AppendChannelMembers(flat, int(ci))
+			offs[li+1] = len(flat)
+		}
+		for li := range m.chans {
+			m.chans[li].members = flat[offs[li]:offs[li+1]:offs[li+1]]
+		}
+	} else {
+		m.chans = make([]chanState, nc)
+		offs := make([]int, nc+1)
+		var flat []int
+		for ci := 0; ci < nc; ci++ {
+			flat = topo.AppendChannelMembers(flat, ci)
+			offs[ci+1] = len(flat)
+		}
+		for ci := 0; ci < nc; ci++ {
+			m.chans[ci].members = flat[offs[ci]:offs[ci+1]:offs[ci+1]]
+		}
+	}
 
 	// Remote shards' entries stay nil; every local access happens through
 	// the owned block or is nil-guarded (broadcast delivery).
@@ -421,19 +484,43 @@ func newMachine(topo *topology.Topology, source JobSource, strat Strategy, cfg C
 		})
 	}
 
-	// Replay the scripted environment, if any. Chaos generators expand
-	// into their concrete fail/recover timelines here (a pure function
-	// of the chaos seed, machine size and horizon). An empty scenario
-	// schedules nothing — the run stays bit-for-bit identical to an
-	// unscripted one (pinned by regression test).
+	// Replay the scripted environment, if any. Generators (chaos,
+	// checkpoint) expand into their concrete timelines here (a pure
+	// function of their parameters, machine size and horizon); a
+	// sharded group expands once and every shard shares the result. An
+	// empty scenario schedules nothing — the run stays bit-for-bit
+	// identical to an unscripted one (pinned by regression test).
+	//
+	// The sequential machine (and a one-shard group, which replays it
+	// bit for bit) schedules the ops in its own engine at construction.
+	// Construction-time scheduling pins the instant-level ordering rule
+	// every mode honors: ops carry the lowest sequence numbers at their
+	// timestamp, so an op fires BEFORE the machine events at its
+	// instant (ties among same-instant ops break in script order). A
+	// multi-shard coordinator reproduces exactly that: it parks every
+	// window barrier one tick short of the next op's scripted time,
+	// advances the quiescent shards' clocks onto the instant, and
+	// applies the op there, before that instant's machine events run
+	// (shardGroup.run, applyOps).
 	if !cfg.Scenario.Empty() {
-		m.scn = cfg.Scenario.Expand(topo.Size(), cfg.MaxTime)
+		if grp != nil {
+			m.scn = grp.scn
+		} else {
+			m.scn = cfg.Scenario.Expand(topo.Size(), cfg.MaxTime)
+		}
 		for _, ev := range m.scn.Events {
-			ev := ev
-			if ev.Kind == scenario.CrashPE {
+			switch ev.Kind {
+			case scenario.CrashPE:
 				m.lossy = true
+			case scenario.CheckpointTick:
+				m.ckpt = true
 			}
-			m.eng.At(ev.At, func() { m.applyScenarioEvent(ev) })
+		}
+		if grp == nil || grp.k == 1 {
+			for _, ev := range m.scn.Events {
+				ev := ev
+				m.eng.At(ev.At, func() { m.applyScenarioEvent(ev) })
+			}
 		}
 		if cfg.SampleInterval > 0 {
 			m.winSoj = make([]float64, 0, 64)
@@ -643,7 +730,7 @@ func (m *Machine) broadcast(pe *PE, kind wireKind, msgKind MsgKind, dur sim.Time
 	from := pe.id
 	load := pe.Load()
 	for _, ci := range pe.chansOf {
-		ch := &m.chans[ci]
+		ch := m.chanAt(ci)
 		m.stats.MsgCounts[msgKind]++
 		w := m.newMsg(kind, from, load)
 		w.ch = ch
@@ -691,9 +778,9 @@ func (m *Machine) completeJob(j *jobState, value int64) {
 		m.winSoj = append(m.winSoj, soj)
 	}
 	if m.injSoj != nil {
-		// injSoj is allocated only on scenario runs with sampling, and
-		// validate rejects Scenario under Shards — the nil check above
-		// keeps this off the sharded path.
+		// Scenario runs with sampling only. Each shard buckets its own
+		// completions; shardGroup.finalize re-buckets the shards to a
+		// common stride and pools them (mergeInjSoj).
 		w := int(j.injectedAt / (m.cfg.SampleInterval * sim.Time(m.injStride)))
 		for len(m.injSoj) <= w {
 			m.injSoj = append(m.injSoj, nil)
@@ -850,6 +937,10 @@ func (m *Machine) sample() {
 		if m.frameBuf != nil {
 			samp.frame = append([]float64(nil), m.frameBuf...)
 		}
+		if len(m.winSoj) > 0 {
+			samp.soj = append([]float64(nil), m.winSoj...)
+			m.winSoj = m.winSoj[:0]
+		}
 		m.shardSamples = append(m.shardSamples, samp)
 		m.prevSampleAt = now
 		return
@@ -910,6 +1001,9 @@ func (m *Machine) stalled() bool {
 	}
 	if m.goalsInTransit != 0 || m.respsInTransit != 0 {
 		return false
+	}
+	if m.retryPending > 0 {
+		return false // a crash retry is armed on its backoff timer
 	}
 	for i := range m.peBusy {
 		if m.peBusy[i] || m.peBlock[i].queueLen() > 0 {
@@ -1012,6 +1106,7 @@ func (m *Machine) inject(tree *workload.Tree) {
 		tree:       tree,
 		injectedAt: m.eng.Now(),
 		epoch:      ep + 1,
+		ckptSeen:   -1,
 	}
 	m.stats.JobsInjected++
 	m.stats.Goals += tree.Count()
@@ -1026,22 +1121,33 @@ func (m *Machine) inject(tree *workload.Tree) {
 	} else {
 		m.inFlight++
 	}
+	if m.ckpt && m.grp != nil && m.grp.k > 1 {
+		m.liveJobs = append(m.liveJobs, j)
+	}
 	m.injectRoot(j)
 }
 
 // injectRoot places job j's root goal at the machine's ingress — shared
 // by fresh injections and crash retries. The outside world delivers to
-// a live PE: a downed root PE redirects to the nearest live one.
+// a live PE: a downed root PE redirects to the nearest live one. Runs
+// on the home shard (the RootPE owner); a refuge owned by another shard
+// is reached through the normal cross-shard goal routing rather than a
+// direct Accept, so mid-window re-injections (backoff retries) stay
+// within the conservative-lookahead contract.
 func (m *Machine) injectRoot(j *jobState) {
 	rootPE := m.cfg.RootPE
-	if m.peFailed[m.pes[rootPE].lx] {
+	if m.peDown(rootPE) {
 		rootPE = m.nearestLive(rootPE)
 		m.stats.RootRedirects++
 	}
 	root := m.newGoal(j.tree.Root, j, -1, -1)
 	root.Origin = rootPE
 	m.emit(trace.GoalCreated, rootPE, -1, root.ID)
-	m.pes[rootPE].Accept(root)
+	if pe := m.pes[rootPE]; pe != nil {
+		pe.Accept(root)
+		return
+	}
+	m.routeGoal(m.cfg.RootPE, rootPE, root)
 }
 
 // freeJob recycles a completed job's state record.
@@ -1086,15 +1192,20 @@ func (m *Machine) finalize() {
 	// would report > 100% channel utilization.
 	for i := range m.chans {
 		ch := &m.chans[i]
-		s.ChannelBusy[i] = ch.committedBusy(now)
-		s.ChannelMsgs[i] = ch.messages
+		gi := i
+		if m.chanIDs != nil {
+			gi = int(m.chanIDs[i])
+		}
+		s.ChannelBusy[gi] = ch.committedBusy(now)
+		s.ChannelMsgs[gi] = ch.messages
 	}
 	// Injection-keyed windowed p99 (scenario runs with sampling): one
 	// point per injection window that produced a completion, at the
 	// window's end time. Computable only at finalize — a window's jobs
 	// finish arbitrarily later. Warm-up windows are dropped, mirroring
-	// the completion-keyed series.
-	if m.injSoj != nil {
+	// the completion-keyed series. Multi-shard groups skip this: the
+	// coordinator pools the shards' raw buckets instead (mergeInjSoj).
+	if m.injSoj != nil && (m.grp == nil || m.grp.k == 1) {
 		for w, sojs := range m.injSoj {
 			if len(sojs) == 0 {
 				continue

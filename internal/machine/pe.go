@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"cwnsim/internal/sim"
 	"cwnsim/internal/trace"
@@ -128,6 +129,11 @@ type PE struct {
 	// hot state and lives in Machine.peFailed.
 	failedAt sim.Time
 	downTime sim.Time // accumulated blackout time (closed on recovery/finalize)
+
+	// ckptDebt is checkpoint cost accrued while idle: a busy PE pays a
+	// tick's cost by extending its in-flight service, an idle one owes
+	// it and pays at its next service start (checkpointTick).
+	ckptDebt sim.Time
 
 	// accounting
 	goalsExecuted  int64
@@ -430,6 +436,22 @@ func (pe *PE) startNext() {
 			dur = scaled
 		}
 	}
+	if m.ckpt {
+		// Restored work replays fast: goals of a crash retry starting
+		// inside the job's replay horizon re-walk the tree at one unit
+		// each — their results were snapshotted, not lost. The horizon
+		// is set once at the retry and only read here, so the replay is
+		// identical under any shard schedule. Checkpoint debt owed from
+		// ticks that caught this PE idle is paid on top of the next
+		// service.
+		if it.kind == itemGoal && m.eng.Now() < it.goal.job.replayUntil {
+			dur = 1
+		}
+		if d := pe.ckptDebt; d > 0 {
+			pe.ckptDebt = 0
+			dur += d
+		}
+	}
 	m.peBusyTime[pe.lx] += dur
 	m.peServiceEnd[pe.lx] = m.eng.Now() + dur
 	pe.inService = it
@@ -461,6 +483,27 @@ func (pe *PE) finish(it item) {
 		}
 		pe.goalsExecuted++
 		pe.m.stats.GoalsExecuted++
+		if pe.m.ckpt {
+			j := g.job
+			if grp := pe.m.grp; grp != nil && grp.k > 1 {
+				// Several shards can execute this job's goals inside one
+				// window: the position is a commutative sum, advanced
+				// atomically and read only at barriers. The snapshot is
+				// taken eagerly by the coordinator at the tick's barrier
+				// (shardGroup.applyOp), not here.
+				atomic.AddInt64(&j.progress, 1)
+			} else {
+				// Lazy snapshot: the first goal a job executes after a
+				// checkpoint tick records the position the tick saw
+				// (nothing records before the first tick — lastCkptAt
+				// starts at -1, matching a fresh job's ckptSeen).
+				if j.ckptSeen != pe.m.lastCkptAt {
+					j.ckptProgress = j.progress
+					j.ckptSeen = pe.m.lastCkptAt
+				}
+				j.progress++
+			}
+		}
 		// The goal's journey is definitively over: record the travel
 		// distance (paper Table 3) and the net displacement.
 		if pe.m.cfg.TrackGoalDetail {

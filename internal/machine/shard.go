@@ -1,20 +1,23 @@
 // This file is shard-path code: everything here runs inside a sharded
-// run, where Config.validate has already rejected the remaining
-// global-state features (Scenario, Pool). The seqonly analyzer
-// (internal/analysis) walks the call graph rooted at this file's
-// functions and flags any unguarded reach into those features.
-// Sampling, monitoring and tracing are shard-safe: each shard captures
-// its own PE block's partials and buffers its own trace events, and the
-// coordinator folds both into the merged result at finalize
-// (mergeSamples, replayTrace below).
+// run, where Config.validate has already rejected the one remaining
+// global-state feature (Pool — free lists are single-threaded by
+// design). The seqonly analyzer (internal/analysis) walks the call
+// graph rooted at this file's functions and flags any unguarded reach
+// into it. Sampling, monitoring, tracing and scripted Scenarios are
+// shard-safe: each shard captures its own PE block's partials and
+// buffers its own trace events, the coordinator applies scenario ops at
+// window barriers (applyOps) and folds everything into the merged
+// result at finalize (mergeSamples, mergeInjSoj, replayTrace below).
 //
 //simlint:seqonly
 package machine
 
 import (
+	"math"
 	"sort"
 	"sync/atomic"
 
+	"cwnsim/internal/scenario"
 	"cwnsim/internal/sim"
 	"cwnsim/internal/topology"
 	"cwnsim/internal/trace"
@@ -46,6 +49,7 @@ type shardSample struct {
 	busyDelta  sim.Time  // block busy time accrued inside the window
 	qsum, qsq  float64   // block queue-length sum and sum of squares
 	frame      []float64 // block per-PE utilization; nil unless MonitorPE
+	soj        []float64 // window's raw sojourns; scenario runs only
 }
 
 // shardGroup coordinates the machines of one sharded run: K contiguous
@@ -97,6 +101,20 @@ type shardGroup struct {
 	workers []shardWorker
 	done    chan shardDone
 	inbox   []xmsg // coordinator scratch for sorting one drain
+
+	// Shard-local scenario replay. scn is the script expanded once at
+	// construction and shared by every shard; ops is its firing-order
+	// timeline, applied by the coordinator at window barriers landed
+	// exactly on each op's scripted time (run clamps window ends to the
+	// op cursor) — opIx cursors it. failed/live mirror the
+	// shards' per-block failure state machine-wide; written only at
+	// barriers, so mid-window reads (refuge selection, root redirects)
+	// are race-free.
+	scn    *scenario.Script
+	ops    []scenario.Event
+	opIx   int
+	failed []bool
+	live   int
 }
 
 // shardWorker is one shard's persistent goroutine: it runs its machine
@@ -150,6 +168,17 @@ func newShardGroup(topo *topology.Topology, source JobSource, strat Strategy, cf
 		// cross-checks certify.
 		g.lookahead = minHop
 	}
+	// Expand the scenario once for the whole group; every shard shares
+	// the result. Multi-shard groups also pre-sort the op timeline and
+	// allocate the global failure map the shards consult mid-window.
+	if !cfg.Scenario.Empty() {
+		g.scn = cfg.Scenario.Expand(topo.Size(), cfg.MaxTime)
+		if k > 1 {
+			g.ops = g.scn.Sorted()
+			g.failed = make([]bool, topo.Size())
+			g.live = topo.Size()
+		}
+	}
 	g.machines = make([]*Machine, k)
 	for s := 0; s < k; s++ {
 		g.machines[s] = newMachine(topo, source, strat, cfg, g, s)
@@ -179,7 +208,7 @@ func newShardGroup(topo *topology.Topology, source JobSource, strat Strategy, cf
 		}
 		sort.Ints(owners)
 		for _, s := range owners {
-			cs := &g.machines[s].chans[ci]
+			cs := g.machines[s].chanAt(ci)
 			cs.localMembers = counts[s]
 			for _, o := range owners {
 				if o != s {
@@ -216,6 +245,22 @@ func (g *shardGroup) run() *Stats {
 		if w := start + g.lookahead; w < maxT {
 			end = w
 		}
+		// Park the barrier one tick short of the next scenario op's
+		// scripted time: shrinking a window is always conservative, and
+		// it lets the coordinator apply the op at its exact instant
+		// BEFORE that instant's machine events fire — the ordering the
+		// sequential engine produces, where ops are scheduled at
+		// construction and so carry the lowest sequence numbers at
+		// their timestamp. opAt marks an op-landing barrier (an empty
+		// window when the op falls on start+1 — that just advances the
+		// cursor).
+		opAt := sim.Time(-1)
+		if g.opIx < len(g.ops) {
+			if at := g.ops[g.opIx].At; at > start && at <= end {
+				end = at - 1
+				opAt = at
+			}
+		}
 		g.winEnd = end
 		if serial {
 			// The serial replay: same protocol, same per-window work,
@@ -228,14 +273,22 @@ func (g *shardGroup) run() *Stats {
 		} else {
 			g.runWindow(end)
 		}
-		g.drain()
-		if g.k == 1 {
+		if g.k == 1 && home.eng.Stopped() {
 			// A single shard completes exactly like the sequential
 			// machine: completeJob/pump stop the engine mid-window.
-			if home.eng.Stopped() {
-				break
+			break
+		}
+		if opAt >= 0 {
+			// Every shard is quiescent at end = opAt-1: step the clocks
+			// onto the op instant (no events fire — the earliest pending
+			// ones are at opAt) and apply everything scripted there.
+			for _, m := range g.machines {
+				m.eng.AdvanceTo(opAt)
 			}
-		} else if home.srcDone && atomic.LoadInt64(&g.inFlight) == 0 {
+			g.applyOps(opAt)
+		}
+		g.drain()
+		if g.k > 1 && home.srcDone && atomic.LoadInt64(&g.inFlight) == 0 {
 			// At a barrier every shard is quiescent, so the shared count
 			// is exact: all injected jobs responded and no arrivals
 			// remain. (In-flight control traffic may outlive completion,
@@ -248,8 +301,9 @@ func (g *shardGroup) run() *Stats {
 		}
 		start = end
 		// Fast-forward over windows no shard has events in: begin the
-		// next window one unit before the globally earliest event.
-		if next, ok := g.nextEvent(); !ok {
+		// next window one unit before the globally earliest event or
+		// not-yet-applied scenario op.
+		if next, ok := g.nextPending(); !ok {
 			start = maxT
 		} else if next > start+1 {
 			start = next - 1
@@ -354,6 +408,158 @@ func (g *shardGroup) nextEvent() (sim.Time, bool) {
 	return min, ok
 }
 
+// nextPending is nextEvent extended with the scenario op cursor, so the
+// fast-forward cannot jump past an op's scripted time — the next
+// window's clamped end must still be able to park one tick short of it.
+func (g *shardGroup) nextPending() (sim.Time, bool) {
+	t, ok := g.nextEvent()
+	if g.opIx < len(g.ops) {
+		if at := g.ops[g.opIx].At; !ok || at < t {
+			t, ok = at, true
+		}
+	}
+	return t, ok
+}
+
+// applyOps applies every scenario op scripted at or before the op
+// instant the barrier just advanced onto, in firing order, while all
+// shards are quiescent and before that instant's machine events run.
+// Ops run before drain so their sends (evacuations, availability
+// broadcasts) are delivered with this barrier's batch.
+func (g *shardGroup) applyOps(end sim.Time) {
+	for g.opIx < len(g.ops) && g.ops[g.opIx].At <= end {
+		g.applyOp(g.ops[g.opIx])
+		g.opIx++
+	}
+}
+
+// owner returns the machine owning PE id.
+func (g *shardGroup) owner(id int) *Machine { return g.machines[g.part.Assign[id]] }
+
+// applyOp routes one scenario op to the shards it affects: PE ops to
+// the targets' owners, link ops to every shard's channel copies,
+// checkpoint ticks and restore/recover-all sweeps to all shards, load
+// shocks to the home shard (which owns the arrival process). Every
+// shard's engine sits exactly at the barrier time, so the op applies at
+// one consistent instant machine-wide.
+func (g *shardGroup) applyOp(ev scenario.Event) {
+	p := g.topo.Size()
+	switch ev.Kind {
+	case scenario.SlowPE:
+		for _, id := range ev.Targets(p) {
+			m := g.owner(id)
+			m.setSpeed(m.pes[id], m.pes[id].nominalSpeed()*ev.Factor)
+		}
+	case scenario.RestorePE:
+		targets := ev.Targets(p)
+		if targets == nil {
+			for _, m := range g.machines {
+				for lx := range m.peBlock {
+					pe := &m.peBlock[lx]
+					if pe.Speed() != pe.nominalSpeed() {
+						m.setSpeed(pe, pe.nominalSpeed())
+					}
+				}
+			}
+			return
+		}
+		for _, id := range targets {
+			m := g.owner(id)
+			m.setSpeed(m.pes[id], m.pes[id].nominalSpeed())
+		}
+	case scenario.FailPE:
+		for _, id := range ev.Targets(p) {
+			m := g.owner(id)
+			m.failPE(m.pes[id])
+		}
+	case scenario.CrashPE:
+		for _, id := range ev.Targets(p) {
+			m := g.owner(id)
+			m.crashPE(m.pes[id])
+		}
+	case scenario.RecoverPE:
+		targets := ev.Targets(p)
+		if targets == nil {
+			for _, m := range g.machines {
+				for lx := range m.peBlock {
+					if m.peFailed[lx] {
+						m.recoverPE(&m.peBlock[lx])
+					}
+				}
+			}
+			return
+		}
+		for _, id := range targets {
+			m := g.owner(id)
+			m.recoverPE(m.pes[id])
+		}
+	case scenario.DegradeLink:
+		g.applyLink(ev.A, ev.B, ev.Factor, ev.Factor == 0, false)
+	case scenario.RestoreLink:
+		g.applyLink(ev.A, ev.B, 0, false, true)
+	case scenario.LoadShock:
+		g.machines[g.home].rateMul = ev.Factor
+	case scenario.CheckpointTick:
+		for _, m := range g.machines {
+			m.checkpointTick(ev.Cost)
+		}
+		// Eager snapshot: record every live job's position as of this
+		// barrier. The sequential machine snapshots lazily on the next
+		// goal finish, but here several shards advance one job's
+		// progress inside a window — only the barrier gives one
+		// consistent, schedule-independent instant. The home machine's
+		// registry is compacted in the same walk: completed or abandoned
+		// jobs were freed (nil tree) and recycled structs were
+		// re-appended, so dead entries just drop.
+		home := g.machines[g.home]
+		now := home.eng.Now()
+		live := home.liveJobs[:0]
+		for _, j := range home.liveJobs {
+			if j.tree == nil {
+				continue
+			}
+			j.ckptProgress = atomic.LoadInt64(&j.progress)
+			j.ckptSeen = now
+			live = append(live, j)
+		}
+		for i := len(live); i < len(home.liveJobs); i++ {
+			home.liveJobs[i] = nil
+		}
+		home.liveJobs = live
+	}
+}
+
+// applyLink applies a link event group-wide: every shard mutates its
+// own copies of the affected channels (a bus channel's members can span
+// shards beyond the named endpoints), and the endpoint owners notify
+// their FailureAware nodes on the same down/up transition the
+// sequential machine notifies on.
+func (g *shardGroup) applyLink(a, b int, factor float64, down, restore bool) {
+	wasDown := false
+	for _, m := range g.machines {
+		var w bool
+		if restore {
+			w = m.restoreLinkState(a, b)
+		} else {
+			w = m.setLinkState(a, b, factor, down)
+		}
+		if w {
+			wasDown = true
+		}
+	}
+	var kind EventKind
+	switch {
+	case restore && wasDown, !restore && !down && wasDown:
+		kind = LinkRestored
+	case !restore && down && !wasDown:
+		kind = LinkDown
+	default:
+		return
+	}
+	g.owner(a).notifyEndpoint(a, b, kind)
+	g.owner(b).notifyEndpoint(b, a, kind)
+}
+
 // stalled is the group form of Machine.stalled: jobs in flight with no
 // goal or response anywhere — queued, executing, or in transit on any
 // shard. Transit counters increment on the sending shard and decrement
@@ -364,7 +570,7 @@ func (g *shardGroup) stalled() bool {
 	}
 	var transit int64
 	for _, m := range g.machines {
-		transit += m.goalsInTransit + m.respsInTransit
+		transit += m.goalsInTransit + m.respsInTransit + m.retryPending
 	}
 	if transit != 0 {
 		return false
@@ -411,6 +617,7 @@ func (g *shardGroup) finalize() *Stats {
 		s.merge(m.stats)
 	}
 	g.mergeSamples(s)
+	g.mergeInjSoj(s)
 	g.replayTrace()
 	s.Completed = g.completed
 	s.Result = g.result
@@ -456,9 +663,11 @@ func (g *shardGroup) mergeSamples(s *Stats) {
 	if g.cfg.MonitorPE {
 		frame = make([]float64, g.topo.Size())
 	}
+	var sojs []float64
 	for i, r := range ref {
 		var busyDelta sim.Time
 		var qsum, qsq float64
+		sojs = sojs[:0]
 		for _, m := range g.machines {
 			sp := m.shardSamples[i]
 			if sp.at != r.at || sp.window != r.window {
@@ -470,6 +679,7 @@ func (g *shardGroup) mergeSamples(s *Stats) {
 			if frame != nil {
 				copy(frame[m.peLo:m.peHi], sp.frame)
 			}
+			sojs = append(sojs, sp.soj...)
 		}
 		s.Timeline.Add(float64(r.at), 100*float64(busyDelta)/(float64(r.window)*p))
 		if frame != nil {
@@ -481,6 +691,78 @@ func (g *shardGroup) mergeSamples(s *Stats) {
 			imb = qsum * qsum / (p * qsq)
 		}
 		s.QueueImbalance.Add(float64(r.at), imb)
+		// Windowed sojourn p99 (scenario runs): the pooled sojourns of
+		// all shards' completions inside the window, the same formula
+		// and warm-up drop as the sequential machine's sample().
+		if len(sojs) > 0 && r.at >= g.cfg.Warmup {
+			sort.Float64s(sojs)
+			rank := int(math.Ceil(0.99*float64(len(sojs)))) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			s.SojournWindows.Add(float64(r.at), sojs[rank])
+		}
+	}
+}
+
+// mergeInjSoj folds the shards' injection-keyed raw sojourn buckets
+// into the merged InjSojournWindows series. Shards thin their buckets
+// independently (SeriesBound), so strides can differ; every stride is a
+// power of two, so re-bucketing to the widest one only concatenates —
+// each pooled bucket holds exactly the sojourns of jobs injected in its
+// window, and the finalized percentiles stay exact on the common grid.
+func (g *shardGroup) mergeInjSoj(s *Stats) {
+	if g.cfg.SampleInterval <= 0 || g.machines[0].injSoj == nil {
+		return
+	}
+	stride := 1
+	for _, m := range g.machines {
+		if m.injStride > stride {
+			stride = m.injStride
+		}
+	}
+	var pooled [][]float64
+	for _, m := range g.machines {
+		f := stride / m.injStride
+		for w, sojs := range m.injSoj {
+			if len(sojs) == 0 {
+				continue
+			}
+			cw := w / f
+			for len(pooled) <= cw {
+				pooled = append(pooled, nil)
+			}
+			pooled[cw] = append(pooled[cw], sojs...)
+		}
+	}
+	if b := g.cfg.SeriesBound; b > 0 {
+		for len(pooled) > b {
+			half := (len(pooled) + 1) / 2
+			for i := 0; i < half; i++ {
+				merged := pooled[2*i]
+				if 2*i+1 < len(pooled) {
+					merged = append(merged, pooled[2*i+1]...)
+				}
+				pooled[i] = merged
+			}
+			pooled = pooled[:half]
+			stride *= 2
+		}
+	}
+	for w, sojs := range pooled {
+		if len(sojs) == 0 {
+			continue
+		}
+		end := sim.Time(w+1) * g.cfg.SampleInterval * sim.Time(stride)
+		if end <= g.cfg.Warmup {
+			continue
+		}
+		sort.Float64s(sojs)
+		rank := int(math.Ceil(0.99*float64(len(sojs)))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		s.InjSojournWindows.Add(float64(end), sojs[rank])
 	}
 }
 

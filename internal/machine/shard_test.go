@@ -233,13 +233,6 @@ func TestShardConfigRejections(t *testing.T) {
 	}
 	cases := map[string]Config{}
 	cfg := base()
-	sc, err := scenario.Parse("fail:pes=1@t=100,recover@t=200")
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg.Scenario = sc
-	cases["scenario"] = cfg
-	cfg = base()
 	cfg.Pool = &Pool{}
 	cases["pool"] = cfg
 	cfg = base()

@@ -206,6 +206,36 @@ type jobState struct {
 	// progress, so one crash that destroys several of its goals aborts
 	// it exactly once.
 	aborting bool
+	// retries counts the crash retries consumed so far; once it reaches
+	// Config.RetryLimit (when set) the next abort abandons the job
+	// instead of re-injecting it.
+	retries int
+
+	// Checkpoint/restart state. progress counts the goals the *current
+	// attempt* has executed — the job's position in its deterministic
+	// tree walk. On a sequential (or one-shard) machine a checkpoint
+	// tick snapshots that position lazily: the first goal executed
+	// after a tick copies progress into ckptProgress and stamps
+	// ckptSeen with the tick's time, so idle jobs record the position
+	// the tick actually saw. On a multi-shard run the coordinator
+	// snapshots every live job eagerly at the tick's window barrier
+	// (see shardGroup.applyOp) — same values, but no cross-shard write
+	// on the execution hot path; progress itself is then bumped with an
+	// atomic add, since several shards can execute one job's goals
+	// inside a window. On a crash retry the durable frontier (the last
+	// snapshot, or the current position when nothing has executed since
+	// the tick) becomes a replay horizon: goals of the retried attempt
+	// that start service before replayUntil execute in one time unit
+	// each instead of their full service demand — work before the
+	// frontier is restored, not recomputed. The horizon is virtual
+	// time, not a countdown, so it is read-only while the attempt runs
+	// and identical under any shard schedule. progress resets per
+	// attempt; ckptProgress/ckptSeen persist — the snapshot is durable
+	// across the crash.
+	progress     int64
+	ckptProgress int64
+	ckptSeen     sim.Time
+	replayUntil  sim.Time
 }
 
 // JobRecord is one completed job's latency record, the per-job datum an

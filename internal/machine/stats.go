@@ -117,7 +117,7 @@ type Stats struct {
 	ServiceAborts  int64
 	RootRedirects  int64
 	DownPETime     sim.Time
-	SojournWindows metrics.Series //simlint:nomerge scenario series: validate rejects Scenario on sharded runs
+	SojournWindows metrics.Series //simlint:nomerge scenario series: shards defer each window's raw sojourns in shardSamples and shardGroup.mergeSamples pools them into one machine-wide p99 series, bypassing merge
 
 	// Crash-with-state-loss accounting (the `crash:` scenario op; all
 	// zero under blackout-only scripts). GoalsLost counts goals whose
@@ -126,14 +126,17 @@ type Stats struct {
 	// executed parent's pending spawn record), purged from live PEs'
 	// queues when the job aborted, or dropped in transit/at service
 	// completion as stale. JobsAborted counts attempts destroyed by
-	// crashes; JobsRetried the root re-injections that followed (equal
-	// today — every abort retries — but accounted separately so a
-	// future give-up policy stays visible). Retried jobs keep their
-	// original injection time, so sojourn figures bill the lost
-	// attempt.
-	GoalsLost   int64
-	JobsAborted int64
-	JobsRetried int64
+	// crashes; JobsRetried the root re-injections that followed;
+	// JobsAbandoned the aborts that exhausted Config.RetryLimit and
+	// were given up instead (JobsRetried + JobsAbandoned ==
+	// JobsAborted always — with no limit set JobsAbandoned is zero and
+	// every abort retries). Retried jobs keep their original injection
+	// time, so sojourn figures bill the lost attempt; abandoned jobs
+	// count as injected but never done, which is what Goodput reads.
+	GoalsLost     int64
+	JobsAborted   int64
+	JobsRetried   int64
+	JobsAbandoned int64
 
 	// InjSojournWindows is the injection-time-keyed companion of
 	// SojournWindows: each point is the p99 sojourn of the jobs
@@ -142,7 +145,7 @@ type Stats struct {
 	// lets blackout stragglers echo into post-restore windows; this
 	// keying does not. Computed at finalize; same scenario+sampling
 	// gate as SojournWindows.
-	InjSojournWindows metrics.Series //simlint:nomerge scenario series: validate rejects Scenario on sharded runs
+	InjSojournWindows metrics.Series //simlint:nomerge scenario series: shardGroup.finalize re-buckets the shards' raw injection-window buckets to a common stride and computes the pooled percentiles directly, bypassing merge
 }
 
 func newStats(topo *topology.Topology, workloadName, stratName string) *Stats {
@@ -199,11 +202,11 @@ func (s *Stats) merge(o *Stats) {
 		s.ChannelMsgs[i] += n
 	}
 	s.QueueDelay.Merge(&o.QueueDelay)
-	// Scenario series are empty on sharded runs (validate rejects
-	// Scenario), and the sampling series/monitor are folded from deferred
-	// per-shard partials by shardGroup.mergeSamples after this merge (the
+	// The sampling series/monitor — and, on scenario runs, the windowed
+	// sojourn series — are folded from deferred per-shard partials by
+	// shardGroup.mergeSamples / shardGroup.finalize after this merge (the
 	// per-shard Stats copies hold no series points on multi-shard runs);
-	// the crash/scenario counters merge for completeness.
+	// the crash/scenario counters merge here.
 	s.GoalsRequeued += o.GoalsRequeued
 	s.ServiceAborts += o.ServiceAborts
 	s.RootRedirects += o.RootRedirects
@@ -211,6 +214,7 @@ func (s *Stats) merge(o *Stats) {
 	s.GoalsLost += o.GoalsLost
 	s.JobsAborted += o.JobsAborted
 	s.JobsRetried += o.JobsRetried
+	s.JobsAbandoned += o.JobsAbandoned
 }
 
 // Utilization returns average PE utilization in [0,1]: total busy time
@@ -293,6 +297,18 @@ func (s *Stats) SteadyThroughput() float64 {
 		return 0
 	}
 	return float64(s.SteadyJobsDone) / float64(window)
+}
+
+// Goodput returns the fraction of injected jobs that completed — the
+// availability figure a bounded-retry policy trades against latency.
+// On a healthy run it is 1 at completion (or below 1 only because a
+// saturated stream hit MaxTime); under crashes with RetryLimit set,
+// abandoned jobs pull it down. 0 for an empty run.
+func (s *Stats) Goodput() float64 {
+	if s.JobsInjected == 0 {
+		return 0
+	}
+	return float64(s.JobsDone) / float64(s.JobsInjected)
 }
 
 // Speedup returns total sequential work divided by makespan. At
@@ -378,8 +394,8 @@ func (s *Stats) String() string {
 			s.GoalsRequeued, s.ServiceAborts, s.RootRedirects, s.DownPETime, 100*s.EffectiveUtilization())
 	}
 	if s.GoalsLost > 0 || s.JobsAborted > 0 {
-		fmt.Fprintf(&b, "\n  crashes: goalsLost=%d jobsAborted=%d jobsRetried=%d",
-			s.GoalsLost, s.JobsAborted, s.JobsRetried)
+		fmt.Fprintf(&b, "\n  crashes: goalsLost=%d jobsAborted=%d jobsRetried=%d jobsAbandoned=%d goodput=%.3f",
+			s.GoalsLost, s.JobsAborted, s.JobsRetried, s.JobsAbandoned, s.Goodput())
 	}
 	return b.String()
 }

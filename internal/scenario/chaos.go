@@ -13,20 +13,21 @@ import (
 // processes without the failure timeline echoing the arrival timeline.
 const chaosSeedSalt int64 = 0x5E3779B97F4A7C15
 
-// Expand resolves the script's Chaos generator events into concrete
-// single-PE failure/recovery timelines on a machine of numPEs
-// processors with measurement horizon `horizon`, leaving every other
-// event untouched. A script with no Chaos events is returned as-is
-// (same pointer — the empty scenario stays free). Expansion is a pure
-// function of (generator parameters, numPEs, horizon): the same seed
-// always yields the identical timeline, pinned by regression test.
+// Expand resolves the script's generator events — Chaos into concrete
+// failure/recovery timelines, Checkpoint into periodic CheckpointTick
+// events — on a machine of numPEs processors with measurement horizon
+// `horizon`, leaving every other event untouched. A script with no
+// generator events is returned as-is (same pointer — the empty scenario
+// stays free). Expansion is a pure function of (generator parameters,
+// numPEs, horizon): the same seed always yields the identical timeline,
+// pinned by regression test.
 func (s *Script) Expand(numPEs int, horizon sim.Time) *Script {
 	if s.Empty() {
 		return s
 	}
 	any := false
 	for _, e := range s.Events {
-		if e.Kind == Chaos {
+		if e.Kind == Chaos || e.Kind == Checkpoint {
 			any = true
 			break
 		}
@@ -36,11 +37,29 @@ func (s *Script) Expand(numPEs int, horizon sim.Time) *Script {
 	}
 	out := &Script{Events: make([]Event, 0, len(s.Events))}
 	for _, e := range s.Events {
-		if e.Kind != Chaos {
+		switch e.Kind {
+		case Chaos:
+			out.Events = append(out.Events, e.generate(numPEs, horizon)...)
+		case Checkpoint:
+			out.Events = append(out.Events, e.ticks(horizon)...)
+		default:
 			out.Events = append(out.Events, e)
-			continue
 		}
-		out.Events = append(out.Events, e.generate(numPEs, horizon)...)
+	}
+	return out
+}
+
+// ticks expands a Checkpoint generator into its concrete periodic
+// CheckpointTick events: one every Every units of virtual time starting
+// at At+Every, up to (exclusive) Until or the horizon.
+func (e Event) ticks(horizon sim.Time) []Event {
+	until := e.Until
+	if until <= 0 || until > horizon {
+		until = horizon
+	}
+	var out []Event
+	for at := e.At + e.Every; at < until; at += e.Every {
+		out = append(out, Event{At: at, Kind: CheckpointTick, Cost: e.Cost})
 	}
 	return out
 }
@@ -52,8 +71,13 @@ func (s *Script) Expand(numPEs int, horizon sim.Time) *Script {
 // already down when struck absorbs the failure (the draw is still
 // consumed, keeping the stream aligned), and a strike that would take
 // the last live PE down is skipped — the machine refuses to lose its
-// final processor.
+// final processor. With a Domain set, each strike targets a uniformly
+// chosen failure domain instead of a single PE (see generateDomains);
+// the domain-free path is bit-for-bit the pre-domain timeline.
 func (e Event) generate(numPEs int, horizon sim.Time) []Event {
+	if e.Domain != "" {
+		return e.generateDomains(numPEs, horizon)
+	}
 	rng := rand.New(rand.NewSource(e.Seed ^ chaosSeedSalt))
 	until := e.Until
 	if until <= 0 || until > horizon {
@@ -97,4 +121,127 @@ func (e Event) generate(numPEs int, horizon sim.Time) []Event {
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out
+}
+
+// generateDomains draws a correlated-failure timeline: the Poisson gap
+// and exponential repair processes are unchanged, but each strike picks
+// a uniformly chosen failure domain and takes down every member of it
+// that is currently up, all sharing one repair time (correlated
+// recovery — the whole blast radius comes back together). A strike
+// whose domain is entirely down is absorbed; one that would leave no
+// live PE is skipped. Both consume their draws, keeping the stream
+// aligned with the draw count, like the single-PE path.
+func (e Event) generateDomains(numPEs int, horizon sim.Time) []Event {
+	rng := rand.New(rand.NewSource(e.Seed ^ chaosSeedSalt))
+	until := e.Until
+	if until <= 0 || until > horizon {
+		until = horizon
+	}
+	failKind := FailPE
+	if e.Crash {
+		failKind = CrashPE
+	}
+	numDomains := e.domainCount(numPEs)
+	downUntil := make([]float64, numPEs)
+	var out []Event
+	t := float64(e.At)
+	for {
+		t += rng.ExpFloat64() * e.MTBF
+		at := sim.Time(t)
+		if at >= until {
+			break
+		}
+		d := rng.Intn(numDomains)
+		repair := rng.ExpFloat64() * e.MTTR
+		if repair < 1 {
+			repair = 1
+		}
+		var strike []int
+		for _, pe := range e.domainMembers(d, numPEs) {
+			if downUntil[pe] <= t {
+				strike = append(strike, pe)
+			}
+		}
+		if len(strike) == 0 {
+			continue // domain already entirely down: absorbed
+		}
+		live := 0
+		for _, du := range downUntil {
+			if du <= t {
+				live++
+			}
+		}
+		if live <= len(strike) {
+			continue // never take the last live PEs down
+		}
+		rec := t + repair
+		for _, pe := range strike {
+			downUntil[pe] = rec
+		}
+		out = append(out,
+			Event{At: at, Kind: failKind, PEs: strike},
+			Event{At: sim.Time(rec), Kind: RecoverPE, PEs: strike})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// domainCount returns how many failure domains tile a machine of numPEs
+// processors under the event's Domain shape. Every PE belongs to
+// exactly one domain.
+func (e Event) domainCount(numPEs int) int {
+	switch e.Domain {
+	case "rack":
+		return (numPEs + e.DomA - 1) / e.DomA
+	case "block":
+		side := gridSide(numPEs)
+		bw := (side + e.DomA - 1) / e.DomA
+		bh := (side + e.DomB - 1) / e.DomB
+		return bw * bh
+	}
+	return numPEs // single-PE domains (unreachable: generate branches first)
+}
+
+// domainMembers returns domain d's PE indices in ascending order. Racks
+// are contiguous index runs of DomA PEs; blocks are DomA×DomB tiles of
+// the row-major gridSide×gridSide layout, clipped to the machine.
+func (e Event) domainMembers(d, numPEs int) []int {
+	switch e.Domain {
+	case "rack":
+		lo := d * e.DomA
+		hi := lo + e.DomA
+		if hi > numPEs {
+			hi = numPEs
+		}
+		out := make([]int, 0, hi-lo)
+		for pe := lo; pe < hi; pe++ {
+			out = append(out, pe)
+		}
+		return out
+	case "block":
+		side := gridSide(numPEs)
+		bw := (side + e.DomA - 1) / e.DomA
+		bx, by := d%bw, d/bw
+		var out []int
+		for y := by * e.DomB; y < (by+1)*e.DomB && y < side; y++ {
+			for x := bx * e.DomA; x < (bx+1)*e.DomA && x < side; x++ {
+				if pe := y*side + x; pe < numPEs {
+					out = append(out, pe)
+				}
+			}
+		}
+		return out
+	}
+	return []int{d}
+}
+
+// gridSide is the side of the smallest square grid covering numPEs
+// processors row-major — block domains tile this grid so every PE falls
+// in exactly one block even on non-square machines.
+func gridSide(numPEs int) int {
+	side := 1
+	for side*side < numPEs {
+		side++
+	}
+	return side
 }

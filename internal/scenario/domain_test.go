@@ -1,0 +1,157 @@
+package scenario
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestDomainChaosWellFormed is the property suite for correlated
+// failure domains: across domain shapes and machine sizes, every
+// expanded timeline must be deterministic, strike only valid PEs, keep
+// each strike inside one domain, pair every failure with one shared
+// recovery, and never take the machine's last live PE down.
+func TestDomainChaosWellFormed(t *testing.T) {
+	type shape struct {
+		spec string
+		a, b int // rack size, or block tile dims
+	}
+	shapes := []shape{
+		{"rack:1", 1, 0},
+		{"rack:4", 4, 0},
+		{"rack:8", 8, 0},
+		{"block:2x2", 2, 2},
+		{"block:4x4", 4, 4},
+		{"block:3x2", 3, 2},
+	}
+	sizes := []int{2, 7, 16, 33, 64, 100, 1024}
+	const horizon = 50000
+	for _, sh := range shapes {
+		for _, p := range sizes {
+			t.Run(fmt.Sprintf("%s/p%d", sh.spec, p), func(t *testing.T) {
+				src := MustParse("chaos:mtbf=400:mttr=250:crash:domain=" + sh.spec + "@seed=9")
+				ev := src.Events[0]
+				out := src.Expand(p, horizon)
+				if again := src.Expand(p, horizon); !reflect.DeepEqual(out.Events, again.Events) {
+					t.Fatal("expansion is not deterministic")
+				}
+				if ev.domainCount(p) >= 2 && len(out.Events) == 0 {
+					t.Fatal("multi-domain machine produced an empty timeline")
+				}
+				// Replay the timeline in emitted order, checking global
+				// consistency: strikes hit only live PEs, recoveries only
+				// downed ones, and at least one PE stays live throughout.
+				down := make(map[int]bool)
+				for i, e := range out.Events {
+					if i > 0 && e.At < out.Events[i-1].At {
+						t.Fatalf("timeline out of order at %d", i)
+					}
+					if len(e.PEs) == 0 {
+						t.Fatalf("event %d has no targets", i)
+					}
+					for k, pe := range e.PEs {
+						if pe < 0 || pe >= p {
+							t.Fatalf("event %d targets PE %d outside [0,%d)", i, pe, p)
+						}
+						if k > 0 && e.PEs[k] <= e.PEs[k-1] {
+							t.Fatalf("event %d targets not ascending/unique: %v", i, e.PEs)
+						}
+					}
+					switch e.Kind {
+					case CrashPE:
+						checkOneDomain(t, sh.spec, sh.a, sh.b, p, e.PEs)
+						for _, pe := range e.PEs {
+							if down[pe] {
+								t.Fatalf("event %d strikes PE %d while already down", i, pe)
+							}
+							down[pe] = true
+						}
+						if len(down) >= p {
+							t.Fatalf("event %d took the last live PE down", i)
+						}
+					case RecoverPE:
+						for _, pe := range e.PEs {
+							if !down[pe] {
+								t.Fatalf("event %d recovers PE %d which is up", i, pe)
+							}
+							delete(down, pe)
+						}
+					default:
+						t.Fatalf("event %d has unexpected kind %v", i, e.Kind)
+					}
+				}
+				// Every strike's shared repair must eventually appear.
+				if len(down) != 0 {
+					t.Fatalf("timeline ends with %d PEs still down (unpaired strikes)", len(down))
+				}
+			})
+		}
+	}
+}
+
+// checkOneDomain asserts a strike fits inside a single failure domain
+// of the given shape.
+func checkOneDomain(t *testing.T, spec string, a, b, p int, pes []int) {
+	t.Helper()
+	switch {
+	case a > 0 && b == 0: // rack: one contiguous index run
+		if pes[0]/a != pes[len(pes)-1]/a {
+			t.Fatalf("rack strike %v spans racks of size %d", pes, a)
+		}
+	default: // block: one tile of the covering square grid
+		side := gridSide(p)
+		bx, by := (pes[0]%side)/a, (pes[0]/side)/b
+		for _, pe := range pes {
+			if (pe%side)/a != bx || (pe/side)/b != by {
+				t.Fatalf("block strike %v spans %dx%d tiles (side %d)", pes, a, b, side)
+			}
+		}
+	}
+}
+
+// TestDomainChaosBlackoutMode pins that domains compose with the
+// blackout (non-crash) mode: same structure, FailPE kind.
+func TestDomainChaosBlackoutMode(t *testing.T) {
+	out := MustParse("chaos:mtbf=300:mttr=200:domain=rack:4@seed=5").Expand(32, 20000)
+	fails := 0
+	for _, e := range out.Events {
+		switch e.Kind {
+		case FailPE:
+			fails++
+		case RecoverPE:
+		default:
+			t.Fatalf("unexpected kind %v in blackout-mode domain chaos", e.Kind)
+		}
+	}
+	if fails == 0 {
+		t.Fatal("no blackout strikes generated")
+	}
+}
+
+// TestDomainChaosCorrelatedRepair pins the defining correlation: all
+// members of one strike come back at the same instant.
+func TestDomainChaosCorrelatedRepair(t *testing.T) {
+	out := MustParse("chaos:mtbf=500:mttr=300:crash:domain=rack:8@seed=3").Expand(64, 40000)
+	multi := 0
+	for i, e := range out.Events {
+		if e.Kind != CrashPE || len(e.PEs) < 2 {
+			continue
+		}
+		multi++
+		// The paired recovery carries the identical member list at one
+		// later instant.
+		found := false
+		for _, r := range out.Events[i:] {
+			if r.Kind == RecoverPE && reflect.DeepEqual(r.PEs, e.PEs) && r.At > e.At {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("strike at %d (%v) has no shared recovery", e.At, e.PEs)
+		}
+	}
+	if multi == 0 {
+		t.Fatal("seed produced no multi-PE strikes — pick another seed")
+	}
+}

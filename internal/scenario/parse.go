@@ -17,6 +17,8 @@ import (
 //	degradelink:a=0:b=1:x=0@t=100,restorelink:a=0:b=1@t=300
 //	shock:x=3@t=1000,shock:x=1@t=2000
 //	chaos:mtbf=3000:mttr=800@seed=7
+//	chaos:mtbf=3000:mttr=800:domain=rack:8@seed=7
+//	checkpoint:every=2000:cost=5@t=0
 //
 // Keys: pes= targets a percentage ("25%") or a +-separated PE list
 // ("3+7+9"); x= the factor (speed multiplier for slow, occupancy
@@ -26,10 +28,15 @@ import (
 // evacuating blackout). chaos is the random-failure generator: it
 // takes mtbf= and mttr= (means of the exponential failure and repair
 // processes), optional until= (timeline bound; default the run
-// horizon) and a bare crash flag for crash-mode failures, and ends
-// with @seed=N instead of @t=N — the generator's own seed, expanded
-// into a concrete deterministic timeline at machine construction. An
-// empty string parses to nil — the empty scenario.
+// horizon), a bare crash flag for crash-mode failures, and an optional
+// domain=rack:N or domain=block:AxB shape for correlated strikes; it
+// ends with @seed=N instead of @t=N — the generator's own seed,
+// expanded into a concrete deterministic timeline at machine
+// construction. checkpoint is the periodic-snapshot generator: it
+// takes every= (snapshot period), cost= (service time each live PE
+// pays per tick, default 0) and optional until=; ckpt:cost=C is the
+// concrete single snapshot it expands into. An empty string parses to
+// nil — the empty scenario.
 func Parse(s string) (*Script, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
@@ -91,11 +98,15 @@ func parseEvent(s string) (Event, error) {
 		ev.Kind = RestoreLink
 	case "shock":
 		ev.Kind = LoadShock
+	case "checkpoint":
+		ev.Kind = Checkpoint
+	case "ckpt":
+		ev.Kind = CheckpointTick
 	default:
 		return Event{}, fmt.Errorf("scenario: unknown event kind %q in %q", fields[0], s)
 	}
 
-	var haveFactor bool
+	var haveFactor, haveEvery bool
 	for _, f := range fields[1:] {
 		key, val, ok := strings.Cut(f, "=")
 		if !ok {
@@ -123,6 +134,22 @@ func parseEvent(s string) (Event, error) {
 			} else {
 				ev.B = n
 			}
+		case "every", "cost", "until":
+			if ev.Kind != Checkpoint && ev.Kind != CheckpointTick {
+				return Event{}, fmt.Errorf("scenario: event %q: key %q only applies to checkpoint events", s, key)
+			}
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return Event{}, fmt.Errorf("scenario: event %q: bad %s %q", s, key, val)
+			}
+			switch key {
+			case "every":
+				ev.Every, haveEvery = sim.Time(n), true
+			case "cost":
+				ev.Cost = sim.Time(n)
+			case "until":
+				ev.Until = sim.Time(n)
+			}
 		default:
 			return Event{}, fmt.Errorf("scenario: event %q: unknown key %q", s, key)
 		}
@@ -141,6 +168,10 @@ func parseEvent(s string) (Event, error) {
 		if ev.A < 0 || ev.B < 0 {
 			return Event{}, fmt.Errorf("scenario: event %q: link events need a= and b=", s)
 		}
+	case Checkpoint:
+		if !haveEvery {
+			return Event{}, fmt.Errorf("scenario: event %q: checkpoint needs every=PERIOD", s)
+		}
 	}
 	if ev.Kind != DegradeLink && ev.Kind != RestoreLink {
 		ev.A, ev.B = 0, 0 // only link events carry endpoints
@@ -149,9 +180,11 @@ func parseEvent(s string) (Event, error) {
 }
 
 // parseChaos reads a chaos generator event: `chaos:mtbf=M:mttr=R
-// [:until=T][:crash]@seed=S`. Unlike concrete events it is keyed by its
-// generator seed, not a firing time (the timeline starts at t=0 and is
-// drawn at machine construction).
+// [:until=T][:crash][:domain=rack:N|:domain=block:AxB]@seed=S`. Unlike
+// concrete events it is keyed by its generator seed, not a firing time
+// (the timeline starts at t=0 and is drawn at machine construction).
+// The domain size spec follows its key as the next ":"-field, so the
+// loop is index-based.
 func parseChaos(s, body, at string) (Event, error) {
 	seedStr, ok := strings.CutPrefix(at, "seed=")
 	if !ok {
@@ -163,7 +196,9 @@ func parseChaos(s, body, at string) (Event, error) {
 	}
 	ev := Event{Kind: Chaos, Seed: seed}
 	var haveMTBF, haveMTTR bool
-	for _, f := range strings.Split(body, ":")[1:] {
+	fields := strings.Split(body, ":")[1:]
+	for i := 0; i < len(fields); i++ {
+		f := fields[i]
 		if f == "crash" {
 			ev.Crash = true
 			continue
@@ -171,6 +206,33 @@ func parseChaos(s, body, at string) (Event, error) {
 		key, val, ok := strings.Cut(f, "=")
 		if !ok {
 			return Event{}, fmt.Errorf("scenario: chaos event %q: want key=value, got %q", s, f)
+		}
+		switch key {
+		case "domain":
+			i++
+			if i >= len(fields) {
+				return Event{}, fmt.Errorf("scenario: chaos event %q: domain=%s needs a size (rack:N or block:AxB)", s, val)
+			}
+			spec := fields[i]
+			switch val {
+			case "rack":
+				n, err := strconv.Atoi(spec)
+				if err != nil || n < 1 {
+					return Event{}, fmt.Errorf("scenario: chaos event %q: bad rack size %q", s, spec)
+				}
+				ev.Domain, ev.DomA = "rack", n
+			case "block":
+				aStr, bStr, ok := strings.Cut(spec, "x")
+				a, errA := strconv.Atoi(aStr)
+				b, errB := strconv.Atoi(bStr)
+				if !ok || errA != nil || errB != nil || a < 1 || b < 1 {
+					return Event{}, fmt.Errorf("scenario: chaos event %q: bad block size %q (want AxB)", s, spec)
+				}
+				ev.Domain, ev.DomA, ev.DomB = "block", a, b
+			default:
+				return Event{}, fmt.Errorf("scenario: chaos event %q: unknown domain shape %q (want rack or block)", s, val)
+			}
+			continue
 		}
 		switch key {
 		case "mtbf", "mttr":

@@ -53,6 +53,19 @@ const (
 	// LoadShock multiplies the arrival process's offered rate by Factor
 	// for subsequently drawn inter-arrival gaps (1 restores nominal).
 	LoadShock
+	// Checkpoint is a generator like Chaos, not a concrete perturbation:
+	// Script.Expand resolves it into CheckpointTick events every Every
+	// units of virtual time, from At+Every until the horizon (or Until).
+	// Each tick makes the machine's pending-task state as of the tick
+	// durable, at Cost service time per live PE, so a crash retry
+	// resumes from the last tick's subtree frontier instead of the root.
+	Checkpoint
+	// CheckpointTick is one concrete periodic snapshot: every live PE
+	// pays Cost service time (a busy PE's in-flight service extends by
+	// Cost; an idle PE pays it at its next service start), and jobs'
+	// execution progress as of the tick becomes the durable frontier
+	// crash retries resume from.
+	CheckpointTick
 )
 
 func (k Kind) String() string {
@@ -75,6 +88,10 @@ func (k Kind) String() string {
 		return "restorelink"
 	case LoadShock:
 		return "shock"
+	case Checkpoint:
+		return "checkpoint"
+	case CheckpointTick:
+		return "ckpt"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -114,6 +131,22 @@ type Event struct {
 	Seed  int64    `json:"seed,omitempty"`
 	Until sim.Time `json:"until,omitempty"`
 	Crash bool     `json:"crash,omitempty"`
+
+	// Domain shapes chaos draws into correlated failure domains instead
+	// of single uniform PEs: "rack" strikes a contiguous block of DomA
+	// consecutive PE indices; "block" strikes a DomA×DomB axis-aligned
+	// tile of the row-major √P×√P grid. Empty means uncorrelated
+	// single-PE draws (the pre-domain behavior, bit-for-bit).
+	Domain string `json:"domain,omitempty"`
+	DomA   int    `json:"doma,omitempty"`
+	DomB   int    `json:"domb,omitempty"`
+
+	// Checkpoint generator parameters (Kind Checkpoint; Cost is shared
+	// with the concrete CheckpointTick). Every is the snapshot period;
+	// Cost the service time every live PE pays per tick; Until bounds
+	// the tick timeline (0 = the run's horizon).
+	Every sim.Time `json:"every,omitempty"`
+	Cost  sim.Time `json:"cost,omitempty"`
 }
 
 // String renders the event in the parseable text form.
@@ -127,7 +160,22 @@ func (e Event) String() string {
 		if e.Crash {
 			b.WriteString(":crash")
 		}
+		switch e.Domain {
+		case "rack":
+			fmt.Fprintf(&b, ":domain=rack:%d", e.DomA)
+		case "block":
+			fmt.Fprintf(&b, ":domain=block:%dx%d", e.DomA, e.DomB)
+		}
 		fmt.Fprintf(&b, "@seed=%d", e.Seed)
+		return b.String()
+	}
+	if e.Kind == Checkpoint {
+		var b strings.Builder
+		fmt.Fprintf(&b, "checkpoint:every=%d:cost=%d", e.Every, e.Cost)
+		if e.Until > 0 {
+			fmt.Fprintf(&b, ":until=%d", e.Until)
+		}
+		fmt.Fprintf(&b, "@t=%d", e.At)
 		return b.String()
 	}
 	var b strings.Builder
@@ -152,6 +200,8 @@ func (e Event) String() string {
 		fmt.Fprintf(&b, ":a=%d:b=%d", e.A, e.B)
 	case LoadShock:
 		fmt.Fprintf(&b, ":x=%g", e.Factor)
+	case CheckpointTick:
+		fmt.Fprintf(&b, ":cost=%d", e.Cost)
 	}
 	fmt.Fprintf(&b, "@t=%d", e.At)
 	return b.String()
@@ -316,6 +366,33 @@ func (s *Script) Validate(numPEs int) error {
 			}
 			if e.Until < 0 {
 				return fmt.Errorf("scenario: event %d (chaos): negative until %d", i, e.Until)
+			}
+			switch e.Domain {
+			case "":
+			case "rack":
+				if e.DomA < 1 {
+					return fmt.Errorf("scenario: event %d (chaos): rack domain size %d must be >= 1", i, e.DomA)
+				}
+			case "block":
+				if e.DomA < 1 || e.DomB < 1 {
+					return fmt.Errorf("scenario: event %d (chaos): block domain %dx%d must have positive sides", i, e.DomA, e.DomB)
+				}
+			default:
+				return fmt.Errorf("scenario: event %d (chaos): unknown domain shape %q (want rack or block)", i, e.Domain)
+			}
+		case Checkpoint:
+			if e.Every < 1 {
+				return fmt.Errorf("scenario: event %d (checkpoint): period %d must be >= 1", i, e.Every)
+			}
+			if e.Cost < 0 {
+				return fmt.Errorf("scenario: event %d (checkpoint): negative cost %d", i, e.Cost)
+			}
+			if e.Until < 0 {
+				return fmt.Errorf("scenario: event %d (checkpoint): negative until %d", i, e.Until)
+			}
+		case CheckpointTick:
+			if e.Cost < 0 {
+				return fmt.Errorf("scenario: event %d (ckpt): negative cost %d", i, e.Cost)
 			}
 		default:
 			return fmt.Errorf("scenario: event %d: unknown kind %d", i, int(e.Kind))

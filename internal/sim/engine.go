@@ -327,6 +327,24 @@ func (e *Engine) RunUntil(deadline Time) bool {
 	}
 }
 
+// AdvanceTo moves the clock forward to t without firing anything. It
+// panics on a rewind or when an event strictly earlier than t is still
+// pending — advancing past it would fire it in the past. The sharded
+// machine's coordinator uses this at window barriers to park every
+// quiescent shard exactly on a scenario op's scripted instant before
+// applying the op, reproducing the sequential engine's ordering (ops
+// are scheduled at construction, so they fire before the machine
+// events sharing their timestamp).
+func (e *Engine) AdvanceTo(t Time) {
+	if t < e.now {
+		panic("sim: AdvanceTo would rewind the clock")
+	}
+	if ev := e.sched.peek(); ev != nil && ev.at < t {
+		panic("sim: AdvanceTo would skip a pending event")
+	}
+	e.now = t
+}
+
 // NextEventAt returns the timestamp of the earliest pending live
 // (uncancelled) event; ok is false when nothing is pending or the
 // engine is stopped. Windowed drivers (the sharded machine's
